@@ -1,0 +1,128 @@
+// Package appfl is a Go reproduction of APPFL, the Argonne
+// Privacy-Preserving Federated Learning framework (Ryu, Kim, Kim, Madduri;
+// IPDPS 2022 workshops, arXiv:2202.03672).
+//
+// The package is the public facade over the internal implementation. It
+// exposes the five plug-and-play component families of the APPFL
+// architecture:
+//
+//   - FL algorithms: FedAvg, ICEADMM, and the paper's communication-
+//     efficient IIADMM (Algorithm 1), plus the asynchronous-aggregation and
+//     adaptive-penalty extensions from the paper's future-work list.
+//   - Differential privacy: Laplace output perturbation with per-algorithm
+//     automatic sensitivity, gradient clipping, and a Gaussian mechanism.
+//   - Communication: in-process MPI collectives, TCP RPC (the gRPC
+//     substitute, also usable across machines via cmd/appfl-server and
+//     cmd/appfl-client), and an MQTT-style pub/sub broker.
+//   - Models: a torch.nn-style layer library with the paper's CNN.
+//   - Data: PyTorch-style datasets and loaders with synthetic MNIST,
+//     CIFAR-10, FEMNIST (203-writer non-IID), and CoronaHack corpora.
+//
+// Quick start:
+//
+//	fed := appfl.MNISTFederation(4, 2000, 500, 1)
+//	factory := appfl.CNNFactory(appfl.CNNConfig{
+//		InChannels: 1, Height: 28, Width: 28, Classes: 10,
+//		Conv1: 4, Conv2: 8, Hidden: 32,
+//	}, 1)
+//	res, err := appfl.Run(appfl.Config{
+//		Algorithm: appfl.AlgoIIADMM,
+//		Rounds:    10,
+//		Epsilon:   10, // ε̄-differential privacy; math.Inf(1) disables
+//	}, fed, factory, appfl.RunOptions{})
+package appfl
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// Re-exported configuration and result types.
+type (
+	// Config describes one federated run (algorithm, rounds, privacy, ...).
+	Config = core.Config
+	// RunOptions selects transport, validation cadence, and parallelism.
+	RunOptions = core.RunOptions
+	// Result carries per-round statistics and traffic accounting.
+	Result = core.Result
+	// RoundStats is one communication round of a Result.
+	RoundStats = core.RoundStats
+	// Federated is a client-partitioned dataset with a shared test set.
+	Federated = dataset.Federated
+	// CNNConfig shapes the paper's two-conv CNN.
+	CNNConfig = nn.CNNConfig
+	// Module is the neural-network interface clients train.
+	Module = nn.Module
+	// Factory builds fresh model replicas for server and clients.
+	Factory = nn.Factory
+)
+
+// Algorithm identifiers.
+const (
+	AlgoFedAvg  = core.AlgoFedAvg
+	AlgoICEADMM = core.AlgoICEADMM
+	AlgoIIADMM  = core.AlgoIIADMM
+)
+
+// Transports for RunOptions.Transport.
+const (
+	TransportMPI    = core.TransportMPI
+	TransportPubSub = core.TransportPubSub
+)
+
+// Run executes a synchronous federated simulation; see core.Run.
+func Run(cfg Config, fed *Federated, factory Factory, opts RunOptions) (*Result, error) {
+	return core.Run(cfg, fed, factory, opts)
+}
+
+// CNNFactory returns a Factory producing the paper's CNN with deterministic
+// initialization from seed.
+func CNNFactory(cfg CNNConfig, seed uint64) Factory {
+	return func() Module { return nn.NewCNN(cfg, rng.New(seed)) }
+}
+
+// MLPFactory returns a Factory producing a small multilayer perceptron over
+// flattened inputs, useful for fast experimentation.
+func MLPFactory(in int, hidden []int, classes int, seed uint64) Factory {
+	return func() Module { return nn.NewMLP(in, hidden, classes, rng.New(seed)) }
+}
+
+// MNISTFederation builds a synthetic-MNIST federation: train samples split
+// IID over the given number of clients, as in the paper's Section IV-A.
+func MNISTFederation(clients, train, test int, seed uint64) *Federated {
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: train, Test: test, Seed: seed})
+	return &Federated{
+		Clients: dataset.PartitionIID(tr, clients, rng.New(seed+1)),
+		Test:    te,
+	}
+}
+
+// CIFAR10Federation builds a synthetic-CIFAR-10 federation split IID.
+func CIFAR10Federation(clients, train, test int, seed uint64) *Federated {
+	tr, te := dataset.CIFAR10(dataset.SynthConfig{Train: train, Test: test, Seed: seed})
+	return &Federated{
+		Clients: dataset.PartitionIID(tr, clients, rng.New(seed+1)),
+		Test:    te,
+	}
+}
+
+// CoronaHackFederation builds a synthetic chest-X-ray federation split IID.
+func CoronaHackFederation(clients, train, test int, seed uint64) *Federated {
+	tr, te := dataset.CoronaHack(dataset.SynthConfig{Train: train, Test: test, Seed: seed})
+	return &Federated{
+		Clients: dataset.PartitionIID(tr, clients, rng.New(seed+1)),
+		Test:    te,
+	}
+}
+
+// FEMNISTFederation builds the naturally non-IID FEMNIST federation: one
+// client per writer (the paper uses 203 writers).
+func FEMNISTFederation(writers, samplesPerWriter, test int, seed uint64) *Federated {
+	return dataset.FEMNIST(dataset.FEMNISTConfig{
+		Writers:          writers,
+		SamplesPerWriter: samplesPerWriter,
+		SynthConfig:      dataset.SynthConfig{Test: test, Seed: seed},
+	})
+}

@@ -1,0 +1,185 @@
+// Repository-level benchmarks: one per table and figure of the paper's
+// evaluation (Section IV), plus ablations for the design choices DESIGN.md
+// calls out. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark regenerates its artifact at reduced scale and reports
+// headline quantities through b.ReportMetric so the paper-vs-measured
+// comparison in EXPERIMENTS.md can be refreshed from one command. The full
+// scale artifacts are produced by cmd/appfl-bench.
+package appfl
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+// BenchmarkTable1Matrix regenerates Table I (framework capabilities).
+func BenchmarkTable1Matrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Table1Data()) != 5 {
+			b.Fatal("table I row count")
+		}
+		_ = experiments.Table1().String()
+	}
+}
+
+// fig2Bench runs one Fig. 2 panel (one dataset, all algorithms, the four
+// privacy budgets) at reduced scale and reports the non-private and ε̄=3
+// IIADMM accuracies.
+func fig2Bench(b *testing.B, ds string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		pts, _, err := experiments.Fig2(experiments.Fig2Options{
+			Datasets:  []string{ds},
+			Rounds:    3,
+			TrainSize: 192,
+			TestSize:  96,
+			Clients:   4,
+			Writers:   8,
+			Seed:      uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Algorithm == core.AlgoIIADMM && math.IsInf(p.Epsilon, 1) {
+				b.ReportMetric(p.FinalAcc, "acc-nonprivate")
+			}
+			if p.Algorithm == core.AlgoIIADMM && p.Epsilon == 3 {
+				b.ReportMetric(p.FinalAcc, "acc-eps3")
+			}
+		}
+	}
+}
+
+// BenchmarkFig2_MNIST regenerates the MNIST panel of Figure 2.
+func BenchmarkFig2_MNIST(b *testing.B) { fig2Bench(b, "mnist") }
+
+// BenchmarkFig2_CIFAR10 regenerates the CIFAR-10 panel of Figure 2.
+func BenchmarkFig2_CIFAR10(b *testing.B) { fig2Bench(b, "cifar10") }
+
+// BenchmarkFig2_FEMNIST regenerates the FEMNIST panel of Figure 2.
+func BenchmarkFig2_FEMNIST(b *testing.B) { fig2Bench(b, "femnist") }
+
+// BenchmarkFig2_CoronaHack regenerates the CoronaHack panel of Figure 2.
+func BenchmarkFig2_CoronaHack(b *testing.B) { fig2Bench(b, "coronahack") }
+
+// BenchmarkFig3_Scaling regenerates Figure 3 (strong scaling + gather
+// fraction) and reports the paper's two headline numbers.
+func BenchmarkFig3_Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _ := experiments.Fig3(experiments.Fig3Options{})
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.Speedup, "speedup-203ranks")
+		b.ReportMetric(last.GatherPct, "gather%-203ranks")
+		b.ReportMetric(rows[0].GatherSec/last.GatherSec, "gather-shrink")
+	}
+}
+
+// BenchmarkFig4_CommProtocols regenerates Figure 4 (gRPC vs MPI) with the
+// serialization rate measured from this repository's real codec.
+func BenchmarkFig4_CommProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Fig4(experiments.Fig4Options{
+			ModelDim:     100_000,
+			MeasureCodec: true,
+			Seed:         uint64(i) + 1,
+		})
+		b.ReportMetric(res.MeanRatio, "grpc/mpi-ratio")
+		b.ReportMetric(res.MaxSpread, "round-spread")
+	}
+}
+
+// BenchmarkHeteroDevices regenerates the Section IV-E device comparison.
+func BenchmarkHeteroDevices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, _ := experiments.Hetero()
+		b.ReportMetric(res.ImbalanceFactor, "a100/v100")
+	}
+}
+
+// BenchmarkCommVolume regenerates the Section III-A communication-volume
+// claim with real transports and byte accounting.
+func BenchmarkCommVolume(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.CommVolume(experiments.CommVolumeOptions{Clients: 2, Rounds: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Algorithm == core.AlgoICEADMM {
+				b.ReportMetric(r.UploadPerClientRound, "iceadmm-models/round")
+			}
+			if r.Algorithm == core.AlgoIIADMM {
+				b.ReportMetric(r.UploadPerClientRound, "iiadmm-models/round")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationFreezeDual isolates the value of dual information: the
+// IADMM update with duals frozen at zero degenerates toward FedAvg. The
+// metric reported is the accuracy delta from enabling duals.
+func BenchmarkAblationFreezeDual(b *testing.B) {
+	fed := MNISTFederation(4, 384, 128, 7)
+	factory := MLPFactory(28*28, []int{24}, 10, 7)
+	for i := 0; i < b.N; i++ {
+		run := func(freeze bool) float64 {
+			cfg := Config{
+				Algorithm:  AlgoIIADMM,
+				Rounds:     4,
+				LocalSteps: 2,
+				BatchSize:  32,
+				FreezeDual: freeze,
+				Seed:       uint64(i) + 1,
+			}
+			res, err := Run(cfg, fed, factory, RunOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.FinalAcc
+		}
+		with := run(false)
+		without := run(true)
+		b.ReportMetric(with-without, "dual-acc-delta")
+	}
+}
+
+// BenchmarkAblationTransports compares the wall time of an identical small
+// run over the MPI-style and pub/sub backends.
+func BenchmarkAblationTransports(b *testing.B) {
+	fed := MNISTFederation(4, 256, 64, 9)
+	factory := MLPFactory(28*28, []int{16}, 10, 9)
+	cfg := Config{Algorithm: AlgoFedAvg, Rounds: 3, LocalSteps: 1, BatchSize: 32, Seed: 9}
+	for _, tr := range []core.Transport{TransportMPI, TransportPubSub} {
+		b.Run(string(tr), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(cfg, fed, factory, RunOptions{Transport: tr}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoundIIADMM measures one full IIADMM round (4 clients, CNN) —
+// the unit of work behind every Fig. 2 cell.
+func BenchmarkRoundIIADMM(b *testing.B) {
+	fed := MNISTFederation(4, 256, 64, 11)
+	factory := CNNFactory(CNNConfig{
+		InChannels: 1, Height: 28, Width: 28, Classes: 10,
+		Conv1: 4, Conv2: 8, Kernel: 5, Hidden: 32,
+	}, 11)
+	cfg := Config{Algorithm: AlgoIIADMM, Rounds: 1, LocalSteps: 1, BatchSize: 64, Seed: 11}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg, fed, factory, RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command appfl-bench regenerates every table and figure of the paper's
+// evaluation section and writes the results as plain text and CSV under a
+// results directory.
+//
+// Usage:
+//
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|all]
+//	            [-out results] [-scale small|medium|paper]
+//
+// The -scale flag trades fidelity for time in the training-based Figure 2
+// sweep: "small" finishes in about a minute on a laptop, "paper" uses the
+// full geometry (203 FEMNIST writers, 50 rounds) and runs for hours.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|all")
+	out := flag.String("out", "results", "output directory")
+	scale := flag.String("scale", "small", "fig2 scale: small|medium|paper")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	run := func(name string) bool { return *only == "all" || *only == name }
+
+	if run("table1") {
+		emit(*out, "table1", experiments.Table1())
+	}
+	if run("fig3") {
+		_, t := experiments.Fig3(experiments.Fig3Options{})
+		emit(*out, "fig3", t)
+	}
+	if run("fig4") {
+		res, t := experiments.Fig4(experiments.Fig4Options{MeasureCodec: true})
+		emit(*out, "fig4", t)
+		fmt.Printf("fig4: gRPC/MPI mean ratio %.1f, max round spread %.1fx, codec %.0f MB/s\n",
+			res.MeanRatio, res.MaxSpread, res.SerializeBps/1e6)
+	}
+	if run("hetero") {
+		_, t := experiments.Hetero()
+		emit(*out, "hetero", t)
+	}
+	if run("commvol") {
+		_, t, err := experiments.CommVolume(experiments.CommVolumeOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "commvol", t)
+	}
+	if run("fig2") {
+		opts := experiments.Fig2Options{}
+		switch *scale {
+		case "small":
+			opts.Rounds = 6
+			opts.TrainSize = 384
+			opts.TestSize = 128
+			opts.Writers = 12
+		case "medium":
+			opts.Rounds = 15
+			opts.TrainSize = 1200
+			opts.TestSize = 400
+			opts.Writers = 40
+		case "paper":
+			opts.Rounds = 50
+			opts.TrainSize = 12000
+			opts.TestSize = 2000
+			opts.Writers = 203
+		default:
+			fatal(fmt.Errorf("unknown scale %q", *scale))
+		}
+		fmt.Printf("fig2: running %s-scale sweep (this trains 48 federated models)...\n", *scale)
+		pts, t, err := experiments.Fig2(opts)
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "fig2", t)
+		// Also write the full per-round trajectories for plotting.
+		traj := metrics.NewTable("Figure 2 trajectories", "dataset", "algorithm", "epsilon", "round", "accuracy")
+		for _, p := range pts {
+			for i, a := range p.AccByRnd {
+				traj.AddRowf(p.Dataset, p.Algorithm, p.Epsilon, i+1, a)
+			}
+		}
+		if err := os.WriteFile(filepath.Join(*out, "fig2_trajectories.csv"), []byte(traj.CSV()), 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("artifacts written to %s/\n", *out)
+}
+
+// emit prints a table and writes its .txt and .csv forms.
+func emit(dir, name string, t *metrics.Table) {
+	fmt.Println(t.String())
+	if err := os.WriteFile(filepath.Join(dir, name+".txt"), []byte(t.String()), 0o644); err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".csv"), []byte(t.CSV()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appfl-bench:", err)
+	os.Exit(1)
+}

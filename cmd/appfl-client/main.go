@@ -1,0 +1,112 @@
+// Command appfl-client joins a cross-silo federation served by
+// appfl-server. Each client owns one shard of the synthetic corpus,
+// derived deterministically from the shared seed — in a real deployment
+// this is where an institution's private data would live. Hyperparameter
+// flags must match the server's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	appfl "repro"
+	"repro/internal/comm/rpc"
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:9000", "server address")
+	id := flag.Int("id", 0, "client id in [0, clients)")
+	clients := flag.Int("clients", 2, "total clients in the federation")
+	algorithm := flag.String("algorithm", "iiadmm", "fedavg | iceadmm | iiadmm")
+	rho := flag.Float64("rho", 2, "IADMM penalty rho")
+	zeta := flag.Float64("zeta", 14, "IADMM proximity zeta")
+	localSteps := flag.Int("local-steps", 10, "local steps L")
+	batch := flag.Int("batch", 64, "mini-batch size")
+	eps := flag.Float64("eps", 0, "privacy budget (0 = non-private)")
+	train := flag.Int("train", 960, "total training samples (shared)")
+	test := flag.Int("test", 240, "test samples (shared; unused locally)")
+	seed := flag.Uint64("seed", 1, "shared seed (must match server)")
+	name := flag.String("name", "", "client display name")
+	flag.Parse()
+
+	if *id < 0 || *id >= *clients {
+		fatal(fmt.Errorf("id %d out of range [0,%d)", *id, *clients))
+	}
+	cfg := appfl.Config{
+		Algorithm:  *algorithm,
+		LocalSteps: *localSteps,
+		BatchSize:  *batch,
+		Rho:        *rho,
+		Zeta:       *zeta,
+		Seed:       *seed,
+	}.WithDefaults()
+	if *eps > 0 {
+		cfg.Epsilon = *eps
+	}
+	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fed := appfl.MNISTFederation(*clients, *train, *test, *seed)
+	factory := appfl.CNNFactory(appfl.CNNConfig{InChannels: 1, Height: 28, Width: 28, Classes: 10, Conv1: 4, Conv2: 8, Hidden: 32}, *seed)
+	model := factory()
+	w0 := nn.FlattenParams(model, nil)
+
+	// Per-client deterministic randomness: stream id within the federation.
+	master := rng.New(cfg.Seed)
+	var cr *rng.RNG
+	for i := 0; i <= *id; i++ {
+		cr = master.Split()
+	}
+	var mech dp.Mechanism = dp.None{}
+	if !math.IsInf(cfg.Epsilon, 1) {
+		mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+	}
+	algo, err := core.NewClient(cfg, *id, model, fed.Clients[*id], w0, mech, cr)
+	if err != nil {
+		fatal(err)
+	}
+
+	display := *name
+	if display == "" {
+		display = fmt.Sprintf("client-%d", *id)
+	}
+	conn, err := rpc.Dial(*addr, uint32(*id), display)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	ack := conn.Config()
+	fmt.Printf("%s: joined %s (%d clients, %d rounds, dim %d, local data %d samples)\n",
+		display, *addr, ack.NumClients, ack.Rounds, ack.ModelSize, fed.Clients[*id].Len())
+
+	for {
+		gm, err := conn.RecvGlobal()
+		if err != nil {
+			fatal(err)
+		}
+		if gm.Final {
+			fmt.Printf("%s: training complete\n", display)
+			return
+		}
+		up, err := algo.LocalUpdate(int(gm.Round), gm.Weights)
+		if err != nil {
+			fatal(err)
+		}
+		if err := conn.SendUpdate(up); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: round %d uploaded (%.2fs local compute)\n", display, gm.Round, up.ComputeSec)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appfl-client:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,64 @@
+// Why federated learning alone is not private — and how APPFL's Laplace
+// mechanism fixes it. The paper (Section II-A.2, citing Geiping et al.)
+// notes that "one can recover an original image with high accuracy using
+// only gradients sent to the server". This example mounts exactly that
+// attack against a linear model's gradient, then repeats it against the
+// differentially private release at several ε̄ and prints how the
+// reconstruction degrades.
+//
+//	go run ./examples/gradient_inversion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/attack"
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func main() {
+	model := nn.NewLinearModel(28*28, 10, rng.New(1))
+	train, _ := dataset.MNIST(dataset.SynthConfig{Train: 4, Test: 1, Seed: 2})
+	x, y := train.Sample(0)
+
+	gradW, gradB, err := attack.GradientsOf(model, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The honest-but-curious server inverts the clean gradient.
+	rec, recLabel, err := attack.InvertLinearGradient(gradW, gradB)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without DP:  reconstruction error %.2e, label recovered: %v (true: %d)\n",
+		attack.ReconstructionError(x.Data(), rec), recLabel, y)
+	fmt.Println("             → the private training image leaks essentially exactly.")
+
+	table := metrics.NewTable("\nwith Laplace output perturbation (sensitivity 0.1):",
+		"epsilon", "reconstruction error", "attack outcome")
+	noiseRng := rng.New(3)
+	for _, eps := range []float64{10, 5, 3, 1} {
+		mech := dp.NewLaplace(eps, noiseRng.Split())
+		nw, nb := gradW.Clone(), gradB.Clone()
+		mech.Perturb(nw.Data(), 0.1)
+		mech.Perturb(nb.Data(), 0.1)
+		nrec, _, err := attack.InvertLinearGradient(nw, nb)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := attack.ReconstructionError(x.Data(), nrec)
+		verdict := "image still recognizable"
+		if e > 0.5 {
+			verdict = "reconstruction destroyed"
+		}
+		table.AddRow(fmt.Sprintf("%g", eps), fmt.Sprintf("%.3f", e), verdict)
+	}
+	fmt.Println(table.String())
+	fmt.Println("smaller ε̄ → more noise → stronger privacy, the trade-off of Fig. 2.")
+}

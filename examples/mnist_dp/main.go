@@ -1,0 +1,46 @@
+// The privacy/utility trade-off of Figure 2, on one dataset: train MNIST
+// under ε̄ ∈ {3, 5, 10, ∞} with all three algorithms and print the panel.
+// Decreasing ε̄ strengthens privacy and costs accuracy; IIADMM holds up
+// best at small ε̄ thanks to its proximal term.
+//
+//	go run ./examples/mnist_dp
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	appfl "repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	fed := appfl.MNISTFederation(4, 640, 160, 3)
+	factory := appfl.CNNFactory(appfl.CNNConfig{
+		InChannels: 1, Height: 28, Width: 28, Classes: 10,
+		Conv1: 4, Conv2: 8, Hidden: 32,
+	}, 3)
+
+	table := metrics.NewTable(
+		"MNIST test accuracy under varying privacy budgets (cf. Fig. 2, column a)",
+		"algorithm", "eps=3", "eps=5", "eps=10", "eps=inf",
+	)
+	for _, algo := range []string{appfl.AlgoFedAvg, appfl.AlgoICEADMM, appfl.AlgoIIADMM} {
+		row := []string{algo}
+		for _, eps := range []float64{3, 5, 10, math.Inf(1)} {
+			res, err := appfl.Run(appfl.Config{
+				Algorithm: algo,
+				Rounds:    6,
+				Epsilon:   eps,
+				Seed:      3,
+			}, fed, factory, appfl.RunOptions{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			row = append(row, fmt.Sprintf("%.3f", res.FinalAcc))
+		}
+		table.AddRow(row...)
+	}
+	fmt.Println(table.String())
+}

@@ -1,0 +1,84 @@
+// Package comm defines the communication abstraction of the APPFL
+// architecture (Section II-A.3): the server and clients exchange the global
+// model and local updates through a pluggable transport. Three backends
+// implement it — comm/mpi (in-process collectives standing in for
+// MPI+RDMA), comm/rpc (TCP remote procedure calls standing in for gRPC),
+// and comm/pubsub (a topic broker standing in for the paper's planned MQTT
+// support). All backends account bytes and messages so experiments can
+// compare algorithms by true communication volume.
+package comm
+
+import (
+	"sync"
+
+	"repro/internal/wire"
+)
+
+// ServerTransport is the server's side of the protocol: one broadcast of
+// the global model followed by one gather of local updates per round.
+type ServerTransport interface {
+	// Broadcast delivers the global model to every client.
+	Broadcast(m *wire.GlobalModel) error
+	// Gather collects exactly one local update from every client, in client
+	// order.
+	Gather() ([]*wire.LocalUpdate, error)
+	// Stats returns a snapshot of traffic counters.
+	Stats() Snapshot
+	// Close releases transport resources.
+	Close() error
+}
+
+// ClientTransport is a client's side of the protocol.
+type ClientTransport interface {
+	// RecvGlobal blocks until the next global model arrives.
+	RecvGlobal() (*wire.GlobalModel, error)
+	// SendUpdate uploads this client's local update.
+	SendUpdate(m *wire.LocalUpdate) error
+	// Stats returns a snapshot of traffic counters.
+	Stats() Snapshot
+	// Close releases transport resources.
+	Close() error
+}
+
+// Stats is a thread-safe traffic counter shared by transport endpoints.
+type Stats struct {
+	mu        sync.Mutex
+	bytesSent uint64
+	bytesRecv uint64
+	msgsSent  uint64
+	msgsRecv  uint64
+}
+
+// Snapshot is an immutable copy of the counters.
+type Snapshot struct {
+	BytesSent, BytesRecv uint64
+	MsgsSent, MsgsRecv   uint64
+}
+
+// AddSent records an outgoing message of n bytes.
+func (s *Stats) AddSent(n int) {
+	s.mu.Lock()
+	s.bytesSent += uint64(n)
+	s.msgsSent++
+	s.mu.Unlock()
+}
+
+// AddRecv records an incoming message of n bytes.
+func (s *Stats) AddRecv(n int) {
+	s.mu.Lock()
+	s.bytesRecv += uint64(n)
+	s.msgsRecv++
+	s.mu.Unlock()
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *Stats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		BytesSent: s.bytesSent,
+		BytesRecv: s.bytesRecv,
+		MsgsSent:  s.msgsSent,
+		MsgsRecv:  s.msgsRecv,
+	}
+}

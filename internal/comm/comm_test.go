@@ -1,0 +1,51 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestStatsCounts(t *testing.T) {
+	var s Stats
+	s.AddSent(100)
+	s.AddSent(50)
+	s.AddRecv(7)
+	snap := s.Snapshot()
+	if snap.BytesSent != 150 || snap.MsgsSent != 2 {
+		t.Fatalf("sent counters %+v", snap)
+	}
+	if snap.BytesRecv != 7 || snap.MsgsRecv != 1 {
+		t.Fatalf("recv counters %+v", snap)
+	}
+}
+
+func TestStatsSnapshotIsCopy(t *testing.T) {
+	var s Stats
+	s.AddSent(1)
+	snap := s.Snapshot()
+	s.AddSent(1)
+	if snap.BytesSent != 1 {
+		t.Fatal("snapshot mutated by later traffic")
+	}
+}
+
+func TestStatsConcurrent(t *testing.T) {
+	var s Stats
+	var wg sync.WaitGroup
+	const workers, each = 16, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.AddSent(1)
+				s.AddRecv(2)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.MsgsSent != workers*each || snap.BytesRecv != 2*workers*each {
+		t.Fatalf("concurrent counters lost updates: %+v", snap)
+	}
+}

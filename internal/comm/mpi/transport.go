@@ -1,0 +1,167 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/comm"
+	"repro/internal/wire"
+)
+
+// The FL transport runs on a world of P+1 ranks: rank 0 is the server and
+// ranks 1..P are clients. Structured messages travel as flat float64
+// buffers with a small numeric header — a buffer copy, not a serialization
+// pass, mirroring how MPI with RDMA moves model tensors directly.
+
+// ServerTransport adapts a server rank to the comm.ServerTransport
+// interface using genuine collective calls (Bcast, Gather).
+type ServerTransport struct {
+	c     *Comm
+	stats comm.Stats
+}
+
+// ClientTransport adapts a client rank to comm.ClientTransport.
+type ClientTransport struct {
+	c     *Comm
+	stats comm.Stats
+}
+
+// NewFLWorld builds a world for one server and numClients clients and
+// returns the transports. Client i (0-based) runs on rank i+1.
+func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
+	w := NewWorld(numClients + 1)
+	server := &ServerTransport{c: w.Rank(0)}
+	clients := make([]*ClientTransport, numClients)
+	for i := range clients {
+		clients[i] = &ClientTransport{c: w.Rank(i + 1)}
+	}
+	return server, clients
+}
+
+// packGlobal flattens a GlobalModel into one buffer.
+func packGlobal(m *wire.GlobalModel) []float64 {
+	buf := make([]float64, 4+len(m.Weights))
+	buf[0] = float64(m.Round)
+	if m.Final {
+		buf[1] = 1
+	}
+	buf[2] = m.Rho
+	buf[3] = float64(len(m.Weights))
+	copy(buf[4:], m.Weights)
+	return buf
+}
+
+func unpackGlobal(buf []float64) (*wire.GlobalModel, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("mpi: global-model buffer too short (%d)", len(buf))
+	}
+	n := int(buf[3])
+	if len(buf) != 4+n {
+		return nil, fmt.Errorf("mpi: global-model buffer length %d, header says %d weights", len(buf), n)
+	}
+	return &wire.GlobalModel{
+		Round:   uint32(buf[0]),
+		Final:   buf[1] != 0,
+		Rho:     buf[2],
+		Weights: buf[4 : 4+n],
+	}, nil
+}
+
+// packUpdate flattens a LocalUpdate into one buffer.
+func packUpdate(m *wire.LocalUpdate) []float64 {
+	buf := make([]float64, 7+len(m.Primal)+len(m.Dual))
+	buf[0] = float64(m.ClientID)
+	buf[1] = float64(m.Round)
+	buf[2] = float64(m.NumSamples)
+	buf[3] = m.Epsilon
+	buf[4] = m.ComputeSec
+	buf[5] = float64(len(m.Primal))
+	buf[6] = float64(len(m.Dual))
+	copy(buf[7:], m.Primal)
+	copy(buf[7+len(m.Primal):], m.Dual)
+	return buf
+}
+
+func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
+	if len(buf) < 7 {
+		return nil, fmt.Errorf("mpi: update buffer too short (%d)", len(buf))
+	}
+	np, nd := int(buf[5]), int(buf[6])
+	if len(buf) != 7+np+nd {
+		return nil, fmt.Errorf("mpi: update buffer length %d, header says %d+%d payload", len(buf), np, nd)
+	}
+	u := &wire.LocalUpdate{
+		ClientID:   uint32(buf[0]),
+		Round:      uint32(buf[1]),
+		NumSamples: uint64(buf[2]),
+		Epsilon:    buf[3],
+		ComputeSec: buf[4],
+		Primal:     buf[7 : 7+np],
+	}
+	if nd > 0 {
+		u.Dual = buf[7+np : 7+np+nd]
+	}
+	if math.IsNaN(u.Epsilon) {
+		return nil, fmt.Errorf("mpi: update carries NaN epsilon")
+	}
+	return u, nil
+}
+
+// Broadcast delivers the global model to every client rank via Bcast.
+func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
+	buf := packGlobal(m)
+	s.c.Bcast(0, buf)
+	// One logical message per client, 8 bytes per float64, as MPI would move.
+	for i := 0; i < s.c.Size()-1; i++ {
+		s.stats.AddSent(8 * len(buf))
+	}
+	return nil
+}
+
+// Gather collects one update per client via the Gather collective.
+func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
+	parts := s.c.Gather(0, nil)
+	out := make([]*wire.LocalUpdate, 0, s.c.Size()-1)
+	for r := 1; r < s.c.Size(); r++ {
+		u, err := unpackUpdate(parts[r])
+		if err != nil {
+			return nil, err
+		}
+		s.stats.AddRecv(8 * len(parts[r]))
+		out = append(out, u)
+	}
+	return out, nil
+}
+
+// Stats returns the server's traffic snapshot.
+func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }
+
+// Close is a no-op for the in-process world.
+func (s *ServerTransport) Close() error { return nil }
+
+// RecvGlobal participates in the broadcast and returns the global model.
+func (t *ClientTransport) RecvGlobal() (*wire.GlobalModel, error) {
+	buf := t.c.Bcast(0, nil)
+	t.stats.AddRecv(8 * len(buf))
+	return unpackGlobal(buf)
+}
+
+// SendUpdate participates in the gather, contributing this client's update.
+func (t *ClientTransport) SendUpdate(m *wire.LocalUpdate) error {
+	buf := packUpdate(m)
+	t.c.Gather(0, buf)
+	t.stats.AddSent(8 * len(buf))
+	return nil
+}
+
+// Stats returns the client's traffic snapshot.
+func (t *ClientTransport) Stats() comm.Snapshot { return t.stats.Snapshot() }
+
+// Close is a no-op for the in-process world.
+func (t *ClientTransport) Close() error { return nil }
+
+// Interface conformance checks.
+var (
+	_ comm.ServerTransport = (*ServerTransport)(nil)
+	_ comm.ClientTransport = (*ClientTransport)(nil)
+)

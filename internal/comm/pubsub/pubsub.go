@@ -1,0 +1,250 @@
+// Package pubsub implements a lightweight topic-based publish/subscribe
+// broker, the stand-in for the MQTT support the paper lists as planned
+// ("MQTT (TBD)" in the architecture figure). Messages are byte payloads
+// published to string topics and fanned out to all subscribers, with
+// per-subscriber FIFO ordering — the QoS-0 semantics of MQTT.
+//
+// A transport adapter maps the FL protocol onto two topics: the server
+// publishes global models to "fl/global"; clients publish local updates to
+// "fl/update". Payloads are encoded with the internal/wire codec, so the
+// pub/sub path pays the same serialization cost as RPC.
+package pubsub
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/wire"
+)
+
+// ErrClosed is returned by operations on a closed broker or subscription.
+var ErrClosed = errors.New("pubsub: closed")
+
+// Message is one published payload.
+type Message struct {
+	Topic   string
+	Payload []byte
+}
+
+// Broker routes published messages to topic subscribers.
+type Broker struct {
+	mu     sync.Mutex
+	subs   map[string][]*Subscription
+	closed bool
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{subs: map[string][]*Subscription{}}
+}
+
+// Subscription is one subscriber's ordered message queue.
+type Subscription struct {
+	broker *Broker
+	topic  string
+	ch     chan Message
+	once   sync.Once
+}
+
+// Subscribe registers a new subscription on topic with the given queue
+// capacity (messages beyond a full queue block the publisher, providing
+// backpressure).
+func (b *Broker) Subscribe(topic string, capacity int) (*Subscription, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil, ErrClosed
+	}
+	s := &Subscription{broker: b, topic: topic, ch: make(chan Message, capacity)}
+	b.subs[topic] = append(b.subs[topic], s)
+	return s, nil
+}
+
+// Publish delivers payload to every current subscriber of topic.
+func (b *Broker) Publish(topic string, payload []byte) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	subs := append([]*Subscription(nil), b.subs[topic]...)
+	b.mu.Unlock()
+	msg := Message{Topic: topic, Payload: payload}
+	for _, s := range subs {
+		s.ch <- msg
+	}
+	return nil
+}
+
+// Recv blocks for the next message; ok is false after Unsubscribe/Close.
+func (s *Subscription) Recv() (Message, bool) {
+	m, ok := <-s.ch
+	return m, ok
+}
+
+// Unsubscribe removes the subscription and closes its queue.
+func (s *Subscription) Unsubscribe() {
+	s.once.Do(func() {
+		b := s.broker
+		b.mu.Lock()
+		list := b.subs[s.topic]
+		for i, x := range list {
+			if x == s {
+				b.subs[s.topic] = append(list[:i], list[i+1:]...)
+				break
+			}
+		}
+		b.mu.Unlock()
+		close(s.ch)
+	})
+}
+
+// Close shuts the broker and all subscriptions.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var all []*Subscription
+	for _, list := range b.subs {
+		all = append(all, list...)
+	}
+	b.subs = map[string][]*Subscription{}
+	b.mu.Unlock()
+	for _, s := range all {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Topic names of the FL protocol mapping.
+const (
+	TopicGlobal = "fl/global"
+	TopicUpdate = "fl/update"
+)
+
+// ServerTransport adapts a broker to comm.ServerTransport.
+type ServerTransport struct {
+	broker     *Broker
+	numClients int
+	updates    *Subscription
+	stats      comm.Stats
+}
+
+// ClientTransport adapts a broker to comm.ClientTransport.
+type ClientTransport struct {
+	broker *Broker
+	global *Subscription
+	stats  comm.Stats
+}
+
+// NewFLBroker wires a broker for one server and numClients clients and
+// returns the transports.
+func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
+	b := NewBroker()
+	upd, err := b.Subscribe(TopicUpdate, numClients)
+	if err != nil {
+		return nil, nil, err
+	}
+	st := &ServerTransport{broker: b, numClients: numClients, updates: upd}
+	clients := make([]*ClientTransport, numClients)
+	for i := range clients {
+		g, err := b.Subscribe(TopicGlobal, 1)
+		if err != nil {
+			return nil, nil, err
+		}
+		clients[i] = &ClientTransport{broker: b, global: g}
+	}
+	return st, clients, nil
+}
+
+// Broadcast publishes the global model to the shared topic.
+func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
+	e := wire.NewEncoder(nil)
+	m.Marshal(e)
+	if err := s.broker.Publish(TopicGlobal, e.Bytes()); err != nil {
+		return err
+	}
+	for i := 0; i < s.numClients; i++ {
+		s.stats.AddSent(e.Len())
+	}
+	return nil
+}
+
+// Gather reads numClients updates from the update topic and orders them by
+// client ID.
+func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
+	out := make([]*wire.LocalUpdate, s.numClients)
+	for i := 0; i < s.numClients; i++ {
+		msg, ok := s.updates.Recv()
+		if !ok {
+			return nil, ErrClosed
+		}
+		s.stats.AddRecv(len(msg.Payload))
+		var u wire.LocalUpdate
+		if err := u.Unmarshal(wire.NewDecoder(msg.Payload)); err != nil {
+			return nil, err
+		}
+		id := int(u.ClientID)
+		if id < 0 || id >= s.numClients {
+			return nil, fmt.Errorf("pubsub: update from unknown client %d", id)
+		}
+		if out[id] != nil {
+			return nil, fmt.Errorf("pubsub: duplicate update from client %d in one round", id)
+		}
+		out[id] = &u
+	}
+	return out, nil
+}
+
+// Stats returns the traffic snapshot.
+func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }
+
+// Close shuts the whole broker.
+func (s *ServerTransport) Close() error {
+	s.broker.Close()
+	return nil
+}
+
+// RecvGlobal blocks for the next published global model.
+func (c *ClientTransport) RecvGlobal() (*wire.GlobalModel, error) {
+	msg, ok := c.global.Recv()
+	if !ok {
+		return nil, ErrClosed
+	}
+	c.stats.AddRecv(len(msg.Payload))
+	var m wire.GlobalModel
+	if err := m.Unmarshal(wire.NewDecoder(msg.Payload)); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SendUpdate publishes the client's update.
+func (c *ClientTransport) SendUpdate(m *wire.LocalUpdate) error {
+	e := wire.NewEncoder(nil)
+	m.Marshal(e)
+	if err := c.broker.Publish(TopicUpdate, e.Bytes()); err != nil {
+		return err
+	}
+	c.stats.AddSent(e.Len())
+	return nil
+}
+
+// Stats returns the traffic snapshot.
+func (c *ClientTransport) Stats() comm.Snapshot { return c.stats.Snapshot() }
+
+// Close unsubscribes this client.
+func (c *ClientTransport) Close() error {
+	c.global.Unsubscribe()
+	return nil
+}
+
+// Interface conformance checks.
+var (
+	_ comm.ServerTransport = (*ServerTransport)(nil)
+	_ comm.ClientTransport = (*ClientTransport)(nil)
+)

@@ -1,0 +1,324 @@
+// Package rpc implements the gRPC-substitute transport: length-prefixed
+// remote procedure calls over real TCP connections, with payloads encoded
+// by the protobuf-style codec in internal/wire. It reproduces the two costs
+// the paper identifies for gRPC versus RDMA-enabled MPI (Section IV-D):
+// every model crossing the network is serialized and deserialized, and data
+// is staged through the host network stack instead of moving directly
+// between devices.
+//
+// Frame layout: 1 byte message kind, 4 bytes big-endian payload length,
+// payload bytes.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/wire"
+)
+
+// maxFrame bounds a frame payload to guard against corrupt length headers.
+const maxFrame = 1 << 30
+
+// ErrFrameTooLarge is returned when a frame header announces an
+// implausible payload size.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// writeFrame sends one framed message.
+func writeFrame(w io.Writer, kind wire.Kind, payload []byte) error {
+	if len(payload) > maxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [5]byte
+	hdr[0] = byte(kind)
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame receives one framed message.
+func readFrame(r io.Reader) (wire.Kind, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > maxFrame {
+		return 0, nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return wire.Kind(hdr[0]), payload, nil
+}
+
+// ServerConfig parameterizes a listening FL server.
+type ServerConfig struct {
+	NumClients int
+	Rounds     int
+	ModelSize  int
+	// AcceptTimeout bounds the wait for all clients to join (0 = 30 s).
+	AcceptTimeout time.Duration
+}
+
+// Server is the comm.ServerTransport over TCP. It accepts exactly
+// NumClients connections, each beginning with a Join handshake.
+type Server struct {
+	cfg   ServerConfig
+	ln    net.Listener
+	conns []net.Conn // indexed by client ID
+	stats comm.Stats
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Listen starts a server on addr (e.g. "127.0.0.1:0") and returns it
+// without accepting yet; call Accept next. Addr() reports the bound
+// address.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.NumClients <= 0 {
+		return nil, errors.New("rpc: NumClients must be positive")
+	}
+	if cfg.AcceptTimeout == 0 {
+		cfg.AcceptTimeout = 30 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{cfg: cfg, ln: ln, conns: make([]net.Conn, cfg.NumClients)}, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Accept blocks until every client has connected and completed the Join
+// handshake. Client IDs must be unique and in [0, NumClients).
+func (s *Server) Accept() error {
+	deadline := time.Now().Add(s.cfg.AcceptTimeout)
+	joined := 0
+	for joined < s.cfg.NumClients {
+		if tl, ok := s.ln.(*net.TCPListener); ok {
+			if err := tl.SetDeadline(deadline); err != nil {
+				return err
+			}
+		}
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("rpc: accept after %d/%d joins: %w", joined, s.cfg.NumClients, err)
+		}
+		kind, payload, err := readFrame(conn)
+		if err != nil {
+			conn.Close()
+			return fmt.Errorf("rpc: join read: %w", err)
+		}
+		s.stats.AddRecv(len(payload))
+		if kind != wire.KindJoin {
+			conn.Close()
+			return fmt.Errorf("rpc: expected Join, got %v", kind)
+		}
+		var join wire.Join
+		if err := join.Unmarshal(wire.NewDecoder(payload)); err != nil {
+			conn.Close()
+			return fmt.Errorf("rpc: join decode: %w", err)
+		}
+		id := int(join.ClientID)
+		if id < 0 || id >= s.cfg.NumClients || s.conns[id] != nil {
+			conn.Close()
+			return fmt.Errorf("rpc: invalid or duplicate client id %d", id)
+		}
+		ack := wire.JoinAck{
+			NumClients: uint32(s.cfg.NumClients),
+			Rounds:     uint32(s.cfg.Rounds),
+			ModelSize:  uint64(s.cfg.ModelSize),
+		}
+		e := wire.NewEncoder(nil)
+		ack.Marshal(e)
+		if err := writeFrame(conn, wire.KindJoinAck, e.Bytes()); err != nil {
+			conn.Close()
+			return fmt.Errorf("rpc: join ack: %w", err)
+		}
+		s.stats.AddSent(e.Len())
+		s.conns[id] = conn
+		joined++
+	}
+	return nil
+}
+
+// Broadcast sends the global model to all clients concurrently. Per-client
+// serialization happens independently, as gRPC marshals per call.
+func (s *Server) Broadcast(m *wire.GlobalModel) error {
+	const kind = wire.KindGlobalModel
+	errs := make([]error, len(s.conns))
+	var wg sync.WaitGroup
+	for i, conn := range s.conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			e := wire.NewEncoder(nil)
+			m.Marshal(e)
+			if err := writeFrame(conn, kind, e.Bytes()); err != nil {
+				errs[i] = fmt.Errorf("rpc: broadcast to client %d: %w", i, err)
+				return
+			}
+			s.stats.AddSent(e.Len())
+		}(i, conn)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Gather reads one LocalUpdate from every client, concurrently, and
+// returns them indexed by client ID.
+func (s *Server) Gather() ([]*wire.LocalUpdate, error) {
+	out := make([]*wire.LocalUpdate, len(s.conns))
+	errs := make([]error, len(s.conns))
+	var wg sync.WaitGroup
+	for i, conn := range s.conns {
+		wg.Add(1)
+		go func(i int, conn net.Conn) {
+			defer wg.Done()
+			kind, payload, err := readFrame(conn)
+			if err != nil {
+				errs[i] = fmt.Errorf("rpc: gather from client %d: %w", i, err)
+				return
+			}
+			if kind != wire.KindLocalUpdate {
+				errs[i] = fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", i, kind)
+				return
+			}
+			s.stats.AddRecv(len(payload))
+			var u wire.LocalUpdate
+			if err := u.Unmarshal(wire.NewDecoder(payload)); err != nil {
+				errs[i] = fmt.Errorf("rpc: update decode from client %d: %w", i, err)
+				return
+			}
+			out[i] = &u
+		}(i, conn)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats returns the traffic snapshot.
+func (s *Server) Stats() comm.Snapshot { return s.stats.Snapshot() }
+
+// Close shuts the listener and all client connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for _, c := range s.conns {
+		if c != nil {
+			if cerr := c.Close(); cerr != nil && err == nil {
+				err = cerr
+			}
+		}
+	}
+	return err
+}
+
+// Client is the comm.ClientTransport over TCP.
+type Client struct {
+	conn  net.Conn
+	id    uint32
+	ack   wire.JoinAck
+	stats comm.Stats
+}
+
+// Dial connects to the server, performs the Join handshake, and returns
+// the client transport.
+func Dial(addr string, id uint32, name string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	join := wire.Join{ClientID: id, Name: name}
+	e := wire.NewEncoder(nil)
+	join.Marshal(e)
+	c := &Client{conn: conn, id: id}
+	if err := writeFrame(conn, wire.KindJoin, e.Bytes()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: join send: %w", err)
+	}
+	c.stats.AddSent(e.Len())
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: join ack read: %w", err)
+	}
+	if kind != wire.KindJoinAck {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: expected JoinAck, got %v", kind)
+	}
+	c.stats.AddRecv(len(payload))
+	if err := c.ack.Unmarshal(wire.NewDecoder(payload)); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: join ack decode: %w", err)
+	}
+	return c, nil
+}
+
+// Config returns the run configuration received at join time.
+func (c *Client) Config() wire.JoinAck { return c.ack }
+
+// RecvGlobal blocks for the next global model.
+func (c *Client) RecvGlobal() (*wire.GlobalModel, error) {
+	kind, payload, err := readFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if kind == wire.KindShutdown {
+		return &wire.GlobalModel{Final: true}, nil
+	}
+	if kind != wire.KindGlobalModel {
+		return nil, fmt.Errorf("rpc: expected GlobalModel, got %v", kind)
+	}
+	c.stats.AddRecv(len(payload))
+	var m wire.GlobalModel
+	if err := m.Unmarshal(wire.NewDecoder(payload)); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SendUpdate uploads the local update.
+func (c *Client) SendUpdate(m *wire.LocalUpdate) error {
+	e := wire.NewEncoder(nil)
+	m.Marshal(e)
+	if err := writeFrame(c.conn, wire.KindLocalUpdate, e.Bytes()); err != nil {
+		return err
+	}
+	c.stats.AddSent(e.Len())
+	return nil
+}
+
+// Stats returns the traffic snapshot.
+func (c *Client) Stats() comm.Snapshot { return c.stats.Snapshot() }
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Interface conformance checks.
+var (
+	_ comm.ServerTransport = (*Server)(nil)
+	_ comm.ClientTransport = (*Client)(nil)
+)

@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// AdaptiveRho implements residual balancing (Boyd et al. 2011, §3.4.1; the
+// "adaptive penalty" the paper plans in Section V, item 2, citing adaptive
+// consensus ADMM): after each round, ρ is increased when the primal
+// residual dominates the dual residual and decreased in the opposite case,
+// keeping the two within a factor μ of each other.
+//
+//	r_t = sqrt(Σ_p ‖w − z_p‖²)   (primal residual)
+//	d_t = ρ · sqrt(P) · ‖w − w_prev‖   (dual residual proxy)
+type AdaptiveRho struct {
+	Rho    float64 // current penalty
+	Mu     float64 // imbalance tolerance (default 10)
+	Tau    float64 // multiplicative step (default 2)
+	MinRho float64 // lower clamp
+	MaxRho float64 // upper clamp
+}
+
+// NewAdaptiveRho builds the controller with the standard constants.
+func NewAdaptiveRho(rho0 float64) *AdaptiveRho {
+	return &AdaptiveRho{Rho: rho0, Mu: 10, Tau: 2, MinRho: rho0 / 64, MaxRho: rho0 * 64}
+}
+
+// Residuals computes the primal and dual residuals from the new global
+// model, the previous global model, and the gathered client primals.
+func Residuals(w, wPrev []float64, primals [][]float64, rho float64) (primal, dual float64) {
+	for _, z := range primals {
+		s := 0.0
+		for i := range w {
+			d := w[i] - z[i]
+			s += d * d
+		}
+		primal += s
+	}
+	primal = math.Sqrt(primal)
+	s := 0.0
+	for i := range w {
+		d := w[i] - wPrev[i]
+		s += d * d
+	}
+	dual = rho * math.Sqrt(float64(len(primals))) * math.Sqrt(s)
+	return primal, dual
+}
+
+// Step updates ρ from the residual pair and returns the new value.
+func (a *AdaptiveRho) Step(primal, dual float64) float64 {
+	switch {
+	case primal > a.Mu*dual:
+		a.Rho *= a.Tau
+	case dual > a.Mu*primal:
+		a.Rho /= a.Tau
+	}
+	if a.Rho < a.MinRho {
+		a.Rho = a.MinRho
+	}
+	if a.Rho > a.MaxRho {
+		a.Rho = a.MaxRho
+	}
+	return a.Rho
+}

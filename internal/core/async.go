@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// AsyncServer implements the asynchronous aggregation scheme the paper
+// lists as future work (Section V, item 1): instead of waiting for all
+// clients each round, the server folds in each local model as it arrives,
+// down-weighted by its staleness:
+//
+//	w ← (1−α_s)·w + α_s·z,   α_s = α · (1 + staleness)^(−γ)
+//
+// where staleness is the number of global versions that elapsed since the
+// contributing client last downloaded w. This is the FedAsync-style rule
+// that addresses the load-imbalance problem of heterogeneous clients
+// (Sections IV-E and V).
+type AsyncServer struct {
+	mu      sync.Mutex
+	w       []float64
+	version int
+	alpha   float64
+	gamma   float64
+	applied int
+}
+
+// NewAsyncServer builds an asynchronous server. alpha in (0,1] is the base
+// mixing rate; gamma >= 0 is the staleness-decay exponent.
+func NewAsyncServer(w0 []float64, alpha, gamma float64) (*AsyncServer, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: async alpha must be in (0,1], got %v", alpha)
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("core: async gamma must be >= 0, got %v", gamma)
+	}
+	return &AsyncServer{w: append([]float64(nil), w0...), alpha: alpha, gamma: gamma}, nil
+}
+
+// Pull returns the current global weights and their version. Clients call
+// this before a local update and report the version back with the result.
+func (s *AsyncServer) Pull() (w []float64, version int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.w...), s.version
+}
+
+// Push folds one local model trained from baseVersion into the global
+// model and returns the effective mixing weight that was applied.
+func (s *AsyncServer) Push(z []float64, baseVersion int) (float64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(z) != len(s.w) {
+		return 0, fmt.Errorf("core: async push dimension %d, model is %d", len(z), len(s.w))
+	}
+	if baseVersion < 0 || baseVersion > s.version {
+		return 0, fmt.Errorf("core: async push from version %d, server at %d", baseVersion, s.version)
+	}
+	staleness := float64(s.version - baseVersion)
+	a := s.alpha * math.Pow(1+staleness, -s.gamma)
+	for i, v := range z {
+		s.w[i] = (1-a)*s.w[i] + a*v
+	}
+	s.version++
+	s.applied++
+	return a, nil
+}
+
+// Version returns the number of applied updates.
+func (s *AsyncServer) Version() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.version
+}
+
+// Weights returns a copy of the current global model.
+func (s *AsyncServer) Weights() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.w...)
+}

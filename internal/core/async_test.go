@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+func TestAsyncServerValidation(t *testing.T) {
+	if _, err := NewAsyncServer([]float64{0}, 0, 1); err == nil {
+		t.Fatal("alpha 0 accepted")
+	}
+	if _, err := NewAsyncServer([]float64{0}, 1.5, 1); err == nil {
+		t.Fatal("alpha > 1 accepted")
+	}
+	if _, err := NewAsyncServer([]float64{0}, 0.5, -1); err == nil {
+		t.Fatal("negative gamma accepted")
+	}
+}
+
+func TestAsyncPushFreshUpdate(t *testing.T) {
+	s, err := NewAsyncServer([]float64{0, 0}, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, v := s.Pull()
+	a, err := s.Push([]float64{4, 8}, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != 0.5 {
+		t.Fatalf("fresh update weight %v, want alpha", a)
+	}
+	w := s.Weights()
+	if w[0] != 2 || w[1] != 4 {
+		t.Fatalf("weights %v, want [2 4]", w)
+	}
+}
+
+func TestAsyncStalenessDiscount(t *testing.T) {
+	s, _ := NewAsyncServer([]float64{0}, 0.8, 1)
+	_, v0 := s.Pull()
+	// Two fresh updates advance the version to 2.
+	s.Push([]float64{1}, v0)
+	s.Push([]float64{1}, 1)
+	// A straggler trained from version 0 has staleness 2 → weight α/3.
+	a, err := s.Push([]float64{1}, v0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.8 / 3
+	if math.Abs(a-want) > 1e-12 {
+		t.Fatalf("stale weight %v, want %v", a, want)
+	}
+}
+
+func TestAsyncRejectsFutureVersion(t *testing.T) {
+	s, _ := NewAsyncServer([]float64{0}, 0.5, 1)
+	if _, err := s.Push([]float64{1}, 5); err == nil {
+		t.Fatal("future version accepted")
+	}
+	if _, err := s.Push([]float64{1, 2}, 0); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestAsyncConcurrentPushes(t *testing.T) {
+	dim := 16
+	s, _ := NewAsyncServer(make([]float64, dim), 0.5, 0.5)
+	var wg sync.WaitGroup
+	const workers = 8
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				w, v := s.Pull()
+				for j := range w {
+					w[j] += 0.01
+				}
+				if _, err := s.Push(w, v); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Version() != workers*50 {
+		t.Fatalf("version %d, want %d", s.Version(), workers*50)
+	}
+}
+
+// TestAsyncConvergesOnTinyProblem trains a model through the async path
+// with simulated heterogeneous client speeds and checks it learns.
+func TestAsyncConvergesOnTinyProblem(t *testing.T) {
+	fed := tinyFed(t, 3, 240, 90)
+	factory := tinyFactory()
+	ref := factory()
+	w0 := nn.FlattenParams(ref, nil)
+	srv, _ := NewAsyncServer(w0, 0.6, 0.5)
+
+	cfg := Config{Algorithm: AlgoFedAvg, LocalSteps: 1, BatchSize: 32, LR: 0.05, Momentum: 0.9, Rounds: 1}.WithDefaults()
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := factory()
+			nn.SetParams(m, w0)
+			client := NewFedAvgClient(i, m, fed.Clients[i], cfg, dp.None{}, rng.New(uint64(i)+10))
+			// Slower clients do fewer pushes, mimicking V100 vs A100 speed.
+			pushes := 6 - 2*i
+			for k := 0; k < pushes; k++ {
+				w, v := srv.Pull()
+				u, err := client.LocalUpdate(k, w)
+				if err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+				if _, err := srv.Push(u.Primal, v); err != nil {
+					t.Errorf("client %d push: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	_, acc := EvaluateWeights(ref, srv.Weights(), fed.Test, 64)
+	if acc < 0.2 {
+		t.Fatalf("async training accuracy %.3f did not beat chance", acc)
+	}
+}
+
+func TestAdaptiveRhoIncreasesOnPrimalDominance(t *testing.T) {
+	a := NewAdaptiveRho(1)
+	rho := a.Step(100, 1)
+	if rho != 2 {
+		t.Fatalf("rho %v, want doubled", rho)
+	}
+}
+
+func TestAdaptiveRhoDecreasesOnDualDominance(t *testing.T) {
+	a := NewAdaptiveRho(1)
+	rho := a.Step(1, 100)
+	if rho != 0.5 {
+		t.Fatalf("rho %v, want halved", rho)
+	}
+}
+
+func TestAdaptiveRhoStableWhenBalanced(t *testing.T) {
+	a := NewAdaptiveRho(3)
+	if rho := a.Step(5, 5); rho != 3 {
+		t.Fatalf("rho %v, want unchanged", rho)
+	}
+}
+
+func TestAdaptiveRhoClamps(t *testing.T) {
+	a := NewAdaptiveRho(1)
+	for i := 0; i < 100; i++ {
+		a.Step(1e12, 1)
+	}
+	if a.Rho > a.MaxRho {
+		t.Fatalf("rho %v exceeded clamp %v", a.Rho, a.MaxRho)
+	}
+	for i := 0; i < 200; i++ {
+		a.Step(1, 1e12)
+	}
+	if a.Rho < a.MinRho {
+		t.Fatalf("rho %v under clamp %v", a.Rho, a.MinRho)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	w := []float64{1, 1}
+	wPrev := []float64{0, 0}
+	primals := [][]float64{{1, 1}, {1, 3}}
+	p, d := Residuals(w, wPrev, primals, 2)
+	// primal = sqrt(0 + 4) = 2; dual = 2 * sqrt(2) * sqrt(2) = 4.
+	if math.Abs(p-2) > 1e-12 || math.Abs(d-4) > 1e-12 {
+		t.Fatalf("residuals %v %v, want 2 4", p, d)
+	}
+}

@@ -1,0 +1,399 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// ClientAlgorithm is the analog of APPFL's BaseClient: given the broadcast
+// global model it performs local training on private data and produces the
+// update to upload. User-defined algorithms implement LocalUpdate the same
+// way APPFL users override BaseClient.update().
+type ClientAlgorithm interface {
+	LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error)
+}
+
+// BaseClient carries the state every client algorithm shares: the model
+// replica, the private dataset, the clip bound, and scratch buffers. It
+// mirrors the Python BaseClient class.
+type BaseClient struct {
+	ID     int
+	Model  nn.Module
+	Data   dataset.Dataset
+	Loader *dataset.Loader
+	Clip   float64
+	Mech   dp.Mechanism
+	Sens   dp.SensitivityRule
+	// DPMode selects output perturbation (default) or objective
+	// perturbation; see Config.DPMode.
+	DPMode string
+
+	dim      int
+	gradBuf  []float64
+	objNoise []float64
+}
+
+// newBaseClient wires the shared client state.
+func newBaseClient(id int, model nn.Module, ds dataset.Dataset, batch int, clip float64, mech dp.Mechanism, sens dp.SensitivityRule, r *rng.RNG) BaseClient {
+	return BaseClient{
+		ID:     id,
+		Model:  model,
+		Data:   ds,
+		Loader: dataset.NewLoader(ds, batch, true, r),
+		Clip:   clip,
+		Mech:   mech,
+		Sens:   sens,
+		dim:    nn.NumParams(model),
+	}
+}
+
+// beginRound prepares per-round privacy state: in objective mode it draws
+// the round's perturbation vector b, which gradAt then adds to every
+// gradient (the ⟨b, z⟩ term of the perturbed objective).
+func (c *BaseClient) beginRound() {
+	if c.DPMode == DPModeObjective {
+		c.objNoise = dp.ObjectiveNoise(c.Mech, c.dim, c.Sens.Sensitivity())
+	} else {
+		c.objNoise = nil
+	}
+}
+
+// perturbOutput applies output perturbation to the release, unless the
+// noise already entered through the objective.
+func (c *BaseClient) perturbOutput(v []float64) {
+	if c.DPMode != DPModeObjective {
+		c.Mech.Perturb(v, c.Sens.Sensitivity())
+	}
+}
+
+// gradAt computes the clipped mean gradient of the loss at parameter
+// vector z over batch b. The returned slice is reused across calls.
+func (c *BaseClient) gradAt(z []float64, b dataset.Batch) []float64 {
+	nn.SetParams(c.Model, z)
+	nn.ZeroGrad(c.Model)
+	logits := c.Model.Forward(b.X)
+	_, d := nn.CrossEntropy(logits, b.Labels)
+	c.Model.Backward(d)
+	c.gradBuf = nn.FlattenGrads(c.Model, c.gradBuf)
+	dp.ClipL2(c.gradBuf, c.Clip)
+	if c.objNoise != nil {
+		for i := range c.gradBuf {
+			c.gradBuf[i] += c.objNoise[i]
+		}
+	}
+	return c.gradBuf
+}
+
+// fullGrad computes the clipped full-dataset mean gradient at z by
+// accumulating batch gradients weighted by batch size (ICEADMM evaluates
+// gradients on all local data points, Section IV-B).
+func (c *BaseClient) fullGrad(z []float64) []float64 {
+	sum := make([]float64, c.dim)
+	n := 0
+	c.Loader.Reset()
+	for {
+		b, ok := c.Loader.Next()
+		if !ok {
+			break
+		}
+		bs := len(b.Labels)
+		// Accumulate the unclipped batch mean scaled back to a sum.
+		nn.SetParams(c.Model, z)
+		nn.ZeroGrad(c.Model)
+		logits := c.Model.Forward(b.X)
+		_, d := nn.CrossEntropy(logits, b.Labels)
+		c.Model.Backward(d)
+		c.gradBuf = nn.FlattenGrads(c.Model, c.gradBuf)
+		for i, g := range c.gradBuf {
+			sum[i] += g * float64(bs)
+		}
+		n += bs
+	}
+	for i := range sum {
+		sum[i] /= float64(n)
+	}
+	dp.ClipL2(sum, c.Clip)
+	if c.objNoise != nil {
+		for i := range sum {
+			sum[i] += c.objNoise[i]
+		}
+	}
+	return sum
+}
+
+// FedAvgClient runs L epochs of mini-batch SGD with momentum from the
+// broadcast weights (the paper's FedAvg local solver, §IV-B) and uploads
+// the resulting parameters with Laplace output perturbation.
+type FedAvgClient struct {
+	BaseClient
+	LR       float64
+	Momentum float64
+	L        int
+	// Fraction and Seed drive deterministic partial participation: when a
+	// round's draw excludes this client, it echoes the global model with
+	// zero sample weight instead of training.
+	Fraction float64
+	Seed     uint64
+
+	z     []float64
+	veloc []float64
+}
+
+// NewFedAvgClient constructs the client.
+func NewFedAvgClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, mech dp.Mechanism, r *rng.RNG) *FedAvgClient {
+	sens := dp.FedAvgSensitivity{Clip: cfg.Clip, LR: cfg.LR}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
+	bc.DPMode = cfg.DPMode
+	return &FedAvgClient{
+		BaseClient: bc,
+		LR:         cfg.LR,
+		Momentum:   cfg.Momentum,
+		L:          cfg.LocalSteps,
+		Fraction:   cfg.ClientFraction,
+		Seed:       cfg.Seed,
+	}
+}
+
+// LocalUpdate trains locally and returns the perturbed parameters.
+func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error) {
+	if len(w) != c.dim {
+		return nil, fmt.Errorf("core: client %d got %d weights, model is %d", c.ID, len(w), c.dim)
+	}
+	if !Participates(c.Seed, round, c.ID, c.Fraction) {
+		return &wire.LocalUpdate{
+			ClientID:   uint32(c.ID),
+			Round:      uint32(round),
+			NumSamples: 0, // zero weight: excluded from the average
+			Primal:     append([]float64(nil), w...),
+			Epsilon:    epsilonOf(c.Mech),
+		}, nil
+	}
+	start := time.Now()
+	c.beginRound()
+	if cap(c.z) < c.dim {
+		c.z = make([]float64, c.dim)
+		c.veloc = make([]float64, c.dim)
+	}
+	copy(c.z, w)
+	for i := range c.veloc {
+		c.veloc[i] = 0 // fresh optimizer per round, as APPFL instantiates one
+	}
+	for l := 0; l < c.L; l++ {
+		c.Loader.Reset()
+		for {
+			b, ok := c.Loader.Next()
+			if !ok {
+				break
+			}
+			g := c.gradAt(c.z, b)
+			for i := range c.z {
+				c.veloc[i] = c.Momentum*c.veloc[i] + g[i]
+				c.z[i] -= c.LR * c.veloc[i]
+			}
+		}
+	}
+	out := append([]float64(nil), c.z...)
+	c.perturbOutput(out)
+	return &wire.LocalUpdate{
+		ClientID:   uint32(c.ID),
+		Round:      uint32(round),
+		NumSamples: uint64(c.Data.Len()),
+		Primal:     out,
+		Epsilon:    epsilonOf(c.Mech),
+		ComputeSec: time.Since(start).Seconds(),
+	}, nil
+}
+
+// ICEADMMClient implements the baseline of Zhou & Li (2021): L joint
+// primal+dual local iterations using full-batch gradients, uploading both
+// z_p and λ_p every round. Its persistent primal does not reset to w.
+type ICEADMMClient struct {
+	BaseClient
+	Rho, Zeta  float64
+	L          int
+	FreezeDual bool
+
+	z      []float64
+	lambda []float64
+}
+
+// NewICEADMMClient constructs the client; z starts from w0 and λ from
+// zero, the shared initialization.
+func NewICEADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, w0 []float64, mech dp.Mechanism, r *rng.RNG) *ICEADMMClient {
+	sens := dp.IADMMSensitivity{Clip: cfg.Clip, Rho: cfg.Rho, Zeta: cfg.Zeta}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
+	bc.DPMode = cfg.DPMode
+	c := &ICEADMMClient{
+		BaseClient: bc,
+		Rho:        cfg.Rho,
+		Zeta:       cfg.Zeta,
+		L:          cfg.LocalSteps,
+		FreezeDual: cfg.FreezeDual,
+	}
+	c.z = append([]float64(nil), w0...)
+	c.lambda = make([]float64, len(w0))
+	return c
+}
+
+// SetRho installs a server-broadcast penalty (adaptive-ρ extension) and
+// recomputes the DP sensitivity.
+func (c *ICEADMMClient) SetRho(rho float64) {
+	c.Rho = rho
+	c.Sens = dp.IADMMSensitivity{Clip: c.Clip, Rho: rho, Zeta: c.Zeta}
+}
+
+// LocalUpdate runs the joint primal/dual loop (Eq. 4 then Eq. 3c, L times)
+// and uploads both vectors, perturbing the primal.
+func (c *ICEADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error) {
+	if len(w) != c.dim {
+		return nil, fmt.Errorf("core: client %d got %d weights, model is %d", c.ID, len(w), c.dim)
+	}
+	start := time.Now()
+	c.beginRound()
+	step := 1.0 / (c.Rho + c.Zeta)
+	for l := 0; l < c.L; l++ {
+		g := c.fullGrad(c.z)
+		for i := range c.z {
+			c.z[i] -= step * (g[i] - c.lambda[i] - c.Rho*(w[i]-c.z[i]))
+		}
+		if !c.FreezeDual {
+			for i := range c.lambda {
+				c.lambda[i] += c.Rho * (w[i] - c.z[i])
+			}
+		}
+	}
+	zOut := append([]float64(nil), c.z...)
+	c.perturbOutput(zOut)
+	dualOut := append([]float64(nil), c.lambda...)
+	return &wire.LocalUpdate{
+		ClientID:   uint32(c.ID),
+		Round:      uint32(round),
+		NumSamples: uint64(c.Data.Len()),
+		Primal:     zOut,
+		Dual:       dualOut,
+		Epsilon:    epsilonOf(c.Mech),
+		ComputeSec: time.Since(start).Seconds(),
+	}, nil
+}
+
+// IIADMMClient implements ClientUpdate of the paper's Algorithm 1:
+// initialize z ← w (line 11), run L epochs of mini-batch proximal steps
+// (line 16), perform one dual update (line 21), and upload only the primal.
+//
+// Under differential privacy the dual update uses the *released* (noised)
+// primal, so the server's mirror dual (line 6) remains bit-identical to the
+// client's — the invariant that lets IIADMM skip dual communication.
+type IIADMMClient struct {
+	BaseClient
+	Rho, Zeta  float64
+	L          int
+	FreezeDual bool
+
+	z      []float64
+	lambda []float64
+}
+
+// NewIIADMMClient constructs the client with λ initialized to zero.
+func NewIIADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, mech dp.Mechanism, r *rng.RNG) *IIADMMClient {
+	sens := dp.IADMMSensitivity{Clip: cfg.Clip, Rho: cfg.Rho, Zeta: cfg.Zeta}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
+	bc.DPMode = cfg.DPMode
+	c := &IIADMMClient{
+		BaseClient: bc,
+		Rho:        cfg.Rho,
+		Zeta:       cfg.Zeta,
+		L:          cfg.LocalSteps,
+		FreezeDual: cfg.FreezeDual,
+	}
+	c.lambda = make([]float64, nn.NumParams(model))
+	return c
+}
+
+// Lambda exposes the client dual for mirror-consistency testing.
+func (c *IIADMMClient) Lambda() []float64 { return c.lambda }
+
+// SetRho installs a server-broadcast penalty (adaptive-ρ extension). The
+// DP sensitivity Δ̄ = 2C/(ρ+ζ) is recomputed so the noise scale tracks the
+// new penalty automatically.
+func (c *IIADMMClient) SetRho(rho float64) {
+	c.Rho = rho
+	c.Sens = dp.IADMMSensitivity{Clip: c.Clip, Rho: rho, Zeta: c.Zeta}
+}
+
+// LocalUpdate implements lines 10–22 of Algorithm 1.
+func (c *IIADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error) {
+	if len(w) != c.dim {
+		return nil, fmt.Errorf("core: client %d got %d weights, model is %d", c.ID, len(w), c.dim)
+	}
+	start := time.Now()
+	c.beginRound()
+	if cap(c.z) < c.dim {
+		c.z = make([]float64, c.dim)
+	}
+	copy(c.z, w) // line 11: z^{1,1} ← w^{t+1}
+	step := 1.0 / (c.Rho + c.Zeta)
+	for l := 0; l < c.L; l++ { // lines 13–19
+		c.Loader.Reset() // line 12: split I_p into batches (reshuffled)
+		for {
+			b, ok := c.Loader.Next()
+			if !ok {
+				break
+			}
+			g := c.gradAt(c.z, b) // line 15
+			for i := range c.z {  // line 16
+				c.z[i] -= step * (g[i] - c.lambda[i] - c.Rho*(w[i]-c.z[i]))
+			}
+		}
+	}
+	zOut := append([]float64(nil), c.z...) // line 20
+	c.perturbOutput(zOut)
+	if !c.FreezeDual {
+		for i := range c.lambda { // line 21, with the released primal
+			c.lambda[i] += c.Rho * (w[i] - zOut[i])
+		}
+	}
+	return &wire.LocalUpdate{ // line 22: primal only
+		ClientID:   uint32(c.ID),
+		Round:      uint32(round),
+		NumSamples: uint64(c.Data.Len()),
+		Primal:     zOut,
+		Epsilon:    epsilonOf(c.Mech),
+		ComputeSec: time.Since(start).Seconds(),
+	}, nil
+}
+
+// epsilonOf extracts the budget for reporting in the update message.
+func epsilonOf(m dp.Mechanism) float64 {
+	switch x := m.(type) {
+	case *dp.Laplace:
+		return x.Eps
+	case *dp.Gaussian:
+		return x.Eps
+	default:
+		return math.Inf(1)
+	}
+}
+
+// NewClient constructs the client algorithm for cfg.
+func NewClient(cfg Config, id int, model nn.Module, ds dataset.Dataset, w0 []float64, mech dp.Mechanism, r *rng.RNG) (ClientAlgorithm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Algorithm {
+	case AlgoFedAvg:
+		return NewFedAvgClient(id, model, ds, cfg, mech, r), nil
+	case AlgoICEADMM:
+		return NewICEADMMClient(id, model, ds, cfg, w0, mech, r), nil
+	case AlgoIIADMM:
+		return NewIIADMMClient(id, model, ds, cfg, mech, r), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+}

@@ -1,0 +1,180 @@
+// Package core implements the federated-learning engine of the APPFL
+// reproduction: the server/client algorithm interfaces (the analogs of
+// APPFL's BaseServer and BaseClient Python classes), the three algorithms
+// the paper evaluates — FedAvg, ICEADMM, and the paper's new IIADMM
+// (Algorithm 1) — and a synchronous round runner that orchestrates them
+// over any comm transport. Extensions from the paper's future-work list
+// (asynchronous aggregation, adaptive penalty) live here too.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Algorithm names accepted in Config.Algorithm.
+const (
+	AlgoFedAvg  = "fedavg"
+	AlgoICEADMM = "iceadmm"
+	AlgoIIADMM  = "iiadmm"
+)
+
+// DP modes accepted in Config.DPMode.
+const (
+	DPModeOutput    = "output"    // perturb the released parameters (Eq. 6)
+	DPModeObjective = "objective" // perturb the local objective instead
+)
+
+// Config describes one federated run. Zero values select the documented
+// defaults, which are calibrated so the three algorithms take comparable
+// effective step sizes (and hence comparable DP noise scales, as in the
+// paper's tuned comparison).
+type Config struct {
+	Algorithm string // fedavg | iceadmm | iiadmm
+
+	Rounds     int // T, communication rounds (default 10)
+	LocalSteps int // L, local epochs/steps per round (default 10)
+	BatchSize  int // mini-batch size for FedAvg/IIADMM (default 64)
+
+	// FedAvg hyperparameters.
+	LR       float64 // η (default 1/(Rho+Zeta) so noise scales match)
+	Momentum float64 // SGD momentum (default 0.9, per the paper §IV-B)
+
+	// IADMM hyperparameters (ICEADMM, IIADMM).
+	Rho  float64 // penalty ρ (default 2)
+	Zeta float64 // proximity ζ (default 14)
+
+	// Differential privacy.
+	Epsilon float64 // ε̄ per-round budget; +Inf disables noise (default +Inf)
+	Clip    float64 // gradient clip bound C (default 1)
+	// DPMode selects where the noise enters: "output" (default) perturbs
+	// the uploaded parameters, Eq. (6); "objective" perturbs the local
+	// objective with a random linear term instead (Chaudhuri et al., the
+	// paper's planned advanced scheme). Ignored when Epsilon is infinite.
+	DPMode string
+
+	// FreezeDual pins every dual variable at zero (λt ≡ 0). This is the
+	// reduction under which the IADMM family collapses to FedAvg
+	// (Section III-A: λt=0, ζt=0, ρt=1/η) and serves as the ablation that
+	// isolates the value of dual information.
+	FreezeDual bool
+
+	// AdaptiveRho enables the residual-balancing penalty controller (paper
+	// §V, item 2) for the IADMM algorithms: the server re-tunes ρ each
+	// round and broadcasts it with the global model so client and server
+	// dual updates stay consistent.
+	AdaptiveRho bool
+
+	// ClientFraction, when in (0,1), makes only that fraction of clients
+	// train each round (FedAvg only); the rest echo the global model with
+	// zero weight. 0 or 1 means full participation.
+	ClientFraction float64
+
+	Seed uint64 // master seed (default 1)
+}
+
+// WithDefaults returns a copy with zero fields replaced by defaults.
+func (c Config) WithDefaults() Config {
+	if c.Algorithm == "" {
+		c.Algorithm = AlgoIIADMM
+	}
+	if c.Rounds == 0 {
+		c.Rounds = 10
+	}
+	if c.LocalSteps == 0 {
+		c.LocalSteps = 10
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.Rho == 0 {
+		c.Rho = 2
+	}
+	if c.Zeta == 0 {
+		c.Zeta = 14
+	}
+	if c.LR == 0 {
+		c.LR = 1 / (c.Rho + c.Zeta)
+	}
+	if c.Momentum == 0 && c.Algorithm == AlgoFedAvg {
+		c.Momentum = 0.9
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = math.Inf(1)
+	}
+	if c.Clip == 0 {
+		c.Clip = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch c.Algorithm {
+	case AlgoFedAvg, AlgoICEADMM, AlgoIIADMM:
+	default:
+		return fmt.Errorf("core: unknown algorithm %q", c.Algorithm)
+	}
+	if c.Rounds <= 0 {
+		return fmt.Errorf("core: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.LocalSteps <= 0 {
+		return fmt.Errorf("core: LocalSteps must be positive, got %d", c.LocalSteps)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: BatchSize must be positive, got %d", c.BatchSize)
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("core: LR must be positive, got %v", c.LR)
+	}
+	if c.Momentum < 0 || c.Momentum >= 1 {
+		return fmt.Errorf("core: Momentum must be in [0,1), got %v", c.Momentum)
+	}
+	if c.Rho <= 0 || c.Zeta < 0 {
+		return fmt.Errorf("core: need Rho > 0 and Zeta >= 0, got %v/%v", c.Rho, c.Zeta)
+	}
+	if c.Epsilon <= 0 {
+		return fmt.Errorf("core: Epsilon must be positive (use +Inf to disable), got %v", c.Epsilon)
+	}
+	if c.Clip <= 0 {
+		return fmt.Errorf("core: Clip must be positive, got %v", c.Clip)
+	}
+	if c.AdaptiveRho && c.Algorithm == AlgoFedAvg {
+		return fmt.Errorf("core: AdaptiveRho applies only to the IADMM algorithms")
+	}
+	switch c.DPMode {
+	case "", DPModeOutput, DPModeObjective:
+	default:
+		return fmt.Errorf("core: unknown DPMode %q", c.DPMode)
+	}
+	if c.ClientFraction < 0 || c.ClientFraction > 1 {
+		return fmt.Errorf("core: ClientFraction must be in [0,1], got %v", c.ClientFraction)
+	}
+	if c.ClientFraction > 0 && c.ClientFraction < 1 && c.Algorithm != AlgoFedAvg {
+		return fmt.Errorf("core: partial participation requires FedAvg (IADMM servers hold per-client duals)")
+	}
+	return nil
+}
+
+// Participates reports deterministically whether a client trains in a
+// round under partial participation. Server and clients evaluate the same
+// rule from the shared seed, so no participant list crosses the network.
+func Participates(seed uint64, round, client int, fraction float64) bool {
+	if fraction <= 0 || fraction >= 1 {
+		return true
+	}
+	x := seed ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ (uint64(client) * 0xbf58476d1ce4e5b9)
+	// splitmix64 finalizer
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < fraction
+}
+
+// CommunicatesDual reports whether the algorithm uploads dual vectors in
+// addition to primal vectors — true only for ICEADMM, which is exactly the
+// communication overhead IIADMM eliminates (Section III-A).
+func (c Config) CommunicatesDual() bool { return c.Algorithm == AlgoICEADMM }

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// This file implements the decentralized extension the paper lists as
+// future work (Section V, item 1): "decentralized privacy-preserving
+// algorithms that allow the neighboring communication without the central
+// server". Clients sit on an undirected graph; each round they train
+// locally, release a (optionally Laplace-perturbed) model to their
+// neighbors, and average with Metropolis–Hastings weights — the standard
+// decentralized SGD/gossip scheme, whose mixing matrix is doubly
+// stochastic and therefore drives the network to consensus.
+
+// Topology is an undirected communication graph over clients. Neighbors
+// must be symmetric and must not contain self-loops.
+type Topology struct {
+	Neighbors [][]int
+}
+
+// Ring returns the cycle topology over n clients.
+func Ring(n int) Topology {
+	nb := make([][]int, n)
+	for i := 0; i < n; i++ {
+		if n == 1 {
+			continue
+		}
+		prev := (i - 1 + n) % n
+		next := (i + 1) % n
+		if prev == next { // n == 2
+			nb[i] = []int{next}
+		} else {
+			nb[i] = []int{prev, next}
+		}
+	}
+	return Topology{Neighbors: nb}
+}
+
+// Complete returns the fully connected topology over n clients.
+func Complete(n int) Topology {
+	nb := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j != i {
+				nb[i] = append(nb[i], j)
+			}
+		}
+	}
+	return Topology{Neighbors: nb}
+}
+
+// Validate checks symmetry, index range, and absence of self-loops.
+func (t Topology) Validate() error {
+	n := len(t.Neighbors)
+	has := func(p, q int) bool {
+		for _, x := range t.Neighbors[p] {
+			if x == q {
+				return true
+			}
+		}
+		return false
+	}
+	for p, list := range t.Neighbors {
+		for _, q := range list {
+			if q < 0 || q >= n {
+				return fmt.Errorf("core: topology edge %d-%d out of range", p, q)
+			}
+			if q == p {
+				return fmt.Errorf("core: topology has self-loop at %d", p)
+			}
+			if !has(q, p) {
+				return fmt.Errorf("core: topology edge %d→%d not symmetric", p, q)
+			}
+		}
+	}
+	return nil
+}
+
+// MetropolisWeights returns the mixing matrix row for every client:
+// weights[p][q] for q a neighbor of p, plus weights[p][p] as the self
+// weight. The matrix is symmetric and doubly stochastic.
+func MetropolisWeights(t Topology) [][]float64 {
+	n := len(t.Neighbors)
+	w := make([][]float64, n)
+	deg := make([]int, n)
+	for p := range t.Neighbors {
+		deg[p] = len(t.Neighbors[p])
+	}
+	for p := 0; p < n; p++ {
+		w[p] = make([]float64, n)
+		sum := 0.0
+		for _, q := range t.Neighbors[p] {
+			d := deg[p]
+			if deg[q] > d {
+				d = deg[q]
+			}
+			w[p][q] = 1.0 / float64(d+1)
+			sum += w[p][q]
+		}
+		w[p][p] = 1 - sum
+	}
+	return w
+}
+
+// DecentralRoundStats records one round of a decentralized run.
+type DecentralRoundStats struct {
+	Round int
+	// MeanTestAcc is the average test accuracy across client models.
+	MeanTestAcc float64
+	// Consensus is the mean distance of client models from their average;
+	// gossip mixing must drive it toward zero.
+	Consensus float64
+}
+
+// DecentralResult aggregates a decentralized run.
+type DecentralResult struct {
+	Rounds   []DecentralRoundStats
+	FinalAcc float64
+}
+
+// RunDecentralized executes serverless federated learning on the given
+// topology. Each round every client performs cfg.LocalSteps epochs of
+// local SGD (FedAvg-style), releases its model to its neighbors — with
+// Laplace output perturbation when cfg.Epsilon is finite — and mixes with
+// Metropolis weights. Only FedAvg-style local training is supported; the
+// IADMM algorithms assume a central aggregator.
+func RunDecentralized(cfg Config, fed *dataset.Federated, factory nn.Factory, topo Topology) (*DecentralResult, error) {
+	cfg = cfg.WithDefaults()
+	if cfg.Algorithm != AlgoFedAvg {
+		return nil, fmt.Errorf("core: decentralized mode supports fedavg local training, got %q", cfg.Algorithm)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	P := fed.NumClients()
+	if len(topo.Neighbors) != P {
+		return nil, fmt.Errorf("core: topology covers %d clients, federation has %d", len(topo.Neighbors), P)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	weights := MetropolisWeights(topo)
+
+	ref := factory()
+	w0 := nn.FlattenParams(ref, nil)
+	dim := len(w0)
+
+	master := rng.New(cfg.Seed)
+	clients := make([]*FedAvgClient, P)
+	states := make([][]float64, P) // x_p, each client's current model
+	for i := 0; i < P; i++ {
+		cr := master.Split()
+		var mech dp.Mechanism = dp.None{}
+		if !math.IsInf(cfg.Epsilon, 1) {
+			mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+		}
+		m := factory()
+		nn.SetParams(m, w0)
+		clients[i] = NewFedAvgClient(i, m, fed.Clients[i], cfg, mech, cr)
+		states[i] = append([]float64(nil), w0...)
+	}
+
+	res := &DecentralResult{}
+	released := make([][]float64, P)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for t := 1; t <= cfg.Rounds; t++ {
+		// Local training + DP release, in parallel.
+		var wg sync.WaitGroup
+		errs := make([]error, P)
+		for p := 0; p < P; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				up, err := clients[p].LocalUpdate(t, states[p])
+				if err != nil {
+					errs[p] = err
+					return
+				}
+				released[p] = up.Primal // already perturbed by the mechanism
+			}(p)
+		}
+		wg.Wait()
+		for p, err := range errs {
+			if err != nil {
+				return nil, fmt.Errorf("core: decentralized client %d: %w", p, err)
+			}
+		}
+		// Gossip mixing: x_p ← w_pp·z_p + Σ_q w_pq·z̃_q. A client mixes its
+		// own *unperturbed* release only through released[p] to keep every
+		// exchanged quantity privatized uniformly.
+		next := make([][]float64, P)
+		for p := 0; p < P; p++ {
+			x := make([]float64, dim)
+			for i := 0; i < dim; i++ {
+				x[i] = weights[p][p] * released[p][i]
+			}
+			for _, q := range topo.Neighbors[p] {
+				wq := weights[p][q]
+				zq := released[q]
+				for i := 0; i < dim; i++ {
+					x[i] += wq * zq[i]
+				}
+			}
+			next[p] = x
+		}
+		states = next
+
+		// Round statistics.
+		stats := DecentralRoundStats{Round: t}
+		if fed.Test != nil {
+			accSum := 0.0
+			for p := 0; p < P; p++ {
+				_, acc := EvaluateWeights(ref, states[p], fed.Test, 256)
+				accSum += acc
+			}
+			stats.MeanTestAcc = accSum / float64(P)
+		}
+		stats.Consensus = consensusDistance(states)
+		res.Rounds = append(res.Rounds, stats)
+	}
+	if n := len(res.Rounds); n > 0 {
+		res.FinalAcc = res.Rounds[n-1].MeanTestAcc
+	}
+	return res, nil
+}
+
+// consensusDistance returns the mean Euclidean distance of the states from
+// their average.
+func consensusDistance(states [][]float64) float64 {
+	p := len(states)
+	if p == 0 {
+		return 0
+	}
+	dim := len(states[0])
+	mean := make([]float64, dim)
+	for _, s := range states {
+		for i, v := range s {
+			mean[i] += v
+		}
+	}
+	for i := range mean {
+		mean[i] /= float64(p)
+	}
+	total := 0.0
+	for _, s := range states {
+		d := 0.0
+		for i, v := range s {
+			diff := v - mean[i]
+			d += diff * diff
+		}
+		total += math.Sqrt(d)
+	}
+	return total / float64(p)
+}

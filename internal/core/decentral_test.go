@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRingTopology(t *testing.T) {
+	r := Ring(5)
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, nb := range r.Neighbors {
+		if len(nb) != 2 {
+			t.Fatalf("ring node %d has %d neighbors", i, len(nb))
+		}
+	}
+	// Degenerate sizes.
+	if err := Ring(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	two := Ring(2)
+	if err := two.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(two.Neighbors[0]) != 1 {
+		t.Fatalf("2-ring should have single edges: %v", two.Neighbors)
+	}
+}
+
+func TestCompleteTopology(t *testing.T) {
+	c := Complete(4)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, nb := range c.Neighbors {
+		if len(nb) != 3 {
+			t.Fatalf("complete node %d has %d neighbors", i, len(nb))
+		}
+	}
+}
+
+func TestTopologyValidateRejectsBadGraphs(t *testing.T) {
+	asym := Topology{Neighbors: [][]int{{1}, {}}}
+	if err := asym.Validate(); err == nil {
+		t.Fatal("asymmetric edge accepted")
+	}
+	self := Topology{Neighbors: [][]int{{0}}}
+	if err := self.Validate(); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	oob := Topology{Neighbors: [][]int{{5}}}
+	if err := oob.Validate(); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+// Property: Metropolis weights are symmetric, non-negative, and doubly
+// stochastic on rings of any size.
+func TestMetropolisWeightsDoublyStochastic(t *testing.T) {
+	f := func(rawN uint8) bool {
+		n := int(rawN%12) + 3
+		topo := Ring(n)
+		w := MetropolisWeights(topo)
+		for p := 0; p < n; p++ {
+			rowSum := 0.0
+			for q := 0; q < n; q++ {
+				if w[p][q] < -1e-12 {
+					return false
+				}
+				if math.Abs(w[p][q]-w[q][p]) > 1e-12 {
+					return false
+				}
+				rowSum += w[p][q]
+			}
+			if math.Abs(rowSum-1) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGossipMixingContracts: with zero local steps of useful training the
+// mixing step alone must shrink the consensus distance geometrically.
+// Verified directly on the weight algebra.
+func TestGossipMixingContracts(t *testing.T) {
+	topo := Ring(6)
+	w := MetropolisWeights(topo)
+	// Arbitrary divergent states in R^2.
+	states := [][]float64{{1, 0}, {0, 1}, {-1, 2}, {3, -1}, {0.5, 0.5}, {-2, -2}}
+	before := consensusDistance(states)
+	mix := func(s [][]float64) [][]float64 {
+		n := len(s)
+		out := make([][]float64, n)
+		for p := 0; p < n; p++ {
+			x := make([]float64, len(s[p]))
+			for q := 0; q < n; q++ {
+				if w[p][q] == 0 {
+					continue
+				}
+				for i := range x {
+					x[i] += w[p][q] * s[q][i]
+				}
+			}
+			out[p] = x
+		}
+		return out
+	}
+	after := states
+	for i := 0; i < 10; i++ {
+		after = mix(after)
+	}
+	if consensusDistance(after) >= before*0.5 {
+		t.Fatalf("10 gossip rounds did not halve consensus distance: %v -> %v", before, consensusDistance(after))
+	}
+	// The mean must be preserved by a doubly stochastic mix.
+	meanOf := func(s [][]float64) []float64 {
+		m := make([]float64, len(s[0]))
+		for _, x := range s {
+			for i, v := range x {
+				m[i] += v / float64(len(s))
+			}
+		}
+		return m
+	}
+	m0, m1 := meanOf(states), meanOf(after)
+	for i := range m0 {
+		if math.Abs(m0[i]-m1[i]) > 1e-9 {
+			t.Fatalf("gossip mixing moved the mean: %v vs %v", m0, m1)
+		}
+	}
+}
+
+func TestRunDecentralizedLearns(t *testing.T) {
+	fed := tinyFed(t, 6, 360, 120)
+	cfg := Config{Algorithm: AlgoFedAvg, Rounds: 4, LocalSteps: 2, BatchSize: 32, Seed: 4}
+	res, err := RunDecentralized(cfg, fed, tinyFactory(), Ring(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 4 {
+		t.Fatalf("rounds %d", len(res.Rounds))
+	}
+	if res.FinalAcc < 0.2 {
+		t.Fatalf("decentralized training accuracy %.3f did not beat chance", res.FinalAcc)
+	}
+	for _, r := range res.Rounds {
+		if r.Consensus < 0 {
+			t.Fatalf("negative consensus distance: %+v", r)
+		}
+	}
+}
+
+func TestRunDecentralizedWithDP(t *testing.T) {
+	fed := tinyFed(t, 4, 128, 32)
+	cfg := Config{Algorithm: AlgoFedAvg, Rounds: 2, LocalSteps: 1, BatchSize: 32, Epsilon: 5, Seed: 5}
+	res, err := RunDecentralized(cfg, fed, tinyFactory(), Ring(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("rounds %d", len(res.Rounds))
+	}
+}
+
+func TestRunDecentralizedValidation(t *testing.T) {
+	fed := tinyFed(t, 3, 48, 16)
+	if _, err := RunDecentralized(Config{Algorithm: AlgoIIADMM}, fed, tinyFactory(), Ring(3)); err == nil {
+		t.Fatal("IADMM decentralized accepted")
+	}
+	if _, err := RunDecentralized(Config{Algorithm: AlgoFedAvg}, fed, tinyFactory(), Ring(5)); err == nil {
+		t.Fatal("topology size mismatch accepted")
+	}
+}
+
+// TestDecentralizedCompleteBeatsRingMixing: on a complete graph the mixing
+// is one-shot averaging, so consensus after one round must be tighter than
+// on a ring.
+func TestDecentralizedCompleteBeatsRingMixing(t *testing.T) {
+	fed := tinyFed(t, 6, 180, 30)
+	cfg := Config{Algorithm: AlgoFedAvg, Rounds: 1, LocalSteps: 1, BatchSize: 32, Seed: 6}
+	ring, err := RunDecentralized(cfg, fed, tinyFactory(), Ring(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	complete, err := RunDecentralized(cfg, fed, tinyFactory(), Complete(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if complete.Rounds[0].Consensus >= ring.Rounds[0].Consensus {
+		t.Fatalf("complete-graph consensus %v should beat ring %v",
+			complete.Rounds[0].Consensus, ring.Rounds[0].Consensus)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	mpicomm "repro/internal/comm/mpi"
+	"repro/internal/comm/pubsub"
+	"repro/internal/comm/rpc"
+	"repro/internal/dataset"
+	"repro/internal/dp"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Transport selects the communication backend of a simulated run.
+type Transport string
+
+// Supported transports.
+const (
+	TransportMPI    Transport = "mpi"    // in-process collectives (RDMA stand-in)
+	TransportPubSub Transport = "pubsub" // topic broker (MQTT stand-in)
+	TransportRPC    Transport = "rpc"    // loopback TCP RPC (gRPC stand-in)
+)
+
+// RoundStats records one communication round of a run.
+type RoundStats struct {
+	Round      int
+	TestLoss   float64
+	TestAcc    float64
+	ComputeSec float64 // slowest client's local update time (wall clock)
+	WallSec    float64 // end-to-end round time at the server
+}
+
+// Result aggregates a full run.
+type Result struct {
+	Config     Config
+	Rounds     []RoundStats
+	FinalAcc   float64
+	FinalLoss  float64
+	Server     comm.Snapshot // server-side traffic totals
+	UploadsB   uint64        // client→server bytes (sum over clients)
+	DownloadsB uint64        // server→client bytes
+	ModelDim   int
+}
+
+// RunOptions tunes the runner.
+type RunOptions struct {
+	Transport     Transport
+	ValidateEvery int       // validate every k rounds (0 = every round)
+	Progress      io.Writer // optional per-round progress lines
+	MaxParallel   int       // cap on concurrently training clients (0 = NumCPU)
+}
+
+// Run executes a synchronous federated simulation of cfg over fed using
+// model replicas from factory, and returns per-round statistics. All
+// clients run as goroutines against a real transport backend, exactly as
+// APPFL's MPI simulation runs one process per client.
+func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	P := fed.NumClients()
+	if P == 0 {
+		return nil, fmt.Errorf("core: no clients in federated dataset")
+	}
+
+	// Shared initial model: one replica defines w0 for everyone.
+	refModel := factory()
+	w0 := nn.FlattenParams(refModel, nil)
+	dim := len(w0)
+
+	master := rng.New(cfg.Seed)
+	server, err := NewServer(cfg, w0, P)
+	if err != nil {
+		return nil, err
+	}
+
+	// Transports.
+	var st comm.ServerTransport
+	var cts []comm.ClientTransport
+	switch opts.Transport {
+	case TransportPubSub:
+		s, cs, err := pubsub.NewFLBroker(P)
+		if err != nil {
+			return nil, err
+		}
+		st = s
+		cts = make([]comm.ClientTransport, P)
+		for i := range cs {
+			cts[i] = cs[i]
+		}
+	case TransportRPC:
+		srv, err := rpc.Listen("127.0.0.1:0", rpc.ServerConfig{
+			NumClients: P,
+			Rounds:     cfg.Rounds,
+			ModelSize:  dim,
+		})
+		if err != nil {
+			return nil, err
+		}
+		acceptErr := make(chan error, 1)
+		go func() { acceptErr <- srv.Accept() }()
+		cts = make([]comm.ClientTransport, P)
+		dialErrs := make([]error, P)
+		var dialWG sync.WaitGroup
+		for i := 0; i < P; i++ {
+			dialWG.Add(1)
+			go func(i int) {
+				defer dialWG.Done()
+				c, err := rpc.Dial(srv.Addr(), uint32(i), fmt.Sprintf("sim-client-%d", i))
+				if err != nil {
+					dialErrs[i] = err
+					return
+				}
+				cts[i] = c
+			}(i)
+		}
+		dialWG.Wait()
+		for i, err := range dialErrs {
+			if err != nil {
+				srv.Close()
+				return nil, fmt.Errorf("core: dialing client %d: %w", i, err)
+			}
+		}
+		if err := <-acceptErr; err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("core: accepting clients: %w", err)
+		}
+		st = srv
+	case TransportMPI, "":
+		s, cs := mpicomm.NewFLWorld(P)
+		st = s
+		cts = make([]comm.ClientTransport, P)
+		for i := range cs {
+			cts[i] = cs[i]
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown transport %q", opts.Transport)
+	}
+	defer st.Close()
+
+	// Clients: own replica, own RNG stream, own DP mechanism.
+	clients := make([]ClientAlgorithm, P)
+	for i := 0; i < P; i++ {
+		cr := master.Split()
+		var mech dp.Mechanism = dp.None{}
+		if !math.IsInf(cfg.Epsilon, 1) {
+			mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+		}
+		model := factory()
+		nn.SetParams(model, w0)
+		c, err := NewClient(cfg, i, model, fed.Clients[i], w0, mech, cr)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+
+	// Client loop goroutines. A semaphore bounds concurrent training to the
+	// machine's parallelism so 203-client runs don't thrash.
+	maxPar := opts.MaxParallel
+	if maxPar <= 0 {
+		maxPar = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, maxPar)
+	var wg sync.WaitGroup
+	clientErrs := make([]error, P)
+	for i := 0; i < P; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ct := cts[i]
+			defer ct.Close()
+			for {
+				gm, err := ct.RecvGlobal()
+				if err != nil {
+					clientErrs[i] = err
+					return
+				}
+				if gm.Final {
+					return
+				}
+				if gm.Rho > 0 {
+					if rs, ok := clients[i].(interface{ SetRho(float64) }); ok {
+						rs.SetRho(gm.Rho)
+					}
+				}
+				sem <- struct{}{}
+				up, err := clients[i].LocalUpdate(int(gm.Round), gm.Weights)
+				<-sem
+				if err != nil {
+					clientErrs[i] = err
+					return
+				}
+				if err := ct.SendUpdate(up); err != nil {
+					clientErrs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+
+	res := &Result{Config: cfg, ModelDim: dim}
+	validateEvery := opts.ValidateEvery
+	if validateEvery <= 0 {
+		validateEvery = 1
+	}
+	evalModel := refModel
+
+	rhoReporter, _ := server.(interface{ CurrentRho() float64 })
+	for t := 1; t <= cfg.Rounds; t++ {
+		roundStart := time.Now()
+		gm := &wire.GlobalModel{Round: uint32(t), Weights: server.GlobalWeights()}
+		if cfg.AdaptiveRho && rhoReporter != nil {
+			gm.Rho = rhoReporter.CurrentRho()
+		}
+		if err := st.Broadcast(gm); err != nil {
+			return nil, fmt.Errorf("core: broadcast round %d: %w", t, err)
+		}
+		updates, err := st.Gather()
+		if err != nil {
+			return nil, fmt.Errorf("core: gather round %d: %w", t, err)
+		}
+		maxCompute := 0.0
+		for _, u := range updates {
+			if u.ComputeSec > maxCompute {
+				maxCompute = u.ComputeSec
+			}
+		}
+		if err := server.Update(updates); err != nil {
+			return nil, fmt.Errorf("core: server update round %d: %w", t, err)
+		}
+		rs := RoundStats{Round: t, ComputeSec: maxCompute}
+		if fed.Test != nil && (t%validateEvery == 0 || t == cfg.Rounds) {
+			rs.TestLoss, rs.TestAcc = EvaluateWeights(evalModel, server.GlobalWeights(), fed.Test, 256)
+		}
+		rs.WallSec = time.Since(roundStart).Seconds()
+		res.Rounds = append(res.Rounds, rs)
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "round %3d  acc %.4f  loss %.4f  compute %.3fs  wall %.3fs\n",
+				t, rs.TestAcc, rs.TestLoss, rs.ComputeSec, rs.WallSec)
+		}
+	}
+
+	// Shut clients down and surface any client error.
+	if err := st.Broadcast(&wire.GlobalModel{Final: true}); err != nil {
+		return nil, fmt.Errorf("core: final broadcast: %w", err)
+	}
+	wg.Wait()
+	for i, err := range clientErrs {
+		if err != nil {
+			return nil, fmt.Errorf("core: client %d: %w", i, err)
+		}
+	}
+
+	snap := st.Stats()
+	res.Server = snap
+	res.UploadsB = snap.BytesRecv
+	res.DownloadsB = snap.BytesSent
+	if n := len(res.Rounds); n > 0 {
+		res.FinalAcc = res.Rounds[n-1].TestAcc
+		res.FinalLoss = res.Rounds[n-1].TestLoss
+	}
+	return res, nil
+}

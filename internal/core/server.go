@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/wire"
+)
+
+// ServerAlgorithm is the analog of APPFL's BaseServer: it owns the global
+// model vector and defines how gathered local updates produce the next
+// global iterate. Implementations are FedAvgServer, ICEADMMServer, and
+// IIADMMServer; user-defined algorithms implement Update the same way
+// APPFL users override BaseServer.update().
+type ServerAlgorithm interface {
+	// GlobalWeights returns the current global model w (not a copy; callers
+	// must not mutate).
+	GlobalWeights() []float64
+	// Update consumes one gathered update per client (indexed by client)
+	// and recomputes the global model.
+	Update(updates []*wire.LocalUpdate) error
+}
+
+// BaseServer carries the state every server algorithm shares, mirroring
+// the Python BaseServer class.
+type BaseServer struct {
+	W          []float64 // global model parameters
+	NumClients int
+}
+
+// GlobalWeights returns the global parameter vector.
+func (b *BaseServer) GlobalWeights() []float64 { return b.W }
+
+// checkUpdates validates the gathered batch shape shared by all servers.
+func (b *BaseServer) checkUpdates(updates []*wire.LocalUpdate, needDual bool) error {
+	if len(updates) != b.NumClients {
+		return fmt.Errorf("core: gathered %d updates for %d clients", len(updates), b.NumClients)
+	}
+	for i, u := range updates {
+		if u == nil {
+			return fmt.Errorf("core: missing update from client %d", i)
+		}
+		if len(u.Primal) != len(b.W) {
+			return fmt.Errorf("core: client %d primal dimension %d, model is %d", i, len(u.Primal), len(b.W))
+		}
+		if needDual && len(u.Dual) != len(b.W) {
+			return fmt.Errorf("core: client %d dual dimension %d, model is %d", i, len(u.Dual), len(b.W))
+		}
+	}
+	return nil
+}
+
+// FedAvgServer implements federated averaging (McMahan et al., 2017):
+// the global model is the sample-weighted average of client models,
+// w ← Σ_p (I_p/I) z_p, following Eq. (1)'s weighting.
+type FedAvgServer struct {
+	BaseServer
+}
+
+// NewFedAvgServer builds the server with initial weights w0.
+func NewFedAvgServer(w0 []float64, numClients int) *FedAvgServer {
+	w := append([]float64(nil), w0...)
+	return &FedAvgServer{BaseServer{W: w, NumClients: numClients}}
+}
+
+// Update averages the client primal vectors weighted by sample counts.
+// Updates with NumSamples == 0 (non-participants under partial
+// participation) carry zero weight; a round in which nobody trained leaves
+// the global model unchanged.
+func (s *FedAvgServer) Update(updates []*wire.LocalUpdate) error {
+	if err := s.checkUpdates(updates, false); err != nil {
+		return err
+	}
+	total := 0.0
+	for _, u := range updates {
+		total += float64(u.NumSamples)
+	}
+	if total == 0 {
+		return nil
+	}
+	for i := range s.W {
+		s.W[i] = 0
+	}
+	for _, u := range updates {
+		if u.NumSamples == 0 {
+			continue
+		}
+		wgt := float64(u.NumSamples) / total
+		for i, v := range u.Primal {
+			s.W[i] += wgt * v
+		}
+	}
+	return nil
+}
+
+// ICEADMMServer implements the server step of ICEADMM (Zhou & Li, 2021):
+// clients upload both primal z_p and dual λ_p each round and the server
+// computes w ← (1/P) Σ_p (z_p − λ_p/ρ), the closed-form solution of (3a).
+type ICEADMMServer struct {
+	BaseServer
+	Rho float64
+	// Adaptive, when non-nil, re-tunes Rho by residual balancing after
+	// every round (the paper's planned adaptive-penalty extension).
+	Adaptive *AdaptiveRho
+
+	wPrev []float64
+}
+
+// NewICEADMMServer builds the server with initial weights w0.
+func NewICEADMMServer(w0 []float64, numClients int, rho float64) *ICEADMMServer {
+	w := append([]float64(nil), w0...)
+	return &ICEADMMServer{BaseServer: BaseServer{W: w, NumClients: numClients}, Rho: rho}
+}
+
+// CurrentRho reports the penalty the next round must use.
+func (s *ICEADMMServer) CurrentRho() float64 { return s.Rho }
+
+// Update recomputes w from the uploaded primal and dual vectors, then
+// adapts ρ when the controller is attached.
+func (s *ICEADMMServer) Update(updates []*wire.LocalUpdate) error {
+	if err := s.checkUpdates(updates, true); err != nil {
+		return err
+	}
+	s.wPrev = append(s.wPrev[:0], s.W...)
+	invP := 1.0 / float64(s.NumClients)
+	for i := range s.W {
+		s.W[i] = 0
+	}
+	for _, u := range updates {
+		for i := range s.W {
+			s.W[i] += invP * (u.Primal[i] - u.Dual[i]/s.Rho)
+		}
+	}
+	if s.Adaptive != nil {
+		primals := make([][]float64, len(updates))
+		for i, u := range updates {
+			primals[i] = u.Primal
+		}
+		p, d := Residuals(s.W, s.wPrev, primals, s.Rho)
+		s.Rho = s.Adaptive.Step(p, d)
+	}
+	return nil
+}
+
+// IIADMMServer implements the server of the paper's Algorithm 1. The
+// decisive difference from ICEADMM: clients upload only z_p; the server
+// maintains its own mirror copy of every dual λ_p and applies the identical
+// dual update λ_p ← λ_p + ρ(w − z_p) (line 6), which stays consistent with
+// the client copies because (z¹,λ¹) are agreed once at initialization.
+type IIADMMServer struct {
+	BaseServer
+	Rho        float64
+	FreezeDual bool
+	// Adaptive, when non-nil, re-tunes Rho after every round. The new ρ is
+	// broadcast with the next global model, so the client dual updates (made
+	// with the broadcast ρ) remain bit-identical to the server mirrors.
+	Adaptive *AdaptiveRho
+
+	duals [][]float64 // mirror λ_p per client
+	wPrev []float64
+}
+
+// NewIIADMMServer builds the server; duals start at zero, the shared
+// initialization of Algorithm 1 line 1.
+func NewIIADMMServer(w0 []float64, numClients int, rho float64) *IIADMMServer {
+	w := append([]float64(nil), w0...)
+	duals := make([][]float64, numClients)
+	for i := range duals {
+		duals[i] = make([]float64, len(w0))
+	}
+	return &IIADMMServer{
+		BaseServer: BaseServer{W: w, NumClients: numClients},
+		Rho:        rho,
+		duals:      duals,
+	}
+}
+
+// Dual exposes the mirror dual of one client for consistency testing.
+func (s *IIADMMServer) Dual(client int) []float64 { return s.duals[client] }
+
+// CurrentRho reports the penalty the next round must use.
+func (s *IIADMMServer) CurrentRho() float64 { return s.Rho }
+
+// Update implements lines 3 and 6 of Algorithm 1: first the mirror dual
+// update with the incoming primals against the w that produced them, then
+// the global update w ← (1/P) Σ_p (z_p − λ_p/ρ) for the next round, then
+// (optionally) the adaptive-ρ step for the round after.
+func (s *IIADMMServer) Update(updates []*wire.LocalUpdate) error {
+	if err := s.checkUpdates(updates, false); err != nil {
+		return err
+	}
+	s.wPrev = append(s.wPrev[:0], s.W...)
+	// Line 6: λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1}); w is still the model that
+	// was broadcast this round, and ρ is the value that rode with it.
+	if !s.FreezeDual {
+		for p, u := range updates {
+			d := s.duals[p]
+			for i := range d {
+				d[i] += s.Rho * (s.W[i] - u.Primal[i])
+			}
+		}
+	}
+	// Line 3 (for the next round): w ← (1/P) Σ (z_p − λ_p/ρ).
+	invP := 1.0 / float64(s.NumClients)
+	for i := range s.W {
+		s.W[i] = 0
+	}
+	for p, u := range updates {
+		d := s.duals[p]
+		for i := range s.W {
+			s.W[i] += invP * (u.Primal[i] - d[i]/s.Rho)
+		}
+	}
+	if s.Adaptive != nil {
+		primals := make([][]float64, len(updates))
+		for i, u := range updates {
+			primals[i] = u.Primal
+		}
+		p, d := Residuals(s.W, s.wPrev, primals, s.Rho)
+		s.Rho = s.Adaptive.Step(p, d)
+	}
+	return nil
+}
+
+// NewServer constructs the server for cfg with initial weights w0.
+func NewServer(cfg Config, w0 []float64, numClients int) (ServerAlgorithm, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Algorithm {
+	case AlgoFedAvg:
+		return NewFedAvgServer(w0, numClients), nil
+	case AlgoICEADMM:
+		s := NewICEADMMServer(w0, numClients, cfg.Rho)
+		if cfg.AdaptiveRho {
+			s.Adaptive = NewAdaptiveRho(cfg.Rho)
+		}
+		return s, nil
+	case AlgoIIADMM:
+		s := NewIIADMMServer(w0, numClients, cfg.Rho)
+		s.FreezeDual = cfg.FreezeDual
+		if cfg.AdaptiveRho {
+			s.Adaptive = NewAdaptiveRho(cfg.Rho)
+		}
+		return s, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
+	}
+}

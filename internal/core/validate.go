@@ -1,0 +1,44 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/nn"
+)
+
+// Evaluate runs the server-side validation routine of Section II-A.5:
+// it computes mean cross-entropy loss and top-1 accuracy of the model on a
+// held-out test dataset, batched to bound memory.
+func Evaluate(model nn.Module, ds dataset.Dataset, batchSize int) (loss, accuracy float64) {
+	if ds.Len() == 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 {
+		batchSize = 256
+	}
+	loader := dataset.NewLoader(ds, batchSize, false, nil)
+	totalLoss := 0.0
+	correct := 0
+	for {
+		b, ok := loader.Next()
+		if !ok {
+			break
+		}
+		logits := model.Forward(b.X)
+		l, _ := nn.CrossEntropy(logits, b.Labels)
+		totalLoss += l * float64(len(b.Labels))
+		for i := 0; i < len(b.Labels); i++ {
+			if logits.Row(i).ArgMax() == b.Labels[i] {
+				correct++
+			}
+		}
+	}
+	n := float64(ds.Len())
+	return totalLoss / n, float64(correct) / n
+}
+
+// EvaluateWeights loads the flat weight vector into the model and runs
+// Evaluate — the form the round runner uses on the global iterate.
+func EvaluateWeights(model nn.Module, w []float64, ds dataset.Dataset, batchSize int) (loss, accuracy float64) {
+	nn.SetParams(model, w)
+	return Evaluate(model, ds, batchSize)
+}

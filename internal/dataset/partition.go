@@ -1,0 +1,101 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// PartitionIID splits ds into p near-equal shards after a global shuffle,
+// as the paper does for MNIST, CIFAR-10, and CoronaHack ("we split the
+// entire training datasets into four").
+func PartitionIID(ds Dataset, p int, r *rng.RNG) []Dataset {
+	if p <= 0 {
+		panic("dataset: PartitionIID needs p > 0")
+	}
+	perm := r.Perm(ds.Len())
+	shards := make([]Dataset, p)
+	for i := 0; i < p; i++ {
+		lo := i * len(perm) / p
+		hi := (i + 1) * len(perm) / p
+		idx := make([]int, hi-lo)
+		copy(idx, perm[lo:hi])
+		shards[i] = NewSubset(ds, idx)
+	}
+	return shards
+}
+
+// PartitionLabelSkew produces a non-IID split in which each client draws
+// samples from only classesPerClient of the label space, the standard
+// label-skew protocol for simulating federated heterogeneity. Every sample
+// is assigned to exactly one client.
+func PartitionLabelSkew(ds Dataset, p, classesPerClient int, r *rng.RNG) []Dataset {
+	k := ds.Classes()
+	if classesPerClient <= 0 || classesPerClient > k {
+		panic(fmt.Sprintf("dataset: classesPerClient %d invalid for %d classes", classesPerClient, k))
+	}
+	// Group sample indices by label.
+	byClass := make([][]int, k)
+	for i := 0; i < ds.Len(); i++ {
+		_, y := ds.Sample(i)
+		byClass[y] = append(byClass[y], i)
+	}
+	for _, idx := range byClass {
+		r.Shuffle(idx)
+	}
+	// Assign each client a set of classes (round-robin over a shuffled class
+	// list so every class is covered when p*cpc >= k).
+	clientClasses := make([][]int, p)
+	order := r.Perm(k)
+	pos := 0
+	for c := 0; c < p; c++ {
+		for j := 0; j < classesPerClient; j++ {
+			clientClasses[c] = append(clientClasses[c], order[pos%k])
+			pos++
+		}
+	}
+	// Count how many clients hold each class, then split that class's
+	// samples evenly among them.
+	holders := make([][]int, k)
+	for c, classes := range clientClasses {
+		for _, cls := range classes {
+			holders[cls] = append(holders[cls], c)
+		}
+	}
+	clientIdx := make([][]int, p)
+	for cls := 0; cls < k; cls++ {
+		hs := holders[cls]
+		if len(hs) == 0 {
+			// No client drew this class; give it to a random client so no
+			// sample is dropped.
+			hs = []int{r.Intn(p)}
+		}
+		samples := byClass[cls]
+		for i, h := range hs {
+			lo := i * len(samples) / len(hs)
+			hi := (i + 1) * len(samples) / len(hs)
+			clientIdx[h] = append(clientIdx[h], samples[lo:hi]...)
+		}
+	}
+	shards := make([]Dataset, p)
+	for c := 0; c < p; c++ {
+		shards[c] = NewSubset(ds, clientIdx[c])
+	}
+	return shards
+}
+
+// SampleFraction returns a subset of ds holding approximately frac of its
+// samples, selected uniformly (the paper samples 5% of FEMNIST).
+func SampleFraction(ds Dataset, frac float64, r *rng.RNG) Dataset {
+	if frac <= 0 || frac > 1 {
+		panic("dataset: fraction must be in (0,1]")
+	}
+	n := int(float64(ds.Len()) * frac)
+	if n < 1 {
+		n = 1
+	}
+	perm := r.Perm(ds.Len())
+	idx := make([]int, n)
+	copy(idx, perm[:n])
+	return NewSubset(ds, idx)
+}

@@ -1,0 +1,245 @@
+package dataset
+
+import (
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// SynthConfig controls the size and difficulty of the procedural corpora.
+// The zero value of a field selects the documented default.
+type SynthConfig struct {
+	Train int     // number of training samples (default per corpus)
+	Test  int     // number of test samples (default per corpus)
+	Noise float64 // per-pixel Gaussian noise stddev (default 0.15)
+	Shift int     // maximum spatial jitter in pixels (default 2)
+	Seed  uint64  // master seed (default 1)
+}
+
+func (c SynthConfig) withDefaults(train, test int) SynthConfig {
+	if c.Train == 0 {
+		c.Train = train
+	}
+	if c.Test == 0 {
+		c.Test = test
+	}
+	if c.Noise == 0 {
+		c.Noise = 0.15
+	}
+	if c.Shift == 0 {
+		c.Shift = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// smoothTemplate draws a low-frequency pattern: a coarse grid of values is
+// sampled from r and bilinearly upsampled to h×w. Low-frequency class
+// templates are what make the synthetic corpora learnable by a CNN.
+func smoothTemplate(r *rng.RNG, h, w, coarse int) []float64 {
+	g := make([]float64, coarse*coarse)
+	r.FillUniform(g, -1, 1)
+	out := make([]float64, h*w)
+	for y := 0; y < h; y++ {
+		fy := float64(y) / float64(h-1) * float64(coarse-1)
+		y0 := int(fy)
+		y1 := y0 + 1
+		if y1 >= coarse {
+			y1 = coarse - 1
+		}
+		ty := fy - float64(y0)
+		for x := 0; x < w; x++ {
+			fx := float64(x) / float64(w-1) * float64(coarse-1)
+			x0 := int(fx)
+			x1 := x0 + 1
+			if x1 >= coarse {
+				x1 = coarse - 1
+			}
+			tx := fx - float64(x0)
+			v00 := g[y0*coarse+x0]
+			v01 := g[y0*coarse+x1]
+			v10 := g[y1*coarse+x0]
+			v11 := g[y1*coarse+x1]
+			out[y*w+x] = (1-ty)*((1-tx)*v00+tx*v01) + ty*((1-tx)*v10+tx*v11)
+		}
+	}
+	return out
+}
+
+// classTemplates builds one [C,H,W] template per class.
+func classTemplates(r *rng.RNG, classes, c, h, w, coarse int) [][]float64 {
+	ts := make([][]float64, classes)
+	for k := range ts {
+		t := make([]float64, c*h*w)
+		for ch := 0; ch < c; ch++ {
+			copy(t[ch*h*w:(ch+1)*h*w], smoothTemplate(r, h, w, coarse))
+		}
+		ts[k] = t
+	}
+	return ts
+}
+
+// renderSample writes template k, shifted by (dy,dx) with wraparound and
+// perturbed by Gaussian noise, into dst ([C,H,W] flat).
+func renderSample(dst, template []float64, c, h, w, dy, dx int, noise float64, r *rng.RNG) {
+	for ch := 0; ch < c; ch++ {
+		base := ch * h * w
+		for y := 0; y < h; y++ {
+			sy := ((y+dy)%h + h) % h
+			for x := 0; x < w; x++ {
+				sx := ((x+dx)%w + w) % w
+				dst[base+y*w+x] = template[base+sy*w+sx] + r.Normal(0, noise)
+			}
+		}
+	}
+}
+
+// generate materializes a synthetic corpus with the given geometry.
+// labelBias, when non-nil, maps a sample index to its class; otherwise
+// classes are drawn uniformly.
+func generate(r *rng.RNG, n, classes, c, h, w, coarse, shift int, noise float64, templates [][]float64) *InMemory {
+	images := tensor.New(n, c, h, w)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		k := r.Intn(classes)
+		labels[i] = k
+		dy := r.Intn(2*shift+1) - shift
+		dx := r.Intn(2*shift+1) - shift
+		renderSample(images.Slice(i).Data(), templates[k], c, h, w, dy, dx, noise, r)
+	}
+	return NewInMemory(images, labels, classes)
+}
+
+// MNIST generates the MNIST stand-in: 1×28×28 grayscale, 10 classes.
+// Defaults: 2000 train / 500 test.
+func MNIST(cfg SynthConfig) (train, test *InMemory) {
+	cfg = cfg.withDefaults(2000, 500)
+	r := rng.New(cfg.Seed ^ 0x6d6e697374) // "mnist"
+	templates := classTemplates(r, 10, 1, 28, 28, 5)
+	train = generate(r.Split(), cfg.Train, 10, 1, 28, 28, 5, cfg.Shift, cfg.Noise, templates)
+	test = generate(r.Split(), cfg.Test, 10, 1, 28, 28, 5, cfg.Shift, cfg.Noise, templates)
+	return train, test
+}
+
+// CIFAR10 generates the CIFAR-10 stand-in: 3×32×32 color, 10 classes.
+// Defaults: 2000 train / 500 test. Color corpora are harder: templates have
+// higher spatial frequency and more noise, mirroring the lower accuracies
+// the paper reports on CIFAR-10 relative to MNIST.
+func CIFAR10(cfg SynthConfig) (train, test *InMemory) {
+	cfg = cfg.withDefaults(2000, 500)
+	if cfg.Noise == 0.15 {
+		cfg.Noise = 0.35
+	}
+	r := rng.New(cfg.Seed ^ 0x636966617231) // "cifar1"
+	templates := classTemplates(r, 10, 3, 32, 32, 8)
+	train = generate(r.Split(), cfg.Train, 10, 3, 32, 32, 8, cfg.Shift, cfg.Noise, templates)
+	test = generate(r.Split(), cfg.Test, 10, 3, 32, 32, 8, cfg.Shift, cfg.Noise, templates)
+	return train, test
+}
+
+// CoronaHack generates the CoronaHack chest-X-ray stand-in: 1×64×64
+// grayscale, 3 classes (normal / bacterial / viral pneumonia). The base
+// image is a synthetic lung field; class-dependent opacity blobs are
+// superimposed. Defaults: 1200 train / 300 test.
+func CoronaHack(cfg SynthConfig) (train, test *InMemory) {
+	cfg = cfg.withDefaults(1200, 300)
+	r := rng.New(cfg.Seed ^ 0x636f726f6e61) // "corona"
+	const size = 64
+	// The lung field: two dark elliptical regions on a brighter background.
+	lung := make([]float64, size*size)
+	for y := 0; y < size; y++ {
+		for x := 0; x < size; x++ {
+			v := 0.8
+			for _, cx := range []float64{0.32, 0.68} {
+				dx := (float64(x)/size - cx) / 0.18
+				dy := (float64(y)/size - 0.5) / 0.32
+				if dx*dx+dy*dy < 1 {
+					v = 0.25
+				}
+			}
+			lung[y*size+x] = v
+		}
+	}
+	// Class templates: lung field plus class-specific opacity texture.
+	templates := make([][]float64, 3)
+	for k := 0; k < 3; k++ {
+		t := make([]float64, size*size)
+		tex := smoothTemplate(r, size, size, 4+2*k)
+		for i := range t {
+			t[i] = lung[i]
+			if k > 0 {
+				// Pneumonia classes add opacities inside the lung field.
+				if lung[i] < 0.5 {
+					t[i] += 0.5 * float64(k) * maxf(tex[i], 0)
+				}
+			}
+		}
+		templates[k] = t
+	}
+	train = generate(r.Split(), cfg.Train, 3, 1, size, size, 4, cfg.Shift, cfg.Noise, templates)
+	test = generate(r.Split(), cfg.Test, 3, 1, size, size, 4, cfg.Shift, cfg.Noise, templates)
+	return train, test
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FEMNISTConfig extends SynthConfig with the federated geometry of the LEAF
+// FEMNIST benchmark: samples are naturally partitioned by writer.
+type FEMNISTConfig struct {
+	SynthConfig
+	Writers          int // number of writers = clients (paper: 203)
+	SamplesPerWriter int // mean samples per writer (paper: ~180 at 5% sampling)
+}
+
+// FEMNIST generates the FEMNIST stand-in: 1×28×28 grayscale, 62 classes
+// (10 digits + 52 letters), non-IID across writers. Each writer has a
+// personal style — an affine intensity distortion and a slant shift — and a
+// skewed class distribution, mirroring handwriting heterogeneity. Defaults:
+// 203 writers × 24 samples, 1000 test samples.
+func FEMNIST(cfg FEMNISTConfig) *Federated {
+	if cfg.Writers == 0 {
+		cfg.Writers = 203
+	}
+	if cfg.SamplesPerWriter == 0 {
+		cfg.SamplesPerWriter = 24
+	}
+	c := cfg.SynthConfig.withDefaults(0, 1000)
+	r := rng.New(c.Seed ^ 0x66656d6e697374) // "femnist"
+	const classes = 62
+	templates := classTemplates(r, classes, 1, 28, 28, 5)
+
+	clients := make([]Dataset, cfg.Writers)
+	writerRngs := r.SplitN(cfg.Writers)
+	for wtr := 0; wtr < cfg.Writers; wtr++ {
+		wr := writerRngs[wtr]
+		n := cfg.SamplesPerWriter
+		images := tensor.New(n, 1, 28, 28)
+		labels := make([]int, n)
+		// Writer style: gain/offset and a constant slant shift.
+		gain := 0.7 + 0.6*wr.Float64()
+		offset := 0.3 * (wr.Float64() - 0.5)
+		slant := wr.Intn(5) - 2
+		// Class skew: the writer uses a contiguous band of 12 classes.
+		bandStart := wr.Intn(classes)
+		for i := 0; i < n; i++ {
+			k := (bandStart + wr.Intn(12)) % classes
+			labels[i] = k
+			dy := wr.Intn(2*c.Shift+1) - c.Shift
+			dx := wr.Intn(2*c.Shift+1) - c.Shift + slant
+			dst := images.Slice(i).Data()
+			renderSample(dst, templates[k], 1, 28, 28, dy, dx, c.Noise, wr)
+			for j := range dst {
+				dst[j] = gain*dst[j] + offset
+			}
+		}
+		clients[wtr] = NewInMemory(images, labels, classes)
+	}
+	test := generate(r.Split(), c.Test, classes, 1, 28, 28, 5, c.Shift, c.Noise, templates)
+	return &Federated{Clients: clients, Test: test}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Normalized wraps a dataset and standardizes every sample per channel:
+// x' = (x − mean[c]) / std[c], the torchvision.transforms.Normalize analog.
+type Normalized struct {
+	Parent    Dataset
+	Mean, Std []float64
+
+	scratch *tensor.Tensor
+}
+
+// Normalize wraps parent with per-channel standardization. mean and std
+// must have one entry per channel; std entries must be positive.
+func Normalize(parent Dataset, mean, std []float64) *Normalized {
+	c := parent.Shape()[0]
+	if len(mean) != c || len(std) != c {
+		panic(fmt.Sprintf("dataset: Normalize needs %d channel stats, got %d/%d", c, len(mean), len(std)))
+	}
+	for _, s := range std {
+		if s <= 0 {
+			panic("dataset: Normalize std must be positive")
+		}
+	}
+	return &Normalized{Parent: parent, Mean: mean, Std: std}
+}
+
+// Len returns the parent length.
+func (n *Normalized) Len() int { return n.Parent.Len() }
+
+// Shape returns the parent sample shape.
+func (n *Normalized) Shape() []int { return n.Parent.Shape() }
+
+// Classes returns the parent class count.
+func (n *Normalized) Classes() int { return n.Parent.Classes() }
+
+// Sample returns the standardized sample. The returned tensor is reused
+// across calls (matching the Dataset contract that samples are read-only
+// and consumed before the next call in a loader pass).
+func (n *Normalized) Sample(i int) (*tensor.Tensor, int) {
+	x, y := n.Parent.Sample(i)
+	if n.scratch == nil || !n.scratch.SameShape(x) {
+		n.scratch = x.Clone()
+	} else {
+		copy(n.scratch.Data(), x.Data())
+	}
+	sh := x.Shape()
+	c, plane := sh[0], sh[1]*sh[2]
+	d := n.scratch.Data()
+	for ch := 0; ch < c; ch++ {
+		m, s := n.Mean[ch], n.Std[ch]
+		seg := d[ch*plane : (ch+1)*plane]
+		for j := range seg {
+			seg[j] = (seg[j] - m) / s
+		}
+	}
+	return n.scratch, y
+}
+
+// ChannelStats computes the per-channel mean and standard deviation of a
+// dataset, the inputs Normalize typically receives.
+func ChannelStats(ds Dataset) (mean, std []float64) {
+	c := ds.Shape()[0]
+	mean = make([]float64, c)
+	m2 := make([]float64, c)
+	count := make([]float64, c)
+	for i := 0; i < ds.Len(); i++ {
+		x, _ := ds.Sample(i)
+		sh := x.Shape()
+		plane := sh[1] * sh[2]
+		d := x.Data()
+		for ch := 0; ch < c; ch++ {
+			seg := d[ch*plane : (ch+1)*plane]
+			for _, v := range seg {
+				mean[ch] += v
+				m2[ch] += v * v
+				count[ch]++
+			}
+		}
+	}
+	std = make([]float64, c)
+	for ch := 0; ch < c; ch++ {
+		mean[ch] /= count[ch]
+		variance := m2[ch]/count[ch] - mean[ch]*mean[ch]
+		if variance < 0 {
+			variance = 0
+		}
+		std[ch] = math.Sqrt(variance)
+		if std[ch] == 0 {
+			std[ch] = 1
+		}
+	}
+	return mean, std
+}

@@ -1,0 +1,69 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestChannelStats(t *testing.T) {
+	train, _ := MNIST(SynthConfig{Train: 100, Test: 10, Seed: 31})
+	mean, std := ChannelStats(train)
+	if len(mean) != 1 || len(std) != 1 {
+		t.Fatalf("stats per channel: %v %v", mean, std)
+	}
+	if std[0] <= 0 {
+		t.Fatalf("std %v", std[0])
+	}
+}
+
+func TestNormalizeStandardizes(t *testing.T) {
+	train, _ := MNIST(SynthConfig{Train: 100, Test: 10, Seed: 32})
+	mean, std := ChannelStats(train)
+	norm := Normalize(train, mean, std)
+	nm, ns := ChannelStats(norm)
+	if math.Abs(nm[0]) > 1e-9 {
+		t.Fatalf("normalized mean %v, want ~0", nm[0])
+	}
+	if math.Abs(ns[0]-1) > 1e-9 {
+		t.Fatalf("normalized std %v, want ~1", ns[0])
+	}
+	// Metadata passthrough.
+	if norm.Len() != train.Len() || norm.Classes() != train.Classes() {
+		t.Fatal("normalize changed metadata")
+	}
+	_, y0 := train.Sample(0)
+	_, y1 := norm.Sample(0)
+	if y0 != y1 {
+		t.Fatal("normalize changed labels")
+	}
+}
+
+func TestNormalizeValidation(t *testing.T) {
+	train, _ := MNIST(SynthConfig{Train: 4, Test: 1, Seed: 33})
+	for _, f := range []func(){
+		func() { Normalize(train, []float64{0, 0}, []float64{1, 1}) }, // wrong channels
+		func() { Normalize(train, []float64{0}, []float64{0}) },       // zero std
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestNormalizeCIFARThreeChannels(t *testing.T) {
+	train, _ := CIFAR10(SynthConfig{Train: 20, Test: 5, Seed: 34})
+	mean, std := ChannelStats(train)
+	if len(mean) != 3 {
+		t.Fatalf("CIFAR channels %d", len(mean))
+	}
+	norm := Normalize(train, mean, std)
+	x, _ := norm.Sample(0)
+	if x.Rank() != 3 || x.Dim(0) != 3 {
+		t.Fatalf("normalized sample shape %v", x.Shape())
+	}
+}

@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	data := Table1Data()
+	if len(data) != 5 {
+		t.Fatalf("Table I has %d frameworks, want 5", len(data))
+	}
+	byName := map[string]Capability{}
+	for _, c := range data {
+		byName[c.Framework] = c
+	}
+	appfl := byName["APPFL"]
+	if !appfl.DataPrivacy || !appfl.MPI || !appfl.GRPC || !appfl.MQTT {
+		t.Fatalf("APPFL row wrong: %+v", appfl)
+	}
+	if byName["OpenFL"].DataPrivacy || !byName["OpenFL"].GRPC {
+		t.Fatalf("OpenFL row wrong: %+v", byName["OpenFL"])
+	}
+	if !byName["FedML"].MPI || !byName["FedML"].MQTT {
+		t.Fatalf("FedML row wrong: %+v", byName["FedML"])
+	}
+	if !byName["TFF"].DataPrivacy || byName["TFF"].MPI {
+		t.Fatalf("TFF row wrong: %+v", byName["TFF"])
+	}
+	out := Table1().String()
+	if !strings.Contains(out, "APPFL") || !strings.Contains(out, "PySyft") {
+		t.Fatalf("render missing rows:\n%s", out)
+	}
+}
+
+func TestFig3ShapesMatchPaper(t *testing.T) {
+	rows, table := Fig3(Fig3Options{})
+	if len(rows) != 6 {
+		t.Fatalf("rank sweep has %d entries, want 6", len(rows))
+	}
+	// Speedup normalized at the first point.
+	if rows[0].Speedup != 1 || rows[0].IdealSpeedup != 1 {
+		t.Fatalf("base row not normalized: %+v", rows[0])
+	}
+	// Monotone speedup, always below ideal beyond the base point, with the
+	// gap widening (the Fig. 3a deterioration).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Fatalf("speedup not monotone at %d ranks", rows[i].Ranks)
+		}
+		if rows[i].Speedup >= rows[i].IdealSpeedup {
+			t.Fatalf("speedup above ideal at %d ranks", rows[i].Ranks)
+		}
+	}
+	effFirst := rows[1].Speedup / rows[1].IdealSpeedup
+	effLast := rows[len(rows)-1].Speedup / rows[len(rows)-1].IdealSpeedup
+	if effLast >= effFirst {
+		t.Fatalf("parallel efficiency should deteriorate: %v -> %v", effFirst, effLast)
+	}
+	// Fig. 3b: gather fraction rises from ~5% to ~30%.
+	if rows[0].GatherPct < 2 || rows[0].GatherPct > 10 {
+		t.Fatalf("gather%% at 5 ranks = %v, want ~5", rows[0].GatherPct)
+	}
+	last := rows[len(rows)-1].GatherPct
+	if last < 20 || last > 40 {
+		t.Fatalf("gather%% at 203 ranks = %v, want ~30", last)
+	}
+	// Gather time shrinks far less than the 41x payload shrink.
+	shrink := rows[0].GatherSec / rows[len(rows)-1].GatherSec
+	if shrink > 15 {
+		t.Fatalf("gather shrink %v, paper reports ~8", shrink)
+	}
+	// Compute scales perfectly (41x fewer clients per rank → 41x faster).
+	compShrink := rows[0].ComputeSec / rows[len(rows)-1].ComputeSec
+	if math.Abs(compShrink-41) > 1 {
+		t.Fatalf("compute shrink %v, want ~41 (perfect scaling)", compShrink)
+	}
+	if !strings.Contains(table.String(), "speedup") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+func TestFig4ShapesMatchPaper(t *testing.T) {
+	res, table := Fig4(Fig4Options{Seed: 3})
+	if len(res.PerClient) != 203 {
+		t.Fatalf("per-client series has %d entries", len(res.PerClient))
+	}
+	// Paper: MPI up to 10x faster than gRPC.
+	if res.MeanRatio < 5 || res.MeanRatio > 20 {
+		t.Fatalf("gRPC/MPI mean ratio %v, want ~10", res.MeanRatio)
+	}
+	// Every sampled client has box stats over the 49 rounds.
+	if len(res.Boxes) != 5 {
+		t.Fatalf("box stats for %d clients, want 5", len(res.Boxes))
+	}
+	for id, b := range res.Boxes {
+		if !(b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max) {
+			t.Fatalf("client %d box not ordered: %+v", id, b)
+		}
+	}
+	// Paper: round-to-round spread by a factor ~30 (we accept >= 5 given
+	// only 49 samples per client).
+	if res.MaxSpread < 5 {
+		t.Fatalf("max spread %v, want >= 5", res.MaxSpread)
+	}
+	// MPI cumulative time must be deterministic across clients.
+	first := res.PerClient[0].MPICumSec
+	for _, pc := range res.PerClient {
+		if pc.MPICumSec != first {
+			t.Fatal("MPI cumulative time should be identical across clients")
+		}
+		if pc.GRPCCumSec <= pc.MPICumSec {
+			t.Fatalf("client %d: gRPC (%v) not slower than MPI (%v)", pc.ClientID, pc.GRPCCumSec, pc.MPICumSec)
+		}
+	}
+	if !strings.Contains(table.String(), "spread") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+func TestFig4MeasuredCodexThroughput(t *testing.T) {
+	res, _ := Fig4(Fig4Options{Clients: 8, Rounds: 10, ModelDim: 50_000, BoxClients: []int{1, 5}, MeasureCodec: true, Seed: 2})
+	if res.SerializeBps < 1e7 {
+		t.Fatalf("measured codec throughput %v B/s implausibly low", res.SerializeBps)
+	}
+	if res.MeanRatio <= 1 {
+		t.Fatalf("gRPC should remain slower with measured codec: ratio %v", res.MeanRatio)
+	}
+}
+
+func TestHeteroMatchesPaper(t *testing.T) {
+	res, table := Hetero()
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Rows))
+	}
+	var a100, v100 HeteroRow
+	for _, r := range res.Rows {
+		switch r.Device {
+		case "A100":
+			a100 = r
+		case "V100":
+			v100 = r
+		}
+	}
+	if math.Abs(v100.LocalUpdateSec-6.96) > 1e-9 {
+		t.Fatalf("V100 %v s, want 6.96", v100.LocalUpdateSec)
+	}
+	if math.Abs(a100.SpeedupVsV100-1.64) > 1e-9 {
+		t.Fatalf("A100 speedup %v, want 1.64", a100.SpeedupVsV100)
+	}
+	if math.Abs(res.ImbalanceFactor-1.64) > 1e-9 {
+		t.Fatalf("imbalance %v, want 1.64", res.ImbalanceFactor)
+	}
+	if !strings.Contains(table.String(), "A100") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+func TestCommVolumeMatchesClaim(t *testing.T) {
+	rows, table, err := CommVolume(CommVolumeOptions{Clients: 2, Rounds: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlgo := map[string]CommVolumeRow{}
+	for _, r := range rows {
+		byAlgo[r.Algorithm] = r
+	}
+	// FedAvg and IIADMM: ~1 model per client per round; ICEADMM: ~2.
+	for _, algo := range []string{core.AlgoFedAvg, core.AlgoIIADMM} {
+		n := byAlgo[algo].UploadPerClientRound
+		if n < 0.99 || n > 1.05 {
+			t.Fatalf("%s uploads %.3f models/client/round, want ~1", algo, n)
+		}
+	}
+	ice := byAlgo[core.AlgoICEADMM].UploadPerClientRound
+	if ice < 1.98 || ice > 2.1 {
+		t.Fatalf("iceadmm uploads %.3f models/client/round, want ~2", ice)
+	}
+	if !strings.Contains(table.String(), "iiadmm") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+// TestFig2SmokeSmallGrid runs a reduced Fig. 2 grid end to end: one
+// dataset, all algorithms, two budgets. The full grid runs in the bench
+// harness; this guards the plumbing.
+func TestFig2SmokeSmallGrid(t *testing.T) {
+	pts, table, err := Fig2(Fig2Options{
+		Datasets:  []string{"mnist"},
+		Epsilons:  []float64{3, math.Inf(1)},
+		Rounds:    2,
+		TrainSize: 96,
+		TestSize:  48,
+		Clients:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3*2 {
+		t.Fatalf("grid points %d, want 6", len(pts))
+	}
+	for _, p := range pts {
+		if len(p.AccByRnd) != 2 {
+			t.Fatalf("point %+v missing rounds", p)
+		}
+		if p.FinalAcc < 0 || p.FinalAcc > 1 {
+			t.Fatalf("accuracy out of range: %+v", p)
+		}
+	}
+	if !strings.Contains(table.String(), "mnist") {
+		t.Fatal("table render incomplete")
+	}
+}
+
+func TestFig2RejectsUnknownDataset(t *testing.T) {
+	_, _, err := Fig2(Fig2Options{Datasets: []string{"imagenet"}})
+	if err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFig2FEMNISTPath(t *testing.T) {
+	pts, _, err := Fig2(Fig2Options{
+		Datasets:   []string{"femnist"},
+		Algorithms: []string{core.AlgoIIADMM},
+		Epsilons:   []float64{math.Inf(1)},
+		Rounds:     1,
+		TrainSize:  64,
+		TestSize:   32,
+		Writers:    8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 1 || pts[0].Dataset != "femnist" {
+		t.Fatalf("points %+v", pts)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hetero"
+	"repro/internal/metrics"
+	"repro/internal/simnet"
+)
+
+// Fig3Options parameterizes the strong-scaling study of Section IV-C:
+// 203 FEMNIST clients are divided equally across an increasing number of
+// MPI ranks on Summit (one V100 per rank) and the per-round local-update
+// time (compute + MPI.gather) is measured.
+type Fig3Options struct {
+	Clients      int     // total FL clients (paper: 203)
+	Ranks        []int   // MPI process counts (paper: 5,11,24,50,101,203)
+	ModelBytes   int     // per-client update size (paper-scale CNN ≈ 4.8 MB)
+	PerClientSec float64 // one local update on the rank's GPU (V100: 6.96 s)
+	Collective   simnet.Collective
+}
+
+func (o Fig3Options) withDefaults() Fig3Options {
+	if o.Clients == 0 {
+		o.Clients = 203
+	}
+	if len(o.Ranks) == 0 {
+		o.Ranks = []int{5, 11, 24, 50, 101, 203}
+	}
+	if o.ModelBytes == 0 {
+		o.ModelBytes = 4_800_000
+	}
+	if o.PerClientSec == 0 {
+		o.PerClientSec = hetero.V100.Seconds(1)
+	}
+	if o.Collective == (simnet.Collective{}) {
+		o.Collective = simnet.DefaultCollective()
+	}
+	return o
+}
+
+// Fig3Row is one rank-count of the sweep.
+type Fig3Row struct {
+	Ranks          int
+	ClientsPerRank int     // ceiling share (the busiest rank)
+	ComputeSec     float64 // per-round local-update compute on busiest rank
+	GatherSec      float64 // per-round MPI.gather() time
+	TotalSec       float64
+	Speedup        float64 // relative to the first rank count
+	IdealSpeedup   float64
+	GatherPct      float64 // Fig. 3b: 100 × gather / (gather + compute)
+}
+
+// Fig3 computes the strong-scaling table (Fig. 3a) and gather percentages
+// (Fig. 3b) from the calibrated cost model.
+func Fig3(o Fig3Options) ([]Fig3Row, *metrics.Table) {
+	o = o.withDefaults()
+	rows := make([]Fig3Row, 0, len(o.Ranks))
+	for _, n := range o.Ranks {
+		cpr := (o.Clients + n - 1) / n
+		compute := float64(cpr) * o.PerClientSec
+		gather := o.Collective.Gather(n, cpr*o.ModelBytes)
+		total := compute + gather
+		rows = append(rows, Fig3Row{
+			Ranks:          n,
+			ClientsPerRank: cpr,
+			ComputeSec:     compute,
+			GatherSec:      gather,
+			TotalSec:       total,
+			GatherPct:      100 * gather / total,
+		})
+	}
+	base := rows[0]
+	for i := range rows {
+		rows[i].Speedup = base.TotalSec / rows[i].TotalSec
+		rows[i].IdealSpeedup = float64(rows[i].Ranks) / float64(base.Ranks)
+	}
+	t := metrics.NewTable(
+		"Figure 3: strong scaling of local updates on the FEMNIST dataset",
+		"ranks", "clients/rank", "compute (s)", "gather (s)", "total (s)", "speedup", "ideal", "gather %",
+	)
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%d", r.Ranks),
+			fmt.Sprintf("%d", r.ClientsPerRank),
+			fmt.Sprintf("%.2f", r.ComputeSec),
+			fmt.Sprintf("%.2f", r.GatherSec),
+			fmt.Sprintf("%.2f", r.TotalSec),
+			fmt.Sprintf("%.2f", r.Speedup),
+			fmt.Sprintf("%.2f", r.IdealSpeedup),
+			fmt.Sprintf("%.1f", r.GatherPct),
+		)
+	}
+	return rows, t
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/hetero"
+	"repro/internal/metrics"
+)
+
+// nowSec is the wall clock used by measurement helpers.
+func nowSec() float64 { return float64(time.Now().UnixNano()) / 1e9 }
+
+// HeteroRow is one device of the Section IV-E comparison.
+type HeteroRow struct {
+	Device         string
+	LocalUpdateSec float64
+	SpeedupVsV100  float64
+}
+
+// HeteroResult carries the heterogeneous-architecture study.
+type HeteroResult struct {
+	Rows []HeteroRow
+	// ImbalanceFactor is the synchronous-round slowdown of a mixed
+	// A100+V100 federation versus an all-A100 one: the round waits for the
+	// slowest device.
+	ImbalanceFactor float64
+}
+
+// Hetero reproduces Section IV-E: the same local update on an A100
+// (Argonne Swing) versus a V100 (Oak Ridge Summit), and the load imbalance
+// a cross-silo federation mixing them suffers.
+func Hetero() (*HeteroResult, *metrics.Table) {
+	devices := []hetero.Device{hetero.A100, hetero.V100}
+	res := &HeteroResult{}
+	for _, d := range devices {
+		res.Rows = append(res.Rows, HeteroRow{
+			Device:         d.Name,
+			LocalUpdateSec: d.Seconds(1),
+			SpeedupVsV100:  d.SpeedupOver(hetero.V100),
+		})
+	}
+	// Synchronous round over one A100 client and one V100 client: the round
+	// time is the V100's; an all-A100 federation finishes in the A100's.
+	mixed := hetero.MaxCompletion([]float64{1, 1}, []hetero.Device{hetero.A100, hetero.V100})
+	fast := hetero.MaxCompletion([]float64{1, 1}, []hetero.Device{hetero.A100, hetero.A100})
+	res.ImbalanceFactor = mixed / fast
+
+	t := metrics.NewTable(
+		"Section IV-E: impact of heterogeneous architectures (one paper-scale local update)",
+		"device", "local update (s)", "speedup vs V100",
+	)
+	for _, r := range res.Rows {
+		t.AddRow(r.Device, fmt.Sprintf("%.2f", r.LocalUpdateSec), fmt.Sprintf("%.2f", r.SpeedupVsV100))
+	}
+	t.AddRow("mixed-cluster imbalance", fmt.Sprintf("%.2fx", res.ImbalanceFactor), "")
+	return res, t
+}

@@ -1,0 +1,105 @@
+// Package hetero models heterogeneous computing devices, reproducing the
+// paper's Section IV-E observation: a cross-silo federation mixing NVIDIA
+// A100 machines (Argonne's Swing) and V100 machines (Oak Ridge's Summit)
+// suffers load imbalance because the same local update runs 1.64× faster
+// on the A100 (4.24 s vs 6.96 s).
+//
+// A device converts abstract work units into seconds through its
+// throughput. One work unit is defined as one FEMNIST-scale local update on
+// a V100, so V100 throughput is 1/6.96 units per second.
+package hetero
+
+import "fmt"
+
+// Device is a compute element with a fixed sustained throughput.
+type Device struct {
+	Name string
+	// Throughput in work units per second. One work unit = one paper-scale
+	// FEMNIST local update (L=10 epochs) on a V100.
+	Throughput float64
+}
+
+// Paper-calibrated devices. The A100/V100 ratio is the measured 1.64; the
+// CPU figure is a nominal order-of-magnitude estimate used only by examples.
+var (
+	V100 = Device{Name: "V100", Throughput: 1.0 / 6.96}
+	A100 = Device{Name: "A100", Throughput: 1.64 / 6.96}
+	CPU  = Device{Name: "CPU", Throughput: 0.1 / 6.96}
+)
+
+// Seconds returns the time to execute the given work on d.
+func (d Device) Seconds(work float64) float64 {
+	if d.Throughput <= 0 {
+		panic(fmt.Sprintf("hetero: device %q has non-positive throughput", d.Name))
+	}
+	if work < 0 {
+		panic("hetero: negative work")
+	}
+	return work / d.Throughput
+}
+
+// SpeedupOver returns how much faster d is than other for identical work.
+func (d Device) SpeedupOver(other Device) float64 {
+	return d.Throughput / other.Throughput
+}
+
+// LocalUpdateWork converts a client's workload into work units.
+// samples is the client's local dataset size, localSteps the number of
+// passes (L in Algorithm 1). The reference workload (refSamples at L=10)
+// defines one unit.
+func LocalUpdateWork(samples, localSteps, refSamples int) float64 {
+	if refSamples <= 0 {
+		panic("hetero: refSamples must be positive")
+	}
+	return float64(samples) * float64(localSteps) / (float64(refSamples) * 10.0)
+}
+
+// Placement assigns clients to devices round-robin, the layout used by the
+// paper's simulations (each MPI rank owns one GPU and a contiguous block of
+// clients).
+func Placement(numClients int, devices []Device) []Device {
+	if len(devices) == 0 {
+		panic("hetero: empty device list")
+	}
+	out := make([]Device, numClients)
+	for i := range out {
+		out[i] = devices[i%len(devices)]
+	}
+	return out
+}
+
+// MaxCompletion returns the synchronous-round makespan when client i runs
+// its work on its own physical device devices[i]: the slowest client's
+// time. This is the load-imbalance quantity of Section IV-E.
+func MaxCompletion(works []float64, devices []Device) float64 {
+	if len(works) != len(devices) {
+		panic("hetero: works and devices length mismatch")
+	}
+	max := 0.0
+	for i, w := range works {
+		if t := devices[i].Seconds(w); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// QueueMakespan returns the makespan when device i sequentially executes
+// the work list assignments[i] — the regime of the paper's MPI simulations,
+// where one GPU hosts several clients back to back.
+func QueueMakespan(assignments [][]float64, devices []Device) float64 {
+	if len(assignments) != len(devices) {
+		panic("hetero: assignments and devices length mismatch")
+	}
+	max := 0.0
+	for i, list := range assignments {
+		total := 0.0
+		for _, w := range list {
+			total += devices[i].Seconds(w)
+		}
+		if total > max {
+			max = total
+		}
+	}
+	return max
+}

@@ -1,0 +1,101 @@
+package hetero
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperCalibration(t *testing.T) {
+	// One work unit = one paper-scale local update. V100: 6.96 s, A100: 4.24 s.
+	if got := V100.Seconds(1); math.Abs(got-6.96) > 1e-9 {
+		t.Fatalf("V100 local update %v s, want 6.96", got)
+	}
+	if got := A100.Seconds(1); math.Abs(got-6.96/1.64) > 1e-9 {
+		t.Fatalf("A100 local update %v s, want %v", got, 6.96/1.64)
+	}
+	if r := A100.SpeedupOver(V100); math.Abs(r-1.64) > 1e-12 {
+		t.Fatalf("A100/V100 speedup %v, want 1.64", r)
+	}
+}
+
+func TestSecondsScalesLinearly(t *testing.T) {
+	if V100.Seconds(2) != 2*V100.Seconds(1) {
+		t.Fatal("Seconds not linear in work")
+	}
+}
+
+func TestSecondsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on negative work")
+		}
+	}()
+	V100.Seconds(-1)
+}
+
+func TestLocalUpdateWork(t *testing.T) {
+	// Reference workload is 1 unit.
+	if w := LocalUpdateWork(180, 10, 180); w != 1 {
+		t.Fatalf("reference work %v, want 1", w)
+	}
+	// Double the samples → double the work; half the steps → half the work.
+	if w := LocalUpdateWork(360, 10, 180); w != 2 {
+		t.Fatalf("work %v, want 2", w)
+	}
+	if w := LocalUpdateWork(180, 5, 180); w != 0.5 {
+		t.Fatalf("work %v, want 0.5", w)
+	}
+}
+
+func TestPlacementRoundRobin(t *testing.T) {
+	devs := Placement(5, []Device{A100, V100})
+	if devs[0].Name != "A100" || devs[1].Name != "V100" || devs[4].Name != "A100" {
+		t.Fatalf("placement wrong: %v", devs)
+	}
+}
+
+func TestMaxCompletionLoadImbalance(t *testing.T) {
+	// Two clients, same work, one per device: makespan = V100 time.
+	works := []float64{1, 1}
+	devs := []Device{A100, V100}
+	got := MaxCompletion(works, devs)
+	if math.Abs(got-6.96) > 1e-9 {
+		t.Fatalf("makespan %v, want 6.96 (V100 bound)", got)
+	}
+}
+
+func TestMaxCompletionIndependentDevices(t *testing.T) {
+	// Two clients each on their own V100: round time is one update, not two.
+	works := []float64{1, 1}
+	devs := []Device{V100, V100}
+	got := MaxCompletion(works, devs)
+	if math.Abs(got-6.96) > 1e-9 {
+		t.Fatalf("independent makespan %v, want %v", got, 6.96)
+	}
+}
+
+func TestQueueMakespan(t *testing.T) {
+	// One V100 runs two clients back to back; one A100 runs one.
+	got := QueueMakespan([][]float64{{1, 1}, {1}}, []Device{V100, A100})
+	if math.Abs(got-2*6.96) > 1e-9 {
+		t.Fatalf("queue makespan %v, want %v", got, 2*6.96)
+	}
+}
+
+func TestQueueMakespanValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	QueueMakespan([][]float64{{1}}, nil)
+}
+
+func TestMaxCompletionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	MaxCompletion([]float64{1}, nil)
+}

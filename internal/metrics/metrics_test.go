@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStreamMoments(t *testing.T) {
+	var s Stream
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean %v, want 5", s.Mean())
+	}
+	// Population variance is 4; unbiased sample variance = 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var %v, want %v", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestStreamEmptyAndSingle(t *testing.T) {
+	var s Stream
+	if s.Mean() != 0 || s.Var() != 0 {
+		t.Fatal("empty stream moments must be 0")
+	}
+	s.Add(3)
+	if s.Var() != 0 || s.Std() != 0 {
+		t.Fatal("single observation has zero variance")
+	}
+}
+
+// Property: Welford mean matches the naive mean.
+func TestStreamMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		var s Stream
+		sum := 0.0
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			s.Add(x)
+			sum += x
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		return math.Abs(s.Mean()-sum/float64(n)) <= 1e-6*(1+math.Abs(sum/float64(n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 || Quantile(xs, 0.5) != 3 {
+		t.Fatal("basic quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q1 = %v, want 2", got)
+	}
+	// Interpolation between points.
+	if got := Quantile([]float64{0, 10}, 0.25); got != 2.5 {
+		t.Fatalf("interpolated quantile %v, want 2.5", got)
+	}
+	// Input must not be mutated (sorted copy).
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+func TestQuantileValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 100}
+	b := BoxStats(xs)
+	if b.Min != 1 || b.Max != 100 || b.Median != 3 {
+		t.Fatalf("box %+v", b)
+	}
+	if b.Spread() != 100 {
+		t.Fatalf("spread %v", b.Spread())
+	}
+}
+
+func TestBoxSpreadWithZeroMin(t *testing.T) {
+	b := Box{Min: 0, Max: 5}
+	if !math.IsInf(b.Spread(), 1) {
+		t.Fatal("zero-min spread should be +Inf")
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	s := Speedup([]float64{10, 5, 2.5})
+	if s[0] != 1 || s[1] != 2 || s[2] != 4 {
+		t.Fatalf("speedup %v", s)
+	}
+}
+
+func TestSpeedupPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Speedup([]float64{1, 0})
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 2.5)
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") || !strings.Contains(out, "2.5") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowValidation(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on cell count mismatch")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header wrong: %s", csv)
+	}
+}

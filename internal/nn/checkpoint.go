@@ -1,0 +1,104 @@
+package nn
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/wire"
+)
+
+// Checkpointing: models are serialized as a sequence of named parameter
+// records through the wire codec, so a training run can be paused, shipped
+// between silos, or archived. The format validates parameter names and
+// shapes on load, refusing to resurrect a checkpoint into a different
+// architecture.
+
+// SaveParams writes all parameters of m to w.
+func SaveParams(w io.Writer, m Module) error {
+	params := m.Params()
+	e := wire.NewEncoder(nil)
+	e.Uint64(1, uint64(len(params)))
+	for _, p := range params {
+		e.String(2, p.Name)
+		e.Doubles(3, p.Value.Data())
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], uint64(e.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	if _, err := w.Write(e.Bytes()); err != nil {
+		return fmt.Errorf("nn: checkpoint body: %w", err)
+	}
+	return nil
+}
+
+// LoadParams reads a checkpoint from r into m. The checkpoint must contain
+// exactly m's parameters, in order, with matching names and sizes.
+func LoadParams(r io.Reader, m Module) error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return fmt.Errorf("nn: checkpoint header: %w", err)
+	}
+	n := binary.BigEndian.Uint64(hdr[:])
+	if n > 1<<32 {
+		return fmt.Errorf("nn: checkpoint implausibly large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return fmt.Errorf("nn: checkpoint body: %w", err)
+	}
+	d := wire.NewDecoder(body)
+	params := m.Params()
+	var count uint64
+	seen := 0
+	for d.More() {
+		field, wtype, err := d.Tag()
+		if err != nil {
+			return fmt.Errorf("nn: checkpoint decode: %w", err)
+		}
+		switch field {
+		case 1:
+			if count, err = d.Uint64(); err != nil {
+				return err
+			}
+			if int(count) != len(params) {
+				return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+			}
+		case 2:
+			name, err := d.String()
+			if err != nil {
+				return err
+			}
+			if seen >= len(params) {
+				return fmt.Errorf("nn: checkpoint has extra parameter %q", name)
+			}
+			if name != params[seen].Name {
+				return fmt.Errorf("nn: checkpoint parameter %d is %q, model expects %q", seen, name, params[seen].Name)
+			}
+		case 3:
+			vals, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			if seen >= len(params) {
+				return fmt.Errorf("nn: checkpoint values without a parameter")
+			}
+			p := params[seen]
+			if len(vals) != p.Value.Size() {
+				return fmt.Errorf("nn: parameter %q has %d values, model expects %d", p.Name, len(vals), p.Value.Size())
+			}
+			copy(p.Value.Data(), vals)
+			seen++
+		default:
+			if err := d.Skip(wtype); err != nil {
+				return err
+			}
+		}
+	}
+	if seen != len(params) {
+		return fmt.Errorf("nn: checkpoint restored %d of %d parameters", seen, len(params))
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	src := NewCNN(CNNConfig{InChannels: 1, Height: 8, Width: 8, Classes: 3, Conv1: 2, Conv2: 3, Kernel: 3, Hidden: 8}, r)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewCNN(CNNConfig{InChannels: 1, Height: 8, Width: 8, Classes: 3, Conv1: 2, Conv2: 3, Kernel: 3, Hidden: 8}, rng.New(2))
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	vs, vd := FlattenParams(src, nil), FlattenParams(dst, nil)
+	for i := range vs {
+		if vs[i] != vd[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongArchitecture(t *testing.T) {
+	r := rng.New(3)
+	src := NewMLP(4, []int{3}, 2, r)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	// Different layer count.
+	other := NewMLP(4, []int{3, 3}, 2, rng.New(4))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), other); err == nil {
+		t.Fatal("wrong parameter count accepted")
+	}
+	// Same count, different shapes/names.
+	mismatch := NewMLP(5, []int{3}, 2, rng.New(5))
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), mismatch); err == nil {
+		t.Fatal("mismatched shapes accepted")
+	}
+}
+
+func TestCheckpointRejectsTruncation(t *testing.T) {
+	r := rng.New(6)
+	src := NewMLP(4, []int{3}, 2, r)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{0, 4, len(full) / 2, len(full) - 1} {
+		dst := NewMLP(4, []int{3}, 2, rng.New(7))
+		if err := LoadParams(bytes.NewReader(full[:cut]), dst); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestCheckpointPreservesTraining(t *testing.T) {
+	// A model checkpointed and restored must produce identical logits.
+	r := rng.New(8)
+	src := NewMLP(6, []int{5}, 3, r)
+	x := randT(r, 2, 6)
+	want := src.Forward(x)
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := NewMLP(6, []int{5}, 3, rng.New(9))
+	if err := LoadParams(&buf, dst); err != nil {
+		t.Fatal(err)
+	}
+	got := dst.Forward(x)
+	if !got.EqualWithin(want, 0) {
+		t.Fatal("restored model diverges from source")
+	}
+}

@@ -1,0 +1,93 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// CrossEntropy computes mean softmax cross-entropy loss over a batch of
+// logits [N, K] with integer labels, and the gradient of the mean loss with
+// respect to the logits. This matches torch.nn.CrossEntropyLoss.
+func CrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, dlogits *tensor.Tensor) {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: CrossEntropy expects [N,K] logits, got %v", logits.Shape()))
+	}
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: CrossEntropy got %d labels for batch of %d", len(labels), n))
+	}
+	dlogits = tensor.New(n, k)
+	invN := 1.0 / float64(n)
+	for i := 0; i < n; i++ {
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, k))
+		}
+		row := logits.Row(i).Data()
+		// Numerically stable softmax: subtract the row max.
+		m := row[0]
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		drow := dlogits.Row(i).Data()
+		for j, v := range row {
+			e := math.Exp(v - m)
+			drow[j] = e
+			sum += e
+		}
+		loss += -(row[y] - m - math.Log(sum))
+		for j := range drow {
+			drow[j] = drow[j] / sum * invN
+		}
+		drow[y] -= invN
+	}
+	return loss * invN, dlogits
+}
+
+// Softmax returns row-wise softmax probabilities for logits [N, K].
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic("nn: Softmax expects [N,K]")
+	}
+	out := logits.Clone()
+	n := out.Dim(0)
+	for i := 0; i < n; i++ {
+		row := out.Row(i).Data()
+		m := row[0]
+		for _, v := range row {
+			if v > m {
+				m = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			row[j] = math.Exp(v - m)
+			sum += row[j]
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// Accuracy returns the fraction of rows in logits whose argmax equals the
+// label.
+func Accuracy(logits *tensor.Tensor, labels []int) float64 {
+	n := logits.Dim(0)
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := 0; i < n; i++ {
+		if logits.Row(i).ArgMax() == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(n)
+}

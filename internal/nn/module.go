@@ -1,0 +1,91 @@
+// Package nn implements the neural-network layer library used by the APPFL
+// reproduction: Conv2D, Linear, ReLU, MaxPool2D, Flatten, and a Sequential
+// container, with manually derived backward passes and a softmax
+// cross-entropy loss. It stands in for PyTorch's torch.nn.
+//
+// Layers are stateful: Forward caches whatever Backward needs, so a module
+// must not be shared across concurrent training loops. Every federated
+// client therefore owns its own model replica (see nn.Clone), exactly as
+// each APPFL client process owns its own torch module.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Parameter is one trainable tensor with its gradient accumulator.
+type Parameter struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// Module is the interface every layer and model implements. Backward takes
+// the gradient of the loss with respect to the module output and returns the
+// gradient with respect to the module input, accumulating parameter
+// gradients along the way.
+type Module interface {
+	Forward(x *tensor.Tensor) *tensor.Tensor
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	Params() []*Parameter
+}
+
+// ZeroGrad clears every parameter gradient of m.
+func ZeroGrad(m Module) {
+	for _, p := range m.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// NumParams returns the total number of trainable scalars in m. This is the
+// dimension of the flat vectors exchanged by the federated algorithms.
+func NumParams(m Module) int {
+	n := 0
+	for _, p := range m.Params() {
+		n += p.Value.Size()
+	}
+	return n
+}
+
+// FlattenParams copies all parameter values of m into dst (allocating when
+// dst is nil or mis-sized) in Params() order and returns it.
+func FlattenParams(m Module, dst []float64) []float64 {
+	n := NumParams(m)
+	if len(dst) != n {
+		dst = make([]float64, n)
+	}
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(dst[off:], p.Value.Data())
+	}
+	return dst
+}
+
+// FlattenGrads copies all parameter gradients of m into dst in Params()
+// order and returns it.
+func FlattenGrads(m Module, dst []float64) []float64 {
+	n := NumParams(m)
+	if len(dst) != n {
+		dst = make([]float64, n)
+	}
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(dst[off:], p.Grad.Data())
+	}
+	return dst
+}
+
+// SetParams loads the flat vector src into the parameters of m. It panics if
+// the length does not match NumParams(m).
+func SetParams(m Module, src []float64) {
+	n := NumParams(m)
+	if len(src) != n {
+		panic(fmt.Sprintf("nn: SetParams length %d does not match model size %d", len(src), n))
+	}
+	off := 0
+	for _, p := range m.Params() {
+		off += copy(p.Value.Data(), src[off:off+p.Value.Size()])
+	}
+}

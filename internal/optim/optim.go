@@ -1,0 +1,72 @@
+// Package optim provides the local optimizers used by the federated
+// algorithms: stochastic gradient descent with and without momentum. FedAvg
+// in the paper uses SGD with momentum (Qian, 1999) for its client updates;
+// the IADMM algorithms use their own closed-form proximal step and do not go
+// through this package.
+package optim
+
+import (
+	"repro/internal/nn"
+)
+
+// Optimizer updates a model's parameters from its accumulated gradients.
+type Optimizer interface {
+	// Step applies one update using the gradients currently stored in the
+	// model parameters.
+	Step()
+	// Reset clears any internal state (e.g. momentum buffers).
+	Reset()
+}
+
+// SGD implements stochastic gradient descent with optional momentum and
+// Nesterov acceleration over a fixed model.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Nesterov bool
+
+	params []*nn.Parameter
+	veloc  [][]float64
+}
+
+// NewSGD constructs an SGD optimizer bound to m's parameters.
+func NewSGD(m nn.Module, lr, momentum float64, nesterov bool) *SGD {
+	params := m.Params()
+	v := make([][]float64, len(params))
+	for i, p := range params {
+		v[i] = make([]float64, p.Value.Size())
+	}
+	return &SGD{LR: lr, Momentum: momentum, Nesterov: nesterov, params: params, veloc: v}
+}
+
+// Step applies one SGD update: v ← μv + g; p ← p − lr·(v or g+μv).
+func (s *SGD) Step() {
+	for i, p := range s.params {
+		g := p.Grad.Data()
+		w := p.Value.Data()
+		if s.Momentum == 0 {
+			for j := range w {
+				w[j] -= s.LR * g[j]
+			}
+			continue
+		}
+		v := s.veloc[i]
+		for j := range w {
+			v[j] = s.Momentum*v[j] + g[j]
+			if s.Nesterov {
+				w[j] -= s.LR * (g[j] + s.Momentum*v[j])
+			} else {
+				w[j] -= s.LR * v[j]
+			}
+		}
+	}
+}
+
+// Reset zeroes the momentum buffers.
+func (s *SGD) Reset() {
+	for _, v := range s.veloc {
+		for j := range v {
+			v[j] = 0
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/tensor"
+)
+
+// quadModel is a 1-parameter model used to observe optimizer trajectories on
+// the quadratic f(w) = 0.5 w².
+type quadModel struct {
+	p *nn.Parameter
+}
+
+func newQuad(w0 float64) *quadModel {
+	return &quadModel{p: &nn.Parameter{
+		Name:  "w",
+		Value: tensor.FromSlice([]float64{w0}, 1),
+		Grad:  tensor.New(1),
+	}}
+}
+
+func (q *quadModel) Forward(x *tensor.Tensor) *tensor.Tensor  { return x }
+func (q *quadModel) Backward(d *tensor.Tensor) *tensor.Tensor { return d }
+func (q *quadModel) Params() []*nn.Parameter                  { return []*nn.Parameter{q.p} }
+
+func (q *quadModel) setGrad() { q.p.Grad.Data()[0] = q.p.Value.Data()[0] }
+func (q *quadModel) w() float64 {
+	return q.p.Value.Data()[0]
+}
+
+func TestSGDNoMomentumExactStep(t *testing.T) {
+	q := newQuad(1.0)
+	opt := NewSGD(q, 0.1, 0, false)
+	q.setGrad()
+	opt.Step()
+	// w ← 1 - 0.1*1 = 0.9
+	if math.Abs(q.w()-0.9) > 1e-15 {
+		t.Fatalf("w = %v, want 0.9", q.w())
+	}
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	q := newQuad(5.0)
+	opt := NewSGD(q, 0.2, 0, false)
+	for i := 0; i < 100; i++ {
+		q.setGrad()
+		opt.Step()
+	}
+	if math.Abs(q.w()) > 1e-6 {
+		t.Fatalf("did not converge: w = %v", q.w())
+	}
+}
+
+func TestSGDMomentumMatchesHandComputation(t *testing.T) {
+	// v ← μv + g; w ← w − lr·v with μ=0.5, lr=0.1, constant g=1.
+	q := newQuad(0)
+	opt := NewSGD(q, 0.1, 0.5, false)
+	w := 0.0
+	v := 0.0
+	for i := 0; i < 5; i++ {
+		q.p.Grad.Data()[0] = 1
+		opt.Step()
+		v = 0.5*v + 1
+		w -= 0.1 * v
+		if math.Abs(q.w()-w) > 1e-15 {
+			t.Fatalf("step %d: w = %v, want %v", i, q.w(), w)
+		}
+	}
+}
+
+func TestSGDNesterovDiffersFromHeavyBall(t *testing.T) {
+	a, b := newQuad(1), newQuad(1)
+	oa := NewSGD(a, 0.1, 0.9, false)
+	ob := NewSGD(b, 0.1, 0.9, true)
+	for i := 0; i < 3; i++ {
+		a.setGrad()
+		oa.Step()
+		b.setGrad()
+		ob.Step()
+	}
+	if a.w() == b.w() {
+		t.Fatal("Nesterov and heavy-ball should differ after several steps")
+	}
+}
+
+func TestSGDMomentumAcceleratesOnIllConditioned(t *testing.T) {
+	// On f(w)=0.5w² with small lr, momentum should reach the optimum faster.
+	plain, mom := newQuad(10), newQuad(10)
+	po := NewSGD(plain, 0.05, 0, false)
+	mo := NewSGD(mom, 0.05, 0.9, false)
+	for i := 0; i < 50; i++ {
+		plain.setGrad()
+		po.Step()
+		mom.setGrad()
+		mo.Step()
+	}
+	if math.Abs(mom.w()) >= math.Abs(plain.w()) {
+		t.Fatalf("momentum (|w|=%v) not faster than plain (|w|=%v)", math.Abs(mom.w()), math.Abs(plain.w()))
+	}
+}
+
+func TestSGDReset(t *testing.T) {
+	q := newQuad(0)
+	opt := NewSGD(q, 0.1, 0.9, false)
+	q.p.Grad.Data()[0] = 1
+	opt.Step()
+	opt.Reset()
+	q.p.Value.Data()[0] = 0
+	q.p.Grad.Data()[0] = 1
+	opt.Step()
+	// After reset, first step must equal a fresh optimizer's first step: −lr·g.
+	if math.Abs(q.w()+0.1) > 1e-15 {
+		t.Fatalf("post-reset step w = %v, want -0.1", q.w())
+	}
+}
+
+func TestSGDTrainsRealModel(t *testing.T) {
+	r := rng.New(1)
+	m := nn.NewMLP(2, []int{8}, 2, r)
+	opt := NewSGD(m, 0.3, 0.9, false)
+	x := tensor.FromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	labels := []int{0, 1, 1, 0}
+	var loss float64
+	for i := 0; i < 300; i++ {
+		nn.ZeroGrad(m)
+		logits := m.Forward(x)
+		var d *tensor.Tensor
+		loss, d = nn.CrossEntropy(logits, labels)
+		m.Backward(d)
+		opt.Step()
+	}
+	if loss > 0.05 {
+		t.Fatalf("SGD+momentum failed to fit XOR: loss %v", loss)
+	}
+}

@@ -1,0 +1,189 @@
+// Package rng provides a deterministic, splittable pseudo-random number
+// generator with the distribution samplers needed across the framework:
+// uniform, normal, Laplace, log-normal, and exponential variates.
+//
+// Every federated client, dataset generator, and privacy mechanism owns an
+// independent stream derived from a master seed, so simulations are exactly
+// reproducible regardless of goroutine scheduling. The core generator is
+// xoshiro256** seeded through splitmix64, following Blackman & Vigna.
+package rng
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator. It is not safe for
+// concurrent use; derive one stream per goroutine with Split.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from Box-Muller
+	hasGauss bool
+	gauss    float64
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used to expand seeds into full xoshiro state and to derive child streams.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded from seed. Two generators constructed with
+// the same seed produce identical streams.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a child generator whose stream is statistically independent
+// of the parent's subsequent outputs. The parent is advanced once.
+func (r *RNG) Split() *RNG {
+	// Use the parent's next output as the child's seed material.
+	seed := r.Uint64()
+	return New(seed ^ 0xa0761d6478bd642f)
+}
+
+// SplitN derives n child generators in one call.
+func (r *RNG) SplitN(n int) []*RNG {
+	out := make([]*RNG, n)
+	for i := range out {
+		out[i] = r.Split()
+	}
+	return out
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation would be faster; the
+	// simple modulo of a 64-bit draw has negligible bias for the n used here.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Perm returns a pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place (Fisher-Yates).
+func (r *RNG) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// Normal returns a variate from N(mean, stddev^2) via Box-Muller.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.hasGauss {
+		r.hasGauss = false
+		return mean + stddev*r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.hasGauss = true
+	return mean + stddev*u*f
+}
+
+// Laplace returns a variate from the Laplace distribution with the given
+// location and scale b > 0 (density 1/(2b) * exp(-|x-loc|/b)). This is the
+// noise distribution of the paper's output-perturbation mechanism.
+func (r *RNG) Laplace(loc, scale float64) float64 {
+	if scale <= 0 {
+		panic("rng: Laplace scale must be positive")
+	}
+	// Inverse CDF on u in (-1/2, 1/2].
+	u := r.Float64() - 0.5
+	if u == -0.5 {
+		u = 0.5 // avoid log(0) on the open endpoint
+	}
+	if u < 0 {
+		return loc + scale*math.Log(1+2*u)
+	}
+	return loc - scale*math.Log(1-2*u)
+}
+
+// Exponential returns a variate from Exp(rate).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential rate must be positive")
+	}
+	u := r.Float64()
+	if u == 0 {
+		u = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(u) / rate
+}
+
+// LogNormal returns a variate X with ln X ~ N(mu, sigma^2). Used by the
+// network simulator to model heavy-tailed per-round traffic jitter.
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// FillNormal fills dst with N(mean, stddev^2) variates.
+func (r *RNG) FillNormal(dst []float64, mean, stddev float64) {
+	for i := range dst {
+		dst[i] = r.Normal(mean, stddev)
+	}
+}
+
+// FillUniform fills dst with uniform variates in [lo, hi).
+func (r *RNG) FillUniform(dst []float64, lo, hi float64) {
+	span := hi - lo
+	for i := range dst {
+		dst[i] = lo + span*r.Float64()
+	}
+}
+
+// FillLaplace fills dst with Laplace(loc, scale) variates.
+func (r *RNG) FillLaplace(dst []float64, loc, scale float64) {
+	for i := range dst {
+		dst[i] = r.Laplace(loc, scale)
+	}
+}

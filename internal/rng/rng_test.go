@@ -1,0 +1,334 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedIsValid(t *testing.T) {
+	r := New(0)
+	// The state must not be all zeros and must produce varied output.
+	seen := map[uint64]bool{}
+	for i := 0; i < 64; i++ {
+		seen[r.Uint64()] = true
+	}
+	if len(seen) < 60 {
+		t.Fatalf("zero seed produced only %d distinct values in 64 draws", len(seen))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	// Children must differ from each other.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split children matched on %d/100 draws", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(9).Split()
+	b := New(9).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("split streams diverged at %d", i)
+		}
+	}
+}
+
+func TestSplitN(t *testing.T) {
+	kids := New(3).SplitN(5)
+	if len(kids) != 5 {
+		t.Fatalf("want 5 children, got %d", len(kids))
+	}
+	v := map[uint64]bool{}
+	for _, k := range kids {
+		v[k.Uint64()] = true
+	}
+	if len(v) != 5 {
+		t.Fatalf("children not distinct: %d unique first draws", len(v))
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(13)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(19)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(23)
+	const n = 200000
+	mean, m2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(2, 3)
+		mean += x
+		m2 += x * x
+	}
+	mean /= n
+	variance := m2/n - mean*mean
+	if math.Abs(mean-2) > 0.05 {
+		t.Fatalf("normal mean %v, want ~2", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Fatalf("normal variance %v, want ~9", variance)
+	}
+}
+
+func TestLaplaceMoments(t *testing.T) {
+	r := New(29)
+	const n = 300000
+	b := 1.5
+	mean, m2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Laplace(0, b)
+		mean += x
+		m2 += x * x
+	}
+	mean /= n
+	variance := m2/n - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Fatalf("laplace mean %v, want ~0", mean)
+	}
+	// Var(Laplace(0,b)) = 2 b^2 = 4.5
+	if math.Abs(variance-2*b*b) > 0.25 {
+		t.Fatalf("laplace variance %v, want ~%v", variance, 2*b*b)
+	}
+}
+
+func TestLaplaceMedianAbsoluteDeviation(t *testing.T) {
+	// P(|X| <= b ln 2) = 1/2 for Laplace(0, b).
+	r := New(31)
+	b := 2.0
+	const n = 100000
+	inside := 0
+	thr := b * math.Ln2
+	for i := 0; i < n; i++ {
+		if math.Abs(r.Laplace(0, b)) <= thr {
+			inside++
+		}
+	}
+	frac := float64(inside) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("P(|X|<=b ln2) = %v, want ~0.5", frac)
+	}
+}
+
+func TestLaplacePanicsOnBadScale(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Laplace with scale 0 did not panic")
+		}
+	}()
+	New(1).Laplace(0, 0)
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := New(37)
+	const n = 200000
+	rate := 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exponential(rate)
+		if x < 0 {
+			t.Fatalf("exponential produced negative %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.02 {
+		t.Fatalf("exponential mean %v, want ~%v", mean, 1/rate)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := New(41)
+	for i := 0; i < 10000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("lognormal produced non-positive value")
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	// Median of LogNormal(mu, sigma) is exp(mu).
+	r := New(43)
+	mu := 0.7
+	const n = 100000
+	below := 0
+	med := math.Exp(mu)
+	for i := 0; i < n; i++ {
+		if r.LogNormal(mu, 0.9) < med {
+			below++
+		}
+	}
+	frac := float64(below) / n
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("fraction below exp(mu) = %v, want ~0.5", frac)
+	}
+}
+
+func TestFillers(t *testing.T) {
+	r := New(47)
+	n := 512
+	u := make([]float64, n)
+	r.FillUniform(u, -1, 1)
+	for _, v := range u {
+		if v < -1 || v >= 1 {
+			t.Fatalf("FillUniform out of range: %v", v)
+		}
+	}
+	g := make([]float64, n)
+	r.FillNormal(g, 0, 1)
+	l := make([]float64, n)
+	r.FillLaplace(l, 0, 1)
+	varied := 0
+	for i := 1; i < n; i++ {
+		if g[i] != g[0] || l[i] != l[0] {
+			varied++
+		}
+	}
+	if varied == 0 {
+		t.Fatal("fillers produced constant output")
+	}
+}
+
+// Property: shuffling preserves the multiset of elements.
+func TestShufflePreservesElements(t *testing.T) {
+	f := func(seed uint64, raw []int8) bool {
+		r := New(seed)
+		p := make([]int, len(raw))
+		for i, v := range raw {
+			p[i] = int(v)
+		}
+		counts := map[int]int{}
+		for _, v := range p {
+			counts[v]++
+		}
+		r.Shuffle(p)
+		for _, v := range p {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkLaplace(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Laplace(0, 1)
+	}
+	_ = sink
+}
+
+func BenchmarkNormal(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = r.Normal(0, 1)
+	}
+	_ = sink
+}

@@ -1,0 +1,160 @@
+// Package simnet models communication costs for the paper's two transport
+// regimes: RDMA-enabled MPI on a cluster interconnect (InfiniBand, direct
+// GPU-to-GPU transfers, Section IV-C) and gRPC-style RPC over TCP with
+// protobuf serialization and traffic-dependent jitter (Section IV-D).
+//
+// The models are analytic — latency + size/bandwidth (+ serialization)
+// scaled by optional lognormal jitter — with constants calibrated so the
+// qualitative relations the paper reports hold: MPI roughly 10× faster
+// cumulative communication than gRPC, gRPC round times spread by a factor
+// of ≈30 between rounds, and MPI gather cost that shrinks far more slowly
+// than the per-rank payload (factor ≈8 vs 40). Absolute values are
+// documented estimates, not measurements of Summit.
+package simnet
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Link models one network path.
+type Link struct {
+	// LatencySec is the fixed per-message cost (network latency plus
+	// per-call software overhead).
+	LatencySec float64
+	// BandwidthBps is the sustained transfer rate in bytes per second.
+	BandwidthBps float64
+	// SerializeBps, when positive, adds 2·size/SerializeBps per message for
+	// serialization + deserialization (the protobuf cost gRPC pays and RDMA
+	// does not). Zero disables it.
+	SerializeBps float64
+	// CopyBps, when positive, adds 2·size/CopyBps for the GPU→CPU and
+	// CPU→GPU copies that non-RDMA transports require. Zero disables it.
+	CopyBps float64
+	// JitterSigma is the σ of a lognormal multiplier applied to the whole
+	// message time, modeling shared-network traffic. Zero disables jitter.
+	JitterSigma float64
+}
+
+// TransferTime returns the modelled time in seconds to move a message of
+// the given size across the link. r supplies jitter and may be nil when
+// JitterSigma is zero.
+func (l Link) TransferTime(bytes int, r *rng.RNG) float64 {
+	if bytes < 0 {
+		panic("simnet: negative message size")
+	}
+	t := l.LatencySec + float64(bytes)/l.BandwidthBps
+	if l.SerializeBps > 0 {
+		t += 2 * float64(bytes) / l.SerializeBps
+	}
+	if l.CopyBps > 0 {
+		t += 2 * float64(bytes) / l.CopyBps
+	}
+	if l.JitterSigma > 0 {
+		if r == nil {
+			panic("simnet: jittered link needs an RNG")
+		}
+		t *= r.LogNormal(0, l.JitterSigma)
+	}
+	return t
+}
+
+// MeanTransferTime returns the expected transfer time (lognormal mean
+// multiplier applied analytically), useful for deterministic projections.
+func (l Link) MeanTransferTime(bytes int) float64 {
+	t := (Link{
+		LatencySec:   l.LatencySec,
+		BandwidthBps: l.BandwidthBps,
+		SerializeBps: l.SerializeBps,
+		CopyBps:      l.CopyBps,
+	}).TransferTime(bytes, nil)
+	if l.JitterSigma > 0 {
+		t *= math.Exp(l.JitterSigma * l.JitterSigma / 2)
+	}
+	return t
+}
+
+// RDMALink returns the MPI-over-InfiniBand model: direct GPU-to-GPU
+// transfers (no serialization, no host copies, no traffic jitter), low
+// latency, high bandwidth.
+func RDMALink() Link {
+	return Link{
+		LatencySec:   50e-6,
+		BandwidthBps: 2.0e9,
+	}
+}
+
+// TCPLink returns the gRPC model: TCP latency, lower effective bandwidth,
+// protobuf serialization on both ends, host staging copies, and lognormal
+// traffic jitter. The defaults yield ≈10× the RDMA cumulative time with a
+// ≈30× spread between the fastest and slowest rounds, matching Fig. 4.
+func TCPLink() Link {
+	return Link{
+		LatencySec:   500e-6,
+		BandwidthBps: 0.6e9,
+		SerializeBps: 1.2e9,
+		CopyBps:      4.0e9,
+		JitterSigma:  0.85,
+	}
+}
+
+// Collective models the per-rank cost of an MPI collective over nRanks
+// participants. MPI gathers are tree-structured: a fixed software cost, a
+// per-stage cost growing with ⌈log₂(n+1)⌉, and a bandwidth term on the
+// rank's own payload. The fixed and stage terms are why gather time shrinks
+// by only ≈8× when the payload shrinks 40× (Fig. 3b).
+type Collective struct {
+	Alpha float64 // fixed per-call cost (s)
+	Beta  float64 // per-tree-stage cost (s)
+	BW    float64 // per-rank drain bandwidth (B/s)
+}
+
+// DefaultCollective returns gather constants calibrated for Fig. 3. They
+// are *effective* constants that fold in the software overheads the paper's
+// Summit measurements include (Python, mpi4py, GPU staging), not raw link
+// speeds: with the FEMNIST sweep's per-rank payloads (41→1 clients/rank ×
+// ≈4.8 MB model) and per-client compute of 6.96 s, they produce a gather
+// fraction rising from ≈5% at 5 ranks to ≈30% at 203 ranks while gather
+// time shrinks by only ≈5× as the payload shrinks 41×.
+func DefaultCollective() Collective {
+	return Collective{
+		Alpha: 2.55,
+		Beta:  0.05,
+		BW:    16e6,
+	}
+}
+
+// Gather returns the modelled per-rank time of MPI.gather() with nRanks
+// senders contributing bytesPerRank each.
+func (c Collective) Gather(nRanks, bytesPerRank int) float64 {
+	if nRanks <= 0 {
+		panic("simnet: Gather needs nRanks > 0")
+	}
+	stages := math.Ceil(math.Log2(float64(nRanks) + 1))
+	return c.Alpha + c.Beta*stages + float64(bytesPerRank)/c.BW
+}
+
+// Clock is a virtual clock for discrete-event style accounting. Simulated
+// experiments advance it analytically instead of sleeping.
+type Clock struct {
+	now float64
+}
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance moves the clock forward by dt seconds (panics on negative dt).
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic("simnet: cannot advance clock backwards")
+	}
+	c.now += dt
+}
+
+// AdvanceTo moves the clock to t if t is later than now.
+func (c *Clock) AdvanceTo(t float64) {
+	if t > c.now {
+		c.now = t
+	}
+}

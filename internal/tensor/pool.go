@@ -1,0 +1,72 @@
+package tensor
+
+import "fmt"
+
+// MaxPool2DForward applies max pooling with a square kernel and stride to a
+// batch x [N, C, H, W]. It returns the pooled output [N, C, OH, OW] and the
+// flat argmax index (into each sample's data) for every output element, which
+// the backward pass uses to route gradients.
+func MaxPool2DForward(x *Tensor, kernel, stride int) (y *Tensor, argmax []int) {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: MaxPool2DForward requires [N,C,H,W], got %v", x.shape))
+	}
+	n, c, h, w := x.shape[0], x.shape[1], x.shape[2], x.shape[3]
+	oh := ConvOut(h, kernel, stride, 0)
+	ow := ConvOut(w, kernel, stride, 0)
+	if oh <= 0 || ow <= 0 {
+		panic("tensor: MaxPool2DForward output is empty")
+	}
+	y = New(n, c, oh, ow)
+	argmax = make([]int, n*c*oh*ow)
+	sampleLen := c * h * w
+	parallelFor(n, func(i int) {
+		src := x.data[i*sampleLen : (i+1)*sampleLen]
+		outBase := i * c * oh * ow
+		for ci := 0; ci < c; ci++ {
+			chanBase := ci * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					iy0, ix0 := oy*stride, ox*stride
+					bestIdx := chanBase + iy0*w + ix0
+					best := src[bestIdx]
+					for ky := 0; ky < kernel; ky++ {
+						rowBase := chanBase + (iy0+ky)*w
+						for kx := 0; kx < kernel; kx++ {
+							idx := rowBase + ix0 + kx
+							if src[idx] > best {
+								best, bestIdx = src[idx], idx
+							}
+						}
+					}
+					o := outBase + (ci*oh+oy)*ow + ox
+					y.data[o] = best
+					argmax[o] = bestIdx
+				}
+			}
+		}
+	})
+	return y, argmax
+}
+
+// MaxPool2DBackward routes the upstream gradient dy [N, C, OH, OW] back to
+// the positions recorded in argmax, producing dx with the input shape.
+func MaxPool2DBackward(dy *Tensor, argmax []int, inShape []int) *Tensor {
+	if len(inShape) != 4 {
+		panic("tensor: MaxPool2DBackward requires a rank-4 input shape")
+	}
+	if len(argmax) != dy.Size() {
+		panic(fmt.Sprintf("tensor: MaxPool2DBackward argmax length %d does not match dy size %d", len(argmax), dy.Size()))
+	}
+	dx := New(inShape...)
+	n := inShape[0]
+	sampleLen := inShape[1] * inShape[2] * inShape[3]
+	outSample := dy.Size() / n
+	for i := 0; i < n; i++ {
+		dst := dx.data[i*sampleLen : (i+1)*sampleLen]
+		for j := 0; j < outSample; j++ {
+			o := i*outSample + j
+			dst[argmax[o]] += dy.data[o]
+		}
+	}
+	return dx
+}

@@ -1,0 +1,242 @@
+// Package wire implements a protocol-buffers-style binary codec and the
+// message schema exchanged between the APPFL server and clients. It stands
+// in for gRPC's protobuf layer: varint-encoded tags and lengths, zigzag
+// signed integers, IEEE-754 fixed64 doubles, and packed repeated fields.
+// Every model upload/download in the RPC transport passes through this
+// codec, so serialization cost — one of the two causes the paper gives for
+// gRPC's slowdown versus RDMA-enabled MPI — is real and measurable here.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Wire types, following the protobuf encoding.
+const (
+	typeVarint  = 0
+	typeFixed64 = 1
+	typeBytes   = 2
+)
+
+// Encoding/decoding errors.
+var (
+	ErrTruncated = errors.New("wire: truncated message")
+	ErrOverflow  = errors.New("wire: varint overflows 64 bits")
+	ErrBadTag    = errors.New("wire: malformed field tag")
+)
+
+// Encoder appends encoded fields to a byte buffer.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder, optionally reusing buf's storage.
+func NewEncoder(buf []byte) *Encoder { return &Encoder{buf: buf[:0]} }
+
+// Bytes returns the encoded message.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+func (e *Encoder) varint(v uint64) {
+	for v >= 0x80 {
+		e.buf = append(e.buf, byte(v)|0x80)
+		v >>= 7
+	}
+	e.buf = append(e.buf, byte(v))
+}
+
+func (e *Encoder) tag(field, wtype int) { e.varint(uint64(field)<<3 | uint64(wtype)) }
+
+// Uint64 encodes field as a varint.
+func (e *Encoder) Uint64(field int, v uint64) {
+	e.tag(field, typeVarint)
+	e.varint(v)
+}
+
+// Int64 encodes field as a zigzag varint.
+func (e *Encoder) Int64(field int, v int64) {
+	e.Uint64(field, uint64(v<<1)^uint64(v>>63))
+}
+
+// Bool encodes field as a 0/1 varint.
+func (e *Encoder) Bool(field int, v bool) {
+	b := uint64(0)
+	if v {
+		b = 1
+	}
+	e.Uint64(field, b)
+}
+
+// Float64 encodes field as fixed64.
+func (e *Encoder) Float64(field int, v float64) {
+	e.tag(field, typeFixed64)
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	e.buf = append(e.buf, tmp[:]...)
+}
+
+// Bytes64 encodes field as a length-delimited byte string.
+func (e *Encoder) BytesField(field int, v []byte) {
+	e.tag(field, typeBytes)
+	e.varint(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// String encodes field as a length-delimited UTF-8 string.
+func (e *Encoder) String(field int, v string) {
+	e.tag(field, typeBytes)
+	e.varint(uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// Doubles encodes field as a packed repeated double: a length-delimited
+// block of little-endian fixed64 values. This is the dominant payload of
+// every model exchange.
+func (e *Encoder) Doubles(field int, v []float64) {
+	e.tag(field, typeBytes)
+	e.varint(uint64(8 * len(v)))
+	var tmp [8]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(x))
+		e.buf = append(e.buf, tmp[:]...)
+	}
+}
+
+// Decoder consumes encoded fields from a buffer.
+type Decoder struct {
+	buf []byte
+	pos int
+}
+
+// NewDecoder wraps buf for reading.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// More reports whether any bytes remain.
+func (d *Decoder) More() bool { return d.pos < len(d.buf) }
+
+func (d *Decoder) varint() (uint64, error) {
+	var v uint64
+	var shift uint
+	for {
+		if d.pos >= len(d.buf) {
+			return 0, ErrTruncated
+		}
+		b := d.buf[d.pos]
+		d.pos++
+		if shift == 63 && b > 1 {
+			return 0, ErrOverflow
+		}
+		v |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			return v, nil
+		}
+		shift += 7
+		if shift > 63 {
+			return 0, ErrOverflow
+		}
+	}
+}
+
+// Tag reads the next field tag, returning field number and wire type.
+func (d *Decoder) Tag() (field, wtype int, err error) {
+	t, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	field = int(t >> 3)
+	wtype = int(t & 7)
+	if field == 0 || wtype > typeBytes {
+		return 0, 0, ErrBadTag
+	}
+	return field, wtype, nil
+}
+
+// Uint64 reads a varint payload.
+func (d *Decoder) Uint64() (uint64, error) { return d.varint() }
+
+// Int64 reads a zigzag varint payload.
+func (d *Decoder) Int64() (int64, error) {
+	u, err := d.varint()
+	if err != nil {
+		return 0, err
+	}
+	return int64(u>>1) ^ -int64(u&1), nil
+}
+
+// Bool reads a varint payload as a bool.
+func (d *Decoder) Bool() (bool, error) {
+	u, err := d.varint()
+	return u != 0, err
+}
+
+// Float64 reads a fixed64 payload.
+func (d *Decoder) Float64() (float64, error) {
+	if d.pos+8 > len(d.buf) {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return v, nil
+}
+
+// BytesField reads a length-delimited payload without copying.
+func (d *Decoder) BytesField() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)-d.pos) {
+		return nil, ErrTruncated
+	}
+	out := d.buf[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// String reads a length-delimited payload as a string.
+func (d *Decoder) String() (string, error) {
+	b, err := d.BytesField()
+	return string(b), err
+}
+
+// Doubles reads a packed repeated double payload.
+func (d *Decoder) Doubles() ([]float64, error) {
+	b, err := d.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("wire: packed doubles length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}
+
+// Skip discards a payload of the given wire type, allowing decoders to
+// ignore unknown fields (forward compatibility, as in protobuf).
+func (d *Decoder) Skip(wtype int) error {
+	switch wtype {
+	case typeVarint:
+		_, err := d.varint()
+		return err
+	case typeFixed64:
+		if d.pos+8 > len(d.buf) {
+			return ErrTruncated
+		}
+		d.pos += 8
+		return nil
+	case typeBytes:
+		_, err := d.BytesField()
+		return err
+	default:
+		return ErrBadTag
+	}
+}

@@ -1,0 +1,273 @@
+package wire
+
+import "fmt"
+
+// Kind discriminates the RPC message types exchanged between server and
+// clients, carried in the transport frame header.
+type Kind uint8
+
+// Message kinds.
+const (
+	KindJoin        Kind = 1 // client → server: registration
+	KindJoinAck     Kind = 2 // server → client: run configuration
+	KindGlobalModel Kind = 3 // server → client: weights for the next round
+	KindLocalUpdate Kind = 4 // client → server: trained local parameters
+	KindShutdown    Kind = 5 // server → client: training complete
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindJoin:
+		return "Join"
+	case KindJoinAck:
+		return "JoinAck"
+	case KindGlobalModel:
+		return "GlobalModel"
+	case KindLocalUpdate:
+		return "LocalUpdate"
+	case KindShutdown:
+		return "Shutdown"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Join is the registration message a client sends on connect.
+type Join struct {
+	ClientID uint32
+	Name     string
+}
+
+// Marshal encodes m.
+func (m *Join) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(m.ClientID))
+	e.String(2, m.Name)
+}
+
+// Unmarshal decodes m, ignoring unknown fields.
+func (m *Join) Unmarshal(d *Decoder) error {
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.ClientID = uint32(v)
+		case 2:
+			s, err := d.String()
+			if err != nil {
+				return err
+			}
+			m.Name = s
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// JoinAck is the server's reply carrying run configuration.
+type JoinAck struct {
+	NumClients uint32
+	Rounds     uint32
+	ModelSize  uint64
+}
+
+// Marshal encodes m.
+func (m *JoinAck) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(m.NumClients))
+	e.Uint64(2, uint64(m.Rounds))
+	e.Uint64(3, m.ModelSize)
+}
+
+// Unmarshal decodes m, ignoring unknown fields.
+func (m *JoinAck) Unmarshal(d *Decoder) error {
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.NumClients = uint32(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.Rounds = uint32(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.ModelSize = v
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// GlobalModel carries the global weights w^{t+1} from server to clients.
+// Rho, when positive, is the penalty ρ_t the clients must use this round —
+// the channel through which the adaptive-penalty extension (paper §V,
+// item 2) keeps server and clients consistent.
+type GlobalModel struct {
+	Round   uint32
+	Weights []float64
+	Final   bool
+	Rho     float64
+}
+
+// Marshal encodes m.
+func (m *GlobalModel) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(m.Round))
+	e.Doubles(2, m.Weights)
+	e.Bool(3, m.Final)
+	if m.Rho > 0 {
+		e.Float64(4, m.Rho)
+	}
+}
+
+// Unmarshal decodes m, ignoring unknown fields.
+func (m *GlobalModel) Unmarshal(d *Decoder) error {
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.Round = uint32(v)
+		case 2:
+			v, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			m.Weights = v
+		case 3:
+			v, err := d.Bool()
+			if err != nil {
+				return err
+			}
+			m.Final = v
+		case 4:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			m.Rho = v
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LocalUpdate carries a client's trained parameters to the server. Primal
+// is always present (z_p); Dual (λ_p) is populated only by algorithms that
+// communicate dual information (ICEADMM) — its absence is precisely
+// IIADMM's communication saving.
+type LocalUpdate struct {
+	ClientID   uint32
+	Round      uint32
+	NumSamples uint64
+	Primal     []float64
+	Dual       []float64
+	Epsilon    float64 // privacy budget used for this release (+Inf = none)
+	ComputeSec float64 // client-side local update time, for instrumentation
+}
+
+// Marshal encodes m. An empty Dual is omitted entirely, so the byte size
+// reflects the algorithm's true communication volume.
+func (m *LocalUpdate) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(m.ClientID))
+	e.Uint64(2, uint64(m.Round))
+	e.Uint64(3, m.NumSamples)
+	e.Doubles(4, m.Primal)
+	if len(m.Dual) > 0 {
+		e.Doubles(5, m.Dual)
+	}
+	e.Float64(6, m.Epsilon)
+	e.Float64(7, m.ComputeSec)
+}
+
+// Unmarshal decodes m, ignoring unknown fields.
+func (m *LocalUpdate) Unmarshal(d *Decoder) error {
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.ClientID = uint32(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.Round = uint32(v)
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.NumSamples = v
+		case 4:
+			v, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			m.Primal = v
+		case 5:
+			v, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			m.Dual = v
+		case 6:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			m.Epsilon = v
+		case 7:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			m.ComputeSec = v
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
