@@ -66,13 +66,26 @@ const (
 	AlgoIIADMM  = core.AlgoIIADMM
 )
 
+// Scheduler identifiers for Config.Scheduler: the participation policy is
+// orthogonal to the algorithm. SchedSyncAll barriers on every client each
+// round; SchedSampled schedules a pseudorandom cohort per round (true
+// partial participation); SchedBuffered releases an aggregation as soon
+// as Config.BufferK updates arrive, FedBuff-style.
+const (
+	SchedSyncAll  = core.SchedSyncAll
+	SchedSampled  = core.SchedSampled
+	SchedBuffered = core.SchedBuffered
+)
+
 // Transports for RunOptions.Transport.
 const (
 	TransportMPI    = core.TransportMPI
 	TransportPubSub = core.TransportPubSub
+	TransportRPC    = core.TransportRPC
 )
 
-// Run executes a synchronous federated simulation; see core.Run.
+// Run executes a federated simulation under the configured scheduler and
+// aggregator; see core.Run.
 func Run(cfg Config, fed *Federated, factory Factory, opts RunOptions) (*Result, error) {
 	return core.Run(cfg, fed, factory, opts)
 }

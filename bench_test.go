@@ -13,6 +13,7 @@ package appfl
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -165,6 +166,53 @@ func BenchmarkAblationTransports(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSchedulerStragglerCohort measures the headline win of the
+// Scheduler × Aggregator split: a fixed workload (8 clients, 6 global
+// aggregations, one client straggling 40 ms per update) under the
+// synchronous barrier versus the FedBuff-style buffered scheduler. The
+// barrier pays the straggler every round; buffered releases as soon as
+// K=4 updates land, so the straggler delays at most the final drain. The
+// reported "speedup-x" is sync wall time over buffered wall time (> 1
+// means buffered wins).
+func BenchmarkSchedulerStragglerCohort(b *testing.B) {
+	const (
+		clients        = 8
+		rounds         = 6
+		stragglerDelay = 40 * time.Millisecond
+	)
+	fed := MNISTFederation(clients, 512, 64, 17)
+	// Drop the test set so no evaluation ever runs inside the timed
+	// region: the benchmark measures pure round wall time.
+	fed = &Federated{Clients: fed.Clients}
+	factory := MLPFactory(28*28, []int{16}, 10, 17)
+	delay := func(client, round int) time.Duration {
+		if client == clients-1 {
+			return stragglerDelay
+		}
+		return 0
+	}
+	run := func(cfg Config) float64 {
+		start := time.Now()
+		if _, err := Run(cfg, fed, factory, RunOptions{ClientDelay: delay}); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start).Seconds()
+	}
+	base := Config{Algorithm: AlgoFedAvg, Rounds: rounds, LocalSteps: 1, BatchSize: 32, Seed: 17}
+	buffered := base
+	buffered.Scheduler = core.SchedBuffered
+	buffered.BufferK = 4
+	var syncSec, bufSec float64
+	for i := 0; i < b.N; i++ {
+		syncSec += run(base)
+		bufSec += run(buffered)
+	}
+	n := float64(b.N)
+	b.ReportMetric(syncSec/n, "sync-sec/op")
+	b.ReportMetric(bufSec/n, "buffered-sec/op")
+	b.ReportMetric(syncSec/bufSec, "speedup-x")
 }
 
 // BenchmarkRoundIIADMM measures one full IIADMM round (4 clients, CNN) —

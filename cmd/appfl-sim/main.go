@@ -28,7 +28,14 @@ func main() {
 	train := flag.Int("train", 960, "training samples")
 	test := flag.Int("test", 240, "test samples")
 	seed := flag.Uint64("seed", 1, "master seed")
-	transport := flag.String("transport", "mpi", "mpi | pubsub")
+	transport := flag.String("transport", "mpi", "mpi | pubsub | rpc")
+	scheduler := flag.String("scheduler", "syncall", "syncall | sampled | buffered")
+	cohortFraction := flag.Float64("cohort-fraction", 0.25, "sampled: fraction of clients per round")
+	cohortMin := flag.Int("cohort-min", 1, "sampled: minimum cohort size")
+	bufferK := flag.Int("buffer-k", 0, "buffered: updates per release (0 = half the clients)")
+	maxStaleness := flag.Int("max-staleness", 0, "buffered: drop updates staler than this many releases (0 = keep all)")
+	alpha := flag.Float64("alpha", 0, "buffered: base mixing rate (0 = default 0.6)")
+	gamma := flag.Float64("gamma", 0, "buffered: staleness-decay exponent (0 = default 0.5)")
 	flag.Parse()
 
 	epsVal := math.Inf(1)
@@ -61,15 +68,26 @@ func main() {
 	}
 
 	cfg := appfl.Config{
-		Algorithm:  *algorithm,
-		Rounds:     *rounds,
-		LocalSteps: *localSteps,
-		BatchSize:  *batch,
-		Epsilon:    epsVal,
-		Seed:       *seed,
+		Algorithm:      *algorithm,
+		Rounds:         *rounds,
+		LocalSteps:     *localSteps,
+		BatchSize:      *batch,
+		Epsilon:        epsVal,
+		Seed:           *seed,
+		Scheduler:      *scheduler,
+		CohortFraction: *cohortFraction,
+		CohortMin:      *cohortMin,
+		BufferK:        *bufferK,
+		MaxStaleness:   *maxStaleness,
+		AsyncAlpha:     *alpha,
+		AsyncGamma:     *gamma,
 	}
-	fmt.Printf("appfl-sim: %s on %s, %d clients, T=%d, L=%d, eps=%v, transport=%s\n",
-		*algorithm, *ds, fed.NumClients(), *rounds, *localSteps, *eps, *transport)
+	if *scheduler != appfl.SchedSampled {
+		cfg.CohortFraction = 0
+		cfg.CohortMin = 0
+	}
+	fmt.Printf("appfl-sim: %s on %s, %d clients, T=%d, L=%d, eps=%v, transport=%s, scheduler=%s\n",
+		*algorithm, *ds, fed.NumClients(), *rounds, *localSteps, *eps, *transport, *scheduler)
 	res, err := appfl.Run(cfg, fed, factory, appfl.RunOptions{
 		Transport: core.Transport(*transport),
 		Progress:  os.Stdout,
@@ -82,4 +100,10 @@ func main() {
 	fmt.Printf("traffic: uploads %d B, downloads %d B (%.2f models/client/round up)\n",
 		res.UploadsB, res.DownloadsB,
 		float64(res.UploadsB)/float64(fed.NumClients()*(*rounds)*8*res.ModelDim))
+	if res.Stale > 0 || res.Dropped > 0 {
+		fmt.Printf("staleness: %d stale updates folded, %d dropped beyond the bound\n", res.Stale, res.Dropped)
+	}
+	if res.Echoes > 0 {
+		fmt.Printf("legacy partial participation: %d zero-weight echoes crossed the wire\n", res.Echoes)
+	}
 }

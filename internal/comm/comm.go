@@ -9,19 +9,42 @@
 package comm
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/wire"
 )
 
-// ServerTransport is the server's side of the protocol: one broadcast of
-// the global model followed by one gather of local updates per round.
+// ServerTransport is the server's side of the protocol. The classic
+// synchronous round is one Broadcast followed by one Gather; the
+// scheduler-driven rounds introduced with partial participation use the
+// cohort forms (SendTo/GatherFrom), and the buffered semi-asynchronous
+// scheduler consumes arrivals one batch at a time through GatherAny.
+//
+// Every non-final model delivered to a client obliges exactly one
+// LocalUpdate in return. The connection-oriented transports (mpi, rpc)
+// track the obligation per client, so a duplicate dispatch or an update
+// from a client outside the awaited set is a protocol error; the pub/sub
+// broker is connectionless and only counts dispatches vs collections
+// (attribution there happens in GatherFrom via OrderByClient). All
+// transports fail fast when asked to gather more than is outstanding.
 type ServerTransport interface {
 	// Broadcast delivers the global model to every client.
 	Broadcast(m *wire.GlobalModel) error
+	// SendTo delivers the global model to the listed clients only.
+	SendTo(clients []int, m *wire.GlobalModel) error
 	// Gather collects exactly one local update from every client, in client
 	// order.
 	Gather() ([]*wire.LocalUpdate, error)
+	// GatherFrom collects exactly one local update from each listed client
+	// and returns them ordered as listed. An update from a client not in
+	// the list is an error.
+	GatherFrom(clients []int) ([]*wire.LocalUpdate, error)
+	// GatherAny blocks until n of the currently outstanding updates have
+	// arrived and returns them in arrival order — the primitive behind
+	// buffered (FedBuff-style) aggregation, where a release happens as soon
+	// as a quorum lands regardless of which clients supplied it.
+	GatherAny(n int) ([]*wire.LocalUpdate, error)
 	// Stats returns a snapshot of traffic counters.
 	Stats() Snapshot
 	// Close releases transport resources.
@@ -38,6 +61,43 @@ type ClientTransport interface {
 	Stats() Snapshot
 	// Close releases transport resources.
 	Close() error
+}
+
+// AllClients returns the identity cohort [0, 1, ..., n-1], the degenerate
+// schedule under which the cohort forms reduce to Broadcast/Gather.
+func AllClients(n int) []int {
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// OrderByClient rearranges arrival-ordered updates into the order of the
+// requested client list. It reports an error when the two sets differ —
+// a duplicate, missing, or out-of-cohort update.
+func OrderByClient(clients []int, got []*wire.LocalUpdate) ([]*wire.LocalUpdate, error) {
+	byID := make(map[int]*wire.LocalUpdate, len(got))
+	for _, u := range got {
+		id := int(u.ClientID)
+		if _, dup := byID[id]; dup {
+			return nil, fmt.Errorf("comm: duplicate update from client %d in one gather", id)
+		}
+		byID[id] = u
+	}
+	out := make([]*wire.LocalUpdate, len(clients))
+	for i, id := range clients {
+		u, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("comm: no update from scheduled client %d", id)
+		}
+		out[i] = u
+		delete(byID, id)
+	}
+	for id := range byID {
+		return nil, fmt.Errorf("comm: update from out-of-cohort client %d", id)
+	}
+	return out, nil
 }
 
 // Stats is a thread-safe traffic counter shared by transport endpoints.

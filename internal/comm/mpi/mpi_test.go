@@ -259,10 +259,10 @@ func TestFLTransportRoundTrip(t *testing.T) {
 			t.Fatalf("epsilon lost: %v", u.Epsilon)
 		}
 	}
-	// Byte accounting: server sent P copies of (4 header + 2 weights) floats.
+	// Byte accounting: server sent P copies of (6 header + 2 weights) floats.
 	snap := server.Stats()
-	if snap.BytesSent != uint64(P*8*6) {
-		t.Fatalf("server bytes sent %d, want %d", snap.BytesSent, P*8*6)
+	if snap.BytesSent != uint64(P*8*8) {
+		t.Fatalf("server bytes sent %d, want %d", snap.BytesSent, P*8*8)
 	}
 	if snap.MsgsRecv != P {
 		t.Fatalf("server msgs recv %d", snap.MsgsRecv)

@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/comm"
 	"repro/internal/wire"
@@ -12,12 +13,35 @@ import (
 // ranks 1..P are clients. Structured messages travel as flat float64
 // buffers with a small numeric header — a buffer copy, not a serialization
 // pass, mirroring how MPI with RDMA moves model tensors directly.
+//
+// Cohort scheduling rules out world-wide collectives (a Bcast would block
+// on ranks that are not scheduled this round), so the adapter uses tagged
+// point-to-point sends: one tagGlobal message per scheduled client, one
+// tagUpdate reply per delivered model. Every dispatched non-final model
+// registers a receiver goroutine for exactly one reply, which feeds a
+// shared arrival channel; Gather/GatherFrom/GatherAny drain it.
 
-// ServerTransport adapts a server rank to the comm.ServerTransport
-// interface using genuine collective calls (Bcast, Gather).
+// Message tags of the FL protocol.
+const (
+	tagGlobal = -10 // server → client: packed GlobalModel
+	tagUpdate = -11 // client → server: packed LocalUpdate
+)
+
+// arrival is one received update buffer, tagged with its source rank.
+type arrival struct {
+	rank int
+	buf  []float64
+}
+
+// ServerTransport adapts the server rank to comm.ServerTransport.
 type ServerTransport struct {
-	c     *Comm
-	stats comm.Stats
+	c        *Comm
+	stats    comm.Stats
+	arrivals chan arrival
+
+	mu      sync.Mutex
+	pending []bool // pending[i]: client i owes an update
+	nOwed   int
 }
 
 // ClientTransport adapts a client rank to comm.ClientTransport.
@@ -30,7 +54,11 @@ type ClientTransport struct {
 // returns the transports. Client i (0-based) runs on rank i+1.
 func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
 	w := NewWorld(numClients + 1)
-	server := &ServerTransport{c: w.Rank(0)}
+	server := &ServerTransport{
+		c:        w.Rank(0),
+		arrivals: make(chan arrival, numClients),
+		pending:  make([]bool, numClients),
+	}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
 		clients[i] = &ClientTransport{c: w.Rank(i + 1)}
@@ -40,66 +68,76 @@ func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
 
 // packGlobal flattens a GlobalModel into one buffer.
 func packGlobal(m *wire.GlobalModel) []float64 {
-	buf := make([]float64, 4+len(m.Weights))
+	buf := make([]float64, 6+len(m.Weights))
 	buf[0] = float64(m.Round)
 	if m.Final {
 		buf[1] = 1
 	}
 	buf[2] = m.Rho
-	buf[3] = float64(len(m.Weights))
-	copy(buf[4:], m.Weights)
+	buf[3] = float64(m.Version)
+	buf[4] = float64(m.CohortSize)
+	buf[5] = float64(len(m.Weights))
+	copy(buf[6:], m.Weights)
 	return buf
 }
 
 func unpackGlobal(buf []float64) (*wire.GlobalModel, error) {
-	if len(buf) < 4 {
+	if len(buf) < 6 {
 		return nil, fmt.Errorf("mpi: global-model buffer too short (%d)", len(buf))
 	}
-	n := int(buf[3])
-	if len(buf) != 4+n {
+	n := int(buf[5])
+	if len(buf) != 6+n {
 		return nil, fmt.Errorf("mpi: global-model buffer length %d, header says %d weights", len(buf), n)
 	}
 	return &wire.GlobalModel{
-		Round:   uint32(buf[0]),
-		Final:   buf[1] != 0,
-		Rho:     buf[2],
-		Weights: buf[4 : 4+n],
+		Round:      uint32(buf[0]),
+		Final:      buf[1] != 0,
+		Rho:        buf[2],
+		Version:    uint64(buf[3]),
+		CohortSize: uint32(buf[4]),
+		Weights:    buf[6 : 6+n],
 	}, nil
 }
 
 // packUpdate flattens a LocalUpdate into one buffer.
 func packUpdate(m *wire.LocalUpdate) []float64 {
-	buf := make([]float64, 7+len(m.Primal)+len(m.Dual))
+	buf := make([]float64, 9+len(m.Primal)+len(m.Dual))
 	buf[0] = float64(m.ClientID)
 	buf[1] = float64(m.Round)
 	buf[2] = float64(m.NumSamples)
 	buf[3] = m.Epsilon
 	buf[4] = m.ComputeSec
-	buf[5] = float64(len(m.Primal))
-	buf[6] = float64(len(m.Dual))
-	copy(buf[7:], m.Primal)
-	copy(buf[7+len(m.Primal):], m.Dual)
+	buf[5] = float64(m.BaseVersion)
+	if m.InCohort {
+		buf[6] = 1
+	}
+	buf[7] = float64(len(m.Primal))
+	buf[8] = float64(len(m.Dual))
+	copy(buf[9:], m.Primal)
+	copy(buf[9+len(m.Primal):], m.Dual)
 	return buf
 }
 
 func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
-	if len(buf) < 7 {
+	if len(buf) < 9 {
 		return nil, fmt.Errorf("mpi: update buffer too short (%d)", len(buf))
 	}
-	np, nd := int(buf[5]), int(buf[6])
-	if len(buf) != 7+np+nd {
+	np, nd := int(buf[7]), int(buf[8])
+	if len(buf) != 9+np+nd {
 		return nil, fmt.Errorf("mpi: update buffer length %d, header says %d+%d payload", len(buf), np, nd)
 	}
 	u := &wire.LocalUpdate{
-		ClientID:   uint32(buf[0]),
-		Round:      uint32(buf[1]),
-		NumSamples: uint64(buf[2]),
-		Epsilon:    buf[3],
-		ComputeSec: buf[4],
-		Primal:     buf[7 : 7+np],
+		ClientID:    uint32(buf[0]),
+		Round:       uint32(buf[1]),
+		NumSamples:  uint64(buf[2]),
+		Epsilon:     buf[3],
+		ComputeSec:  buf[4],
+		BaseVersion: uint64(buf[5]),
+		InCohort:    buf[6] != 0,
+		Primal:      buf[9 : 9+np],
 	}
 	if nd > 0 {
-		u.Dual = buf[7+np : 7+np+nd]
+		u.Dual = buf[9+np : 9+np+nd]
 	}
 	if math.IsNaN(u.Epsilon) {
 		return nil, fmt.Errorf("mpi: update carries NaN epsilon")
@@ -107,30 +145,91 @@ func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
 	return u, nil
 }
 
-// Broadcast delivers the global model to every client rank via Bcast.
-func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
-	buf := packGlobal(m)
-	s.c.Bcast(0, buf)
-	// One logical message per client, 8 bytes per float64, as MPI would move.
-	for i := 0; i < s.c.Size()-1; i++ {
-		s.stats.AddSent(8 * len(buf))
+// dispatch sends the packed model to one client and, for non-final models,
+// registers a receiver for the obligatory reply.
+func (s *ServerTransport) dispatch(client int, buf []float64, final bool) error {
+	if client < 0 || client >= s.c.Size()-1 {
+		return fmt.Errorf("mpi: send to unknown client %d", client)
+	}
+	if !final {
+		s.mu.Lock()
+		if s.pending[client] {
+			s.mu.Unlock()
+			return fmt.Errorf("mpi: client %d already owes an update", client)
+		}
+		s.pending[client] = true
+		s.nOwed++
+		s.mu.Unlock()
+	}
+	s.c.Send(client+1, tagGlobal, buf)
+	s.stats.AddSent(8 * len(buf))
+	if !final {
+		go func() {
+			s.arrivals <- arrival{rank: client, buf: s.c.Recv(client+1, tagUpdate)}
+		}()
 	}
 	return nil
 }
 
-// Gather collects one update per client via the Gather collective.
-func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
-	parts := s.c.Gather(0, nil)
-	out := make([]*wire.LocalUpdate, 0, s.c.Size()-1)
-	for r := 1; r < s.c.Size(); r++ {
-		u, err := unpackUpdate(parts[r])
+// Broadcast delivers the global model to every client.
+func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
+	return s.SendTo(comm.AllClients(s.c.Size()-1), m)
+}
+
+// SendTo delivers the global model to the listed clients only.
+func (s *ServerTransport) SendTo(clients []int, m *wire.GlobalModel) error {
+	buf := packGlobal(m)
+	for _, c := range clients {
+		if err := s.dispatch(c, buf, m.Final); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect drains n arrivals in arrival order.
+func (s *ServerTransport) collect(n int) ([]*wire.LocalUpdate, error) {
+	s.mu.Lock()
+	owed := s.nOwed
+	s.mu.Unlock()
+	if n > owed {
+		return nil, fmt.Errorf("mpi: gathering %d updates with only %d outstanding", n, owed)
+	}
+	out := make([]*wire.LocalUpdate, 0, n)
+	for len(out) < n {
+		a := <-s.arrivals
+		s.mu.Lock()
+		s.pending[a.rank] = false
+		s.nOwed--
+		s.mu.Unlock()
+		u, err := unpackUpdate(a.buf)
 		if err != nil {
 			return nil, err
 		}
-		s.stats.AddRecv(8 * len(parts[r]))
+		s.stats.AddRecv(8 * len(a.buf))
 		out = append(out, u)
 	}
 	return out, nil
+}
+
+// Gather collects one update per client, ordered by client ID.
+func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
+	return s.GatherFrom(comm.AllClients(s.c.Size() - 1))
+}
+
+// GatherFrom collects one update from each listed client, ordered as
+// listed.
+func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
+	got, err := s.collect(len(clients))
+	if err != nil {
+		return nil, err
+	}
+	return comm.OrderByClient(clients, got)
+}
+
+// GatherAny collects the next n outstanding updates in arrival order.
+func (s *ServerTransport) GatherAny(n int) ([]*wire.LocalUpdate, error) {
+	return s.collect(n)
 }
 
 // Stats returns the server's traffic snapshot.
@@ -139,17 +238,17 @@ func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }
 // Close is a no-op for the in-process world.
 func (s *ServerTransport) Close() error { return nil }
 
-// RecvGlobal participates in the broadcast and returns the global model.
+// RecvGlobal blocks for the next global model addressed to this client.
 func (t *ClientTransport) RecvGlobal() (*wire.GlobalModel, error) {
-	buf := t.c.Bcast(0, nil)
+	buf := t.c.Recv(0, tagGlobal)
 	t.stats.AddRecv(8 * len(buf))
 	return unpackGlobal(buf)
 }
 
-// SendUpdate participates in the gather, contributing this client's update.
+// SendUpdate uploads this client's update to the server rank.
 func (t *ClientTransport) SendUpdate(m *wire.LocalUpdate) error {
 	buf := packUpdate(m)
-	t.c.Gather(0, buf)
+	t.c.Send(0, tagUpdate, buf)
 	t.stats.AddSent(8 * len(buf))
 	return nil
 }

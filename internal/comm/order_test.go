@@ -1,0 +1,49 @@
+package comm
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func lu(id int) *wire.LocalUpdate { return &wire.LocalUpdate{ClientID: uint32(id)} }
+
+func TestOrderByClientReordersArrivals(t *testing.T) {
+	out, err := OrderByClient([]int{3, 1, 5}, []*wire.LocalUpdate{lu(5), lu(3), lu(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{3, 1, 5} {
+		if int(out[i].ClientID) != want {
+			t.Fatalf("position %d: client %d, want %d", i, out[i].ClientID, want)
+		}
+	}
+}
+
+func TestOrderByClientRejectsDuplicates(t *testing.T) {
+	if _, err := OrderByClient([]int{1, 2}, []*wire.LocalUpdate{lu(1), lu(1)}); err == nil {
+		t.Fatal("duplicate update accepted")
+	}
+}
+
+func TestOrderByClientRejectsMissing(t *testing.T) {
+	if _, err := OrderByClient([]int{1, 2}, []*wire.LocalUpdate{lu(1)}); err == nil {
+		t.Fatal("missing update accepted")
+	}
+}
+
+func TestOrderByClientRejectsOutOfCohort(t *testing.T) {
+	if _, err := OrderByClient([]int{1}, []*wire.LocalUpdate{lu(7)}); err == nil {
+		t.Fatal("out-of-cohort update accepted")
+	}
+}
+
+func TestAllClientsIdentity(t *testing.T) {
+	ids := AllClients(3)
+	if len(ids) != 3 || ids[0] != 0 || ids[1] != 1 || ids[2] != 2 {
+		t.Fatalf("AllClients(3) = %v", ids)
+	}
+	if len(AllClients(0)) != 0 {
+		t.Fatal("AllClients(0) not empty")
+	}
+}

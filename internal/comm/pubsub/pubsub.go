@@ -40,11 +40,15 @@ func NewBroker() *Broker {
 	return &Broker{subs: map[string][]*Subscription{}}
 }
 
-// Subscription is one subscriber's ordered message queue.
+// Subscription is one subscriber's ordered message queue. Teardown is
+// signalled through done rather than by closing the message channel, so a
+// publisher mid-send to a departing subscriber backs off cleanly instead
+// of panicking on a closed channel.
 type Subscription struct {
 	broker *Broker
 	topic  string
 	ch     chan Message
+	done   chan struct{}
 	once   sync.Once
 }
 
@@ -57,12 +61,18 @@ func (b *Broker) Subscribe(topic string, capacity int) (*Subscription, error) {
 	if b.closed {
 		return nil, ErrClosed
 	}
-	s := &Subscription{broker: b, topic: topic, ch: make(chan Message, capacity)}
+	s := &Subscription{
+		broker: b,
+		topic:  topic,
+		ch:     make(chan Message, capacity),
+		done:   make(chan struct{}),
+	}
 	b.subs[topic] = append(b.subs[topic], s)
 	return s, nil
 }
 
-// Publish delivers payload to every current subscriber of topic.
+// Publish delivers payload to every current subscriber of topic. A
+// subscriber that unsubscribes mid-delivery simply misses the message.
 func (b *Broker) Publish(topic string, payload []byte) error {
 	b.mu.Lock()
 	if b.closed {
@@ -73,18 +83,33 @@ func (b *Broker) Publish(topic string, payload []byte) error {
 	b.mu.Unlock()
 	msg := Message{Topic: topic, Payload: payload}
 	for _, s := range subs {
-		s.ch <- msg
+		select {
+		case s.ch <- msg:
+		case <-s.done:
+		}
 	}
 	return nil
 }
 
-// Recv blocks for the next message; ok is false after Unsubscribe/Close.
+// Recv blocks for the next message; ok is false after Unsubscribe/Close
+// once the queue has drained.
 func (s *Subscription) Recv() (Message, bool) {
-	m, ok := <-s.ch
-	return m, ok
+	select {
+	case m := <-s.ch:
+		return m, true
+	case <-s.done:
+		// Drain messages that were queued before teardown, preserving the
+		// closed-channel semantics this replaced.
+		select {
+		case m := <-s.ch:
+			return m, true
+		default:
+			return Message{}, false
+		}
+	}
 }
 
-// Unsubscribe removes the subscription and closes its queue.
+// Unsubscribe removes the subscription and releases its queue.
 func (s *Subscription) Unsubscribe() {
 	s.once.Do(func() {
 		b := s.broker
@@ -97,7 +122,7 @@ func (s *Subscription) Unsubscribe() {
 			}
 		}
 		b.mu.Unlock()
-		close(s.ch)
+		close(s.done)
 	})
 }
 
@@ -116,22 +141,38 @@ func (b *Broker) Close() {
 	b.subs = map[string][]*Subscription{}
 	b.mu.Unlock()
 	for _, s := range all {
-		s.once.Do(func() { close(s.ch) })
+		s.once.Do(func() { close(s.done) })
 	}
 }
 
-// Topic names of the FL protocol mapping.
+// Topic names of the FL protocol mapping. Global models are published to
+// per-client topics (TopicGlobal/<id>) so a scheduler can address a cohort
+// rather than the whole federation; updates flow back over one shared
+// topic whose arrival order the buffered scheduler consumes directly.
 const (
 	TopicGlobal = "fl/global"
 	TopicUpdate = "fl/update"
 )
 
+// GlobalTopic returns the per-client topic carrying client id's models.
+func GlobalTopic(id int) string { return fmt.Sprintf("%s/%d", TopicGlobal, id) }
+
 // ServerTransport adapts a broker to comm.ServerTransport.
+//
+// A topic broker is connectionless, so unlike the mpi/rpc transports it
+// cannot attribute per-client obligations: spontaneous publishes are
+// accepted, and cohort attribution happens at GatherFrom via
+// comm.OrderByClient. The transport still counts models dispatched vs
+// updates collected so that GatherAny fails fast on an overdraw instead
+// of deadlocking.
 type ServerTransport struct {
 	broker     *Broker
 	numClients int
 	updates    *Subscription
 	stats      comm.Stats
+
+	mu    sync.Mutex
+	nOwed int
 }
 
 // ClientTransport adapts a broker to comm.ClientTransport.
@@ -152,7 +193,7 @@ func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	st := &ServerTransport{broker: b, numClients: numClients, updates: upd}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
-		g, err := b.Subscribe(TopicGlobal, 1)
+		g, err := b.Subscribe(GlobalTopic(i), 1)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -161,24 +202,36 @@ func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	return st, clients, nil
 }
 
-// Broadcast publishes the global model to the shared topic.
+// Broadcast publishes the global model to every client's topic.
 func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
+	return s.SendTo(comm.AllClients(s.numClients), m)
+}
+
+// SendTo publishes the global model to the listed clients' topics only.
+func (s *ServerTransport) SendTo(clients []int, m *wire.GlobalModel) error {
 	e := wire.NewEncoder(nil)
 	m.Marshal(e)
-	if err := s.broker.Publish(TopicGlobal, e.Bytes()); err != nil {
-		return err
-	}
-	for i := 0; i < s.numClients; i++ {
+	for _, c := range clients {
+		if c < 0 || c >= s.numClients {
+			return fmt.Errorf("pubsub: send to unknown client %d", c)
+		}
+		if err := s.broker.Publish(GlobalTopic(c), e.Bytes()); err != nil {
+			return err
+		}
 		s.stats.AddSent(e.Len())
+		if !m.Final {
+			s.mu.Lock()
+			s.nOwed++
+			s.mu.Unlock()
+		}
 	}
 	return nil
 }
 
-// Gather reads numClients updates from the update topic and orders them by
-// client ID.
-func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
-	out := make([]*wire.LocalUpdate, s.numClients)
-	for i := 0; i < s.numClients; i++ {
+// collect reads n updates from the shared update topic in arrival order.
+func (s *ServerTransport) collect(n int) ([]*wire.LocalUpdate, error) {
+	out := make([]*wire.LocalUpdate, 0, n)
+	for len(out) < n {
 		msg, ok := s.updates.Recv()
 		if !ok {
 			return nil, ErrClosed
@@ -188,16 +241,46 @@ func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
 		if err := u.Unmarshal(wire.NewDecoder(msg.Payload)); err != nil {
 			return nil, err
 		}
-		id := int(u.ClientID)
-		if id < 0 || id >= s.numClients {
+		if id := int(u.ClientID); id < 0 || id >= s.numClients {
 			return nil, fmt.Errorf("pubsub: update from unknown client %d", id)
 		}
-		if out[id] != nil {
-			return nil, fmt.Errorf("pubsub: duplicate update from client %d in one round", id)
+		out = append(out, &u)
+		s.mu.Lock()
+		if s.nOwed > 0 {
+			s.nOwed--
 		}
-		out[id] = &u
+		s.mu.Unlock()
 	}
 	return out, nil
+}
+
+// Gather reads numClients updates from the update topic and orders them by
+// client ID.
+func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
+	return s.GatherFrom(comm.AllClients(s.numClients))
+}
+
+// GatherFrom reads one update per listed client, ordered as listed.
+func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
+	got, err := s.collect(len(clients))
+	if err != nil {
+		return nil, err
+	}
+	return comm.OrderByClient(clients, got)
+}
+
+// GatherAny reads the next n updates in arrival order. Unlike Gather and
+// GatherFrom (which tolerate spontaneous publishes, QoS-0 style), it
+// checks the dispatch ledger so a scheduler overdraw fails fast instead
+// of blocking forever on an update that will never come.
+func (s *ServerTransport) GatherAny(n int) ([]*wire.LocalUpdate, error) {
+	s.mu.Lock()
+	owed := s.nOwed
+	s.mu.Unlock()
+	if n > owed {
+		return nil, fmt.Errorf("pubsub: gathering %d updates with only %d outstanding", n, owed)
+	}
+	return s.collect(n)
 }
 
 // Stats returns the traffic snapshot.

@@ -73,14 +73,29 @@ type ServerConfig struct {
 
 // Server is the comm.ServerTransport over TCP. It accepts exactly
 // NumClients connections, each beginning with a Join handshake.
+//
+// Every non-final model written to a client obliges one LocalUpdate in
+// return; the server spawns a reader goroutine per obligation, feeding a
+// shared arrival channel that Gather/GatherFrom/GatherAny drain.
 type Server struct {
 	cfg   ServerConfig
 	ln    net.Listener
 	conns []net.Conn // indexed by client ID
 	stats comm.Stats
 
-	mu     sync.Mutex
-	closed bool
+	arrivals chan arrival
+
+	mu      sync.Mutex
+	pending []bool // pending[i]: client i owes an update
+	nOwed   int
+	closed  bool
+}
+
+// arrival is one incoming update frame (or read failure), tagged by client.
+type arrival struct {
+	client  int
+	payload []byte
+	err     error
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") and returns it
@@ -97,7 +112,13 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{cfg: cfg, ln: ln, conns: make([]net.Conn, cfg.NumClients)}, nil
+	return &Server{
+		cfg:      cfg,
+		ln:       ln,
+		conns:    make([]net.Conn, cfg.NumClients),
+		arrivals: make(chan arrival, cfg.NumClients),
+		pending:  make([]bool, cfg.NumClients),
+	}, nil
 }
 
 // Addr returns the listening address.
@@ -159,59 +180,126 @@ func (s *Server) Accept() error {
 // Broadcast sends the global model to all clients concurrently. Per-client
 // serialization happens independently, as gRPC marshals per call.
 func (s *Server) Broadcast(m *wire.GlobalModel) error {
+	return s.SendTo(comm.AllClients(len(s.conns)), m)
+}
+
+// SendTo sends the global model to the listed clients concurrently. Each
+// non-final model registers a reader for the client's obligatory reply.
+func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 	const kind = wire.KindGlobalModel
-	errs := make([]error, len(s.conns))
+	for _, c := range clients {
+		if c < 0 || c >= len(s.conns) {
+			return fmt.Errorf("rpc: send to unknown client %d", c)
+		}
+	}
+	if !m.Final {
+		// Two passes so a duplicate-dispatch error leaves the ledger
+		// untouched: validate the whole cohort, then mark it.
+		s.mu.Lock()
+		for _, c := range clients {
+			if s.pending[c] {
+				s.mu.Unlock()
+				return fmt.Errorf("rpc: client %d already owes an update", c)
+			}
+		}
+		for _, c := range clients {
+			s.pending[c] = true
+			s.nOwed++
+		}
+		s.mu.Unlock()
+	}
+	errs := make([]error, len(clients))
 	var wg sync.WaitGroup
-	for i, conn := range s.conns {
+	for i, c := range clients {
 		wg.Add(1)
-		go func(i int, conn net.Conn) {
+		go func(i, c int) {
 			defer wg.Done()
 			e := wire.NewEncoder(nil)
 			m.Marshal(e)
-			if err := writeFrame(conn, kind, e.Bytes()); err != nil {
-				errs[i] = fmt.Errorf("rpc: broadcast to client %d: %w", i, err)
+			if err := writeFrame(s.conns[c], kind, e.Bytes()); err != nil {
+				errs[i] = fmt.Errorf("rpc: send to client %d: %w", c, err)
+				if !m.Final {
+					// No reply can come from a model that never left:
+					// roll the obligation back so the ledger stays
+					// consistent for callers that recover from the error.
+					s.mu.Lock()
+					s.pending[c] = false
+					s.nOwed--
+					s.mu.Unlock()
+				}
 				return
 			}
 			s.stats.AddSent(e.Len())
-		}(i, conn)
+			if !m.Final {
+				go s.readOne(c)
+			}
+		}(i, c)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// Gather reads one LocalUpdate from every client, concurrently, and
-// returns them indexed by client ID.
-func (s *Server) Gather() ([]*wire.LocalUpdate, error) {
-	out := make([]*wire.LocalUpdate, len(s.conns))
-	errs := make([]error, len(s.conns))
-	var wg sync.WaitGroup
-	for i, conn := range s.conns {
-		wg.Add(1)
-		go func(i int, conn net.Conn) {
-			defer wg.Done()
-			kind, payload, err := readFrame(conn)
-			if err != nil {
-				errs[i] = fmt.Errorf("rpc: gather from client %d: %w", i, err)
-				return
-			}
-			if kind != wire.KindLocalUpdate {
-				errs[i] = fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", i, kind)
-				return
-			}
-			s.stats.AddRecv(len(payload))
-			var u wire.LocalUpdate
-			if err := u.Unmarshal(wire.NewDecoder(payload)); err != nil {
-				errs[i] = fmt.Errorf("rpc: update decode from client %d: %w", i, err)
-				return
-			}
-			out[i] = &u
-		}(i, conn)
+// readOne reads the single obliged update frame from client c and posts it
+// to the arrival channel.
+func (s *Server) readOne(c int) {
+	kind, payload, err := readFrame(s.conns[c])
+	switch {
+	case err != nil:
+		s.arrivals <- arrival{client: c, err: fmt.Errorf("rpc: gather from client %d: %w", c, err)}
+	case kind != wire.KindLocalUpdate:
+		s.arrivals <- arrival{client: c, err: fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", c, kind)}
+	default:
+		s.arrivals <- arrival{client: c, payload: payload}
 	}
-	wg.Wait()
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
+}
+
+// collect drains n arrivals in arrival order.
+func (s *Server) collect(n int) ([]*wire.LocalUpdate, error) {
+	s.mu.Lock()
+	owed := s.nOwed
+	s.mu.Unlock()
+	if n > owed {
+		return nil, fmt.Errorf("rpc: gathering %d updates with only %d outstanding", n, owed)
+	}
+	out := make([]*wire.LocalUpdate, 0, n)
+	for len(out) < n {
+		a := <-s.arrivals
+		s.mu.Lock()
+		s.pending[a.client] = false
+		s.nOwed--
+		s.mu.Unlock()
+		if a.err != nil {
+			return nil, a.err
+		}
+		s.stats.AddRecv(len(a.payload))
+		var u wire.LocalUpdate
+		if err := u.Unmarshal(wire.NewDecoder(a.payload)); err != nil {
+			return nil, fmt.Errorf("rpc: update decode from client %d: %w", a.client, err)
+		}
+		out = append(out, &u)
 	}
 	return out, nil
+}
+
+// Gather reads one LocalUpdate from every client and returns them indexed
+// by client ID.
+func (s *Server) Gather() ([]*wire.LocalUpdate, error) {
+	return s.GatherFrom(comm.AllClients(len(s.conns)))
+}
+
+// GatherFrom reads one LocalUpdate from each listed client, ordered as
+// listed.
+func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
+	got, err := s.collect(len(clients))
+	if err != nil {
+		return nil, err
+	}
+	return comm.OrderByClient(clients, got)
+}
+
+// GatherAny reads the next n outstanding updates in arrival order.
+func (s *Server) GatherAny(n int) ([]*wire.LocalUpdate, error) {
+	return s.collect(n)
 }
 
 // Stats returns the traffic snapshot.

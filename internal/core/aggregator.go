@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Aggregator is the state-update half of the split server: given a batch
+// of local updates released by a Scheduler, it produces the next global
+// iterate. It is deliberately ignorant of *when* and *from whom* a batch
+// is gathered — that is the Scheduler's job — which is the decomposition
+// that lets one set of aggregation rules (FedAvg, the ADMM family, the
+// staleness-weighted asynchronous rule) serve synchronous, sampled-cohort,
+// and buffered semi-asynchronous execution alike.
+//
+// FedAvgServer, ICEADMMServer, IIADMMServer, and BufferedAggregator all
+// implement it; the first three keep their legacy ServerAlgorithm surface
+// so pre-refactor callers and tests are untouched.
+type Aggregator interface {
+	// Dim returns the model dimension.
+	Dim() int
+	// Version counts the aggregations applied so far — the global model's
+	// version number, which clients echo back as LocalUpdate.BaseVersion.
+	Version() int
+	// Weights returns a defensive copy of the current global model.
+	// Mutating the returned slice cannot corrupt server state.
+	Weights() []float64
+	// WeightsInto copies the current global model into dst (grown as
+	// needed) and returns it, for callers that amortize the allocation.
+	WeightsInto(dst []float64) []float64
+	// Aggregate folds one released batch of local updates into the global
+	// model and advances the version.
+	Aggregate(batch []*wire.LocalUpdate) error
+}
+
+// NewAggregator constructs the aggregator for cfg with initial weights w0.
+// The buffered scheduler pairs with the staleness-weighted rule; every
+// barrier scheduler uses the algorithm's own server.
+func NewAggregator(cfg Config, w0 []float64, numClients int) (Aggregator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Scheduler == SchedBuffered {
+		// Alpha/gamma defaults come from Config.WithDefaults — the single
+		// defaulting source; a zero alpha here is a caller error.
+		return NewBufferedAggregator(w0, cfg.AsyncAlpha, cfg.AsyncGamma, cfg.MaxStaleness)
+	}
+	srv, err := NewServer(cfg, w0, numClients)
+	if err != nil {
+		return nil, err
+	}
+	agg, ok := srv.(Aggregator)
+	if !ok {
+		return nil, fmt.Errorf("core: server for %q does not implement Aggregator", cfg.Algorithm)
+	}
+	return agg, nil
+}
+
+// StalenessWeight is the FedAsync mixing rate α_s = α·(1+staleness)^(−γ):
+// the staler the contribution, the smaller its influence on the global
+// model. It is the shared rule behind AsyncServer and BufferedAggregator.
+func StalenessWeight(alpha, gamma, staleness float64) float64 {
+	return alpha * math.Pow(1+staleness, -gamma)
+}
+
+// foldScaled applies w ← (1−a)·w + a·z.
+func foldScaled(w, z []float64, a float64) {
+	for i, v := range z {
+		w[i] = (1-a)*w[i] + a*v
+	}
+}
+
+// BufferedAggregator implements the FedBuff-style semi-asynchronous rule:
+// the Buffered scheduler releases a batch as soon as K updates land, and
+// each update in the batch is folded into the global model down-weighted
+// by its staleness (the number of releases since the contributor last
+// downloaded the model). Updates staler than MaxStaleness are dropped
+// entirely. One release advances the model version by one.
+type BufferedAggregator struct {
+	w       []float64
+	version int
+	alpha   float64
+	gamma   float64
+
+	// MaxStaleness drops updates whose base model is more than this many
+	// releases old (0 = keep everything, however stale).
+	MaxStaleness int
+	// Applied and Dropped count folded and discarded updates;
+	// StaleApplied counts the folded updates that had staleness > 0.
+	Applied, Dropped, StaleApplied int
+}
+
+// NewBufferedAggregator builds the aggregator. alpha in (0,1] is the base
+// mixing rate; gamma >= 0 is the staleness-decay exponent.
+func NewBufferedAggregator(w0 []float64, alpha, gamma float64, maxStaleness int) (*BufferedAggregator, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: buffered alpha must be in (0,1], got %v", alpha)
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("core: buffered gamma must be >= 0, got %v", gamma)
+	}
+	if maxStaleness < 0 {
+		return nil, fmt.Errorf("core: MaxStaleness must be >= 0, got %d", maxStaleness)
+	}
+	return &BufferedAggregator{
+		w:            append([]float64(nil), w0...),
+		alpha:        alpha,
+		gamma:        gamma,
+		MaxStaleness: maxStaleness,
+	}, nil
+}
+
+// Dim returns the model dimension.
+func (b *BufferedAggregator) Dim() int { return len(b.w) }
+
+// Version counts the releases applied so far.
+func (b *BufferedAggregator) Version() int { return b.version }
+
+// Weights returns a copy of the current global model.
+func (b *BufferedAggregator) Weights() []float64 { return b.WeightsInto(nil) }
+
+// WeightsInto copies the current global model into dst.
+func (b *BufferedAggregator) WeightsInto(dst []float64) []float64 {
+	dst = append(dst[:0], b.w...)
+	return dst
+}
+
+// Aggregate folds one released batch, down-weighting each update by its
+// staleness relative to the current version, and advances the version.
+func (b *BufferedAggregator) Aggregate(batch []*wire.LocalUpdate) error {
+	if len(batch) == 0 {
+		return fmt.Errorf("core: buffered aggregate on an empty batch")
+	}
+	for _, u := range batch {
+		if u == nil {
+			return fmt.Errorf("core: nil update in buffered batch")
+		}
+		if len(u.Primal) != len(b.w) {
+			return fmt.Errorf("core: client %d primal dimension %d, model is %d", u.ClientID, len(u.Primal), len(b.w))
+		}
+		if u.BaseVersion > uint64(b.version) {
+			return fmt.Errorf("core: client %d update from future version %d, server at %d", u.ClientID, u.BaseVersion, b.version)
+		}
+		staleness := b.version - int(u.BaseVersion)
+		if b.MaxStaleness > 0 && staleness > b.MaxStaleness {
+			b.Dropped++
+			continue
+		}
+		if u.NumSamples == 0 {
+			// Zero-weight echo from a non-participant: nothing to fold.
+			continue
+		}
+		foldScaled(b.w, u.Primal, StalenessWeight(b.alpha, b.gamma, float64(staleness)))
+		b.Applied++
+		if staleness > 0 {
+			b.StaleApplied++
+		}
+	}
+	b.version++
+	return nil
+}
+
+// Interface conformance check.
+var _ Aggregator = (*BufferedAggregator)(nil)

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sync"
 )
 
@@ -57,11 +56,10 @@ func (s *AsyncServer) Push(z []float64, baseVersion int) (float64, error) {
 	if baseVersion < 0 || baseVersion > s.version {
 		return 0, fmt.Errorf("core: async push from version %d, server at %d", baseVersion, s.version)
 	}
-	staleness := float64(s.version - baseVersion)
-	a := s.alpha * math.Pow(1+staleness, -s.gamma)
-	for i, v := range z {
-		s.w[i] = (1-a)*s.w[i] + a*v
-	}
+	// The mixing rule itself lives in aggregator.go, shared with the
+	// buffered scheduler's BufferedAggregator.
+	a := StalenessWeight(s.alpha, s.gamma, float64(s.version-baseVersion))
+	foldScaled(s.w, z, a)
 	s.version++
 	s.applied++
 	return a, nil

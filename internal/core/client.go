@@ -173,6 +173,7 @@ func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 			NumSamples: 0, // zero weight: excluded from the average
 			Primal:     append([]float64(nil), w...),
 			Epsilon:    epsilonOf(c.Mech),
+			InCohort:   false, // attributable as an out-of-cohort echo
 		}, nil
 	}
 	start := time.Now()
@@ -208,6 +209,7 @@ func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 		Primal:     out,
 		Epsilon:    epsilonOf(c.Mech),
 		ComputeSec: time.Since(start).Seconds(),
+		InCohort:   true,
 	}, nil
 }
 
@@ -280,6 +282,7 @@ func (c *ICEADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, 
 		Dual:       dualOut,
 		Epsilon:    epsilonOf(c.Mech),
 		ComputeSec: time.Since(start).Seconds(),
+		InCohort:   true,
 	}, nil
 }
 
@@ -366,6 +369,7 @@ func (c *IIADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 		Primal:     zOut,
 		Epsilon:    epsilonOf(c.Mech),
 		ComputeSec: time.Since(start).Seconds(),
+		InCohort:   true,
 	}, nil
 }
 

@@ -67,8 +67,42 @@ type Config struct {
 
 	// ClientFraction, when in (0,1), makes only that fraction of clients
 	// train each round (FedAvg only); the rest echo the global model with
-	// zero weight. 0 or 1 means full participation.
+	// zero weight. 0 or 1 means full participation. This is the legacy
+	// client-side mechanism: every client still downloads the model each
+	// round. Server-side cohort selection (Scheduler = SchedSampled)
+	// subsumes it without the wasted traffic.
 	ClientFraction float64
+
+	// Scheduler selects the participation policy: SchedSyncAll (default)
+	// barriers on every client each round; SchedSampled schedules a
+	// pseudorandom cohort per round (true partial participation — clients
+	// outside the cohort receive nothing); SchedBuffered releases an
+	// aggregation as soon as BufferK updates arrive, FedBuff-style, with
+	// staleness-weighted mixing.
+	Scheduler string
+
+	// CohortFraction is the fraction of clients scheduled per round under
+	// SchedSampled, in (0,1].
+	CohortFraction float64
+	// CohortMin floors the sampled cohort size (default 1).
+	CohortMin int
+	// CohortSeed drives cohort selection (default Seed).
+	CohortSeed uint64
+
+	// BufferK is the buffer size of SchedBuffered: an aggregation is
+	// released after this many updates arrive (default: half the clients).
+	BufferK int
+	// MaxStaleness drops buffered updates whose base model is more than
+	// this many releases old (0 = keep everything).
+	MaxStaleness int
+	// AsyncAlpha is the base mixing rate of the staleness-weighted rule
+	// used by SchedBuffered, in (0,1]; 0 selects the default 0.6.
+	AsyncAlpha float64
+	// AsyncGamma is the staleness-decay exponent, >= 0; 0 selects the
+	// default 0.5 (like every zero-valued Config field — to effectively
+	// disable the staleness discount, pass a vanishing positive value
+	// such as 1e-12).
+	AsyncGamma float64
 
 	Seed uint64 // master seed (default 1)
 }
@@ -107,6 +141,17 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = SchedSyncAll
+	}
+	if c.Scheduler == SchedBuffered {
+		if c.AsyncAlpha == 0 {
+			c.AsyncAlpha = DefaultAsyncAlpha
+		}
+		if c.AsyncGamma == 0 {
+			c.AsyncGamma = DefaultAsyncGamma
+		}
 	}
 	return c
 }
@@ -155,6 +200,40 @@ func (c Config) Validate() error {
 	}
 	if c.ClientFraction > 0 && c.ClientFraction < 1 && c.Algorithm != AlgoFedAvg {
 		return fmt.Errorf("core: partial participation requires FedAvg (IADMM servers hold per-client duals)")
+	}
+	switch c.Scheduler {
+	case "", SchedSyncAll:
+	case SchedSampled:
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: sampled cohorts require FedAvg (IADMM servers hold per-client duals)")
+		}
+		if c.CohortFraction <= 0 || c.CohortFraction > 1 {
+			return fmt.Errorf("core: sampled scheduler needs CohortFraction in (0,1], got %v", c.CohortFraction)
+		}
+		if c.CohortMin < 0 {
+			return fmt.Errorf("core: CohortMin must be >= 0, got %d", c.CohortMin)
+		}
+	case SchedBuffered:
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: buffered scheduling requires FedAvg local solvers")
+		}
+		if c.BufferK < 0 {
+			return fmt.Errorf("core: BufferK must be >= 0, got %d", c.BufferK)
+		}
+		if c.MaxStaleness < 0 {
+			return fmt.Errorf("core: MaxStaleness must be >= 0, got %d", c.MaxStaleness)
+		}
+		if c.AsyncAlpha < 0 || c.AsyncAlpha > 1 {
+			return fmt.Errorf("core: AsyncAlpha must be in (0,1] (0 selects the default), got %v", c.AsyncAlpha)
+		}
+		if c.AsyncGamma < 0 {
+			return fmt.Errorf("core: AsyncGamma must be >= 0, got %v", c.AsyncGamma)
+		}
+	default:
+		return fmt.Errorf("core: unknown scheduler %q", c.Scheduler)
+	}
+	if c.Scheduler != "" && c.Scheduler != SchedSyncAll && c.ClientFraction > 0 && c.ClientFraction < 1 {
+		return fmt.Errorf("core: ClientFraction (client-side echo) cannot combine with the %s scheduler", c.Scheduler)
 	}
 	return nil
 }

@@ -29,13 +29,15 @@ const (
 	TransportRPC    Transport = "rpc"    // loopback TCP RPC (gRPC stand-in)
 )
 
-// RoundStats records one communication round of a run.
+// RoundStats records one communication round of a run. Under the buffered
+// scheduler a "round" is one buffer release (K arrivals aggregated).
 type RoundStats struct {
 	Round      int
 	TestLoss   float64
 	TestAcc    float64
 	ComputeSec float64 // slowest client's local update time (wall clock)
 	WallSec    float64 // end-to-end round time at the server
+	CohortSize int     // clients scheduled (barrier) or aggregated (buffered)
 }
 
 // Result aggregates a full run.
@@ -48,6 +50,12 @@ type Result struct {
 	UploadsB   uint64        // client→server bytes (sum over clients)
 	DownloadsB uint64        // server→client bytes
 	ModelDim   int
+	// Stale counts buffered updates that were folded with staleness > 0;
+	// Dropped counts those discarded for exceeding MaxStaleness.
+	Stale, Dropped int
+	// Echoes counts zero-weight echo updates from the legacy client-side
+	// partial-participation path (LocalUpdate.InCohort == false).
+	Echoes int
 }
 
 // RunOptions tunes the runner.
@@ -56,59 +64,37 @@ type RunOptions struct {
 	ValidateEvery int       // validate every k rounds (0 = every round)
 	Progress      io.Writer // optional per-round progress lines
 	MaxParallel   int       // cap on concurrently training clients (0 = NumCPU)
+	// ClientDelay, when non-nil, injects a per-update artificial delay for
+	// the given client before its upload — the straggler model used by the
+	// scheduler benchmarks (a slow device or link, without burning CPU).
+	ClientDelay func(client, round int) time.Duration
 }
 
-// Run executes a synchronous federated simulation of cfg over fed using
-// model replicas from factory, and returns per-round statistics. All
-// clients run as goroutines against a real transport backend, exactly as
-// APPFL's MPI simulation runs one process per client.
-func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions) (*Result, error) {
-	cfg = cfg.WithDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	P := fed.NumClients()
-	if P == 0 {
-		return nil, fmt.Errorf("core: no clients in federated dataset")
-	}
-
-	// Shared initial model: one replica defines w0 for everyone.
-	refModel := factory()
-	w0 := nn.FlattenParams(refModel, nil)
-	dim := len(w0)
-
-	master := rng.New(cfg.Seed)
-	server, err := NewServer(cfg, w0, P)
-	if err != nil {
-		return nil, err
-	}
-
-	// Transports.
-	var st comm.ServerTransport
-	var cts []comm.ClientTransport
-	switch opts.Transport {
+// newServerTransport builds the server and client transports for a run.
+func newServerTransport(tr Transport, P, dim, rounds int) (comm.ServerTransport, []comm.ClientTransport, error) {
+	switch tr {
 	case TransportPubSub:
 		s, cs, err := pubsub.NewFLBroker(P)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		st = s
-		cts = make([]comm.ClientTransport, P)
+		cts := make([]comm.ClientTransport, P)
 		for i := range cs {
 			cts[i] = cs[i]
 		}
+		return s, cts, nil
 	case TransportRPC:
 		srv, err := rpc.Listen("127.0.0.1:0", rpc.ServerConfig{
 			NumClients: P,
-			Rounds:     cfg.Rounds,
+			Rounds:     rounds,
 			ModelSize:  dim,
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		acceptErr := make(chan error, 1)
 		go func() { acceptErr <- srv.Accept() }()
-		cts = make([]comm.ClientTransport, P)
+		cts := make([]comm.ClientTransport, P)
 		dialErrs := make([]error, P)
 		var dialWG sync.WaitGroup
 		for i := 0; i < P; i++ {
@@ -127,23 +113,60 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 		for i, err := range dialErrs {
 			if err != nil {
 				srv.Close()
-				return nil, fmt.Errorf("core: dialing client %d: %w", i, err)
+				return nil, nil, fmt.Errorf("core: dialing client %d: %w", i, err)
 			}
 		}
 		if err := <-acceptErr; err != nil {
 			srv.Close()
-			return nil, fmt.Errorf("core: accepting clients: %w", err)
+			return nil, nil, fmt.Errorf("core: accepting clients: %w", err)
 		}
-		st = srv
+		return srv, cts, nil
 	case TransportMPI, "":
 		s, cs := mpicomm.NewFLWorld(P)
-		st = s
-		cts = make([]comm.ClientTransport, P)
+		cts := make([]comm.ClientTransport, P)
 		for i := range cs {
 			cts[i] = cs[i]
 		}
+		return s, cts, nil
 	default:
-		return nil, fmt.Errorf("core: unknown transport %q", opts.Transport)
+		return nil, nil, fmt.Errorf("core: unknown transport %q", tr)
+	}
+}
+
+// Run executes a federated simulation of cfg over fed using model replicas
+// from factory, and returns per-round statistics. All clients run as
+// goroutines against a real transport backend, exactly as APPFL's MPI
+// simulation runs one process per client. The round structure is decided
+// by the configured Scheduler (which clients participate, when a batch is
+// released) and the model update by the matching Aggregator.
+func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	P := fed.NumClients()
+	if P == 0 {
+		return nil, fmt.Errorf("core: no clients in federated dataset")
+	}
+
+	// Shared initial model: one replica defines w0 for everyone.
+	refModel := factory()
+	w0 := nn.FlattenParams(refModel, nil)
+	dim := len(w0)
+
+	master := rng.New(cfg.Seed)
+	sched, err := NewScheduler(cfg, P)
+	if err != nil {
+		return nil, err
+	}
+	agg, err := NewAggregator(cfg, w0, P)
+	if err != nil {
+		return nil, err
+	}
+
+	st, cts, err := newServerTransport(opts.Transport, P, dim, cfg.Rounds)
+	if err != nil {
+		return nil, err
 	}
 	defer st.Close()
 
@@ -165,7 +188,9 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	}
 
 	// Client loop goroutines. A semaphore bounds concurrent training to the
-	// machine's parallelism so 203-client runs don't thrash.
+	// machine's parallelism so 203-client runs don't thrash. Each received
+	// non-final model obliges exactly one uploaded update, stamped with the
+	// model version it was trained from.
 	maxPar := opts.MaxParallel
 	if maxPar <= 0 {
 		maxPar = runtime.GOMAXPROCS(0)
@@ -200,6 +225,12 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 					clientErrs[i] = err
 					return
 				}
+				up.BaseVersion = gm.Version
+				if opts.ClientDelay != nil {
+					if d := opts.ClientDelay(i, int(gm.Round)); d > 0 {
+						time.Sleep(d)
+					}
+				}
 				if err := ct.SendUpdate(up); err != nil {
 					clientErrs[i] = err
 					return
@@ -213,41 +244,14 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	if validateEvery <= 0 {
 		validateEvery = 1
 	}
-	evalModel := refModel
 
-	rhoReporter, _ := server.(interface{ CurrentRho() float64 })
-	for t := 1; t <= cfg.Rounds; t++ {
-		roundStart := time.Now()
-		gm := &wire.GlobalModel{Round: uint32(t), Weights: server.GlobalWeights()}
-		if cfg.AdaptiveRho && rhoReporter != nil {
-			gm.Rho = rhoReporter.CurrentRho()
-		}
-		if err := st.Broadcast(gm); err != nil {
-			return nil, fmt.Errorf("core: broadcast round %d: %w", t, err)
-		}
-		updates, err := st.Gather()
-		if err != nil {
-			return nil, fmt.Errorf("core: gather round %d: %w", t, err)
-		}
-		maxCompute := 0.0
-		for _, u := range updates {
-			if u.ComputeSec > maxCompute {
-				maxCompute = u.ComputeSec
-			}
-		}
-		if err := server.Update(updates); err != nil {
-			return nil, fmt.Errorf("core: server update round %d: %w", t, err)
-		}
-		rs := RoundStats{Round: t, ComputeSec: maxCompute}
-		if fed.Test != nil && (t%validateEvery == 0 || t == cfg.Rounds) {
-			rs.TestLoss, rs.TestAcc = EvaluateWeights(evalModel, server.GlobalWeights(), fed.Test, 256)
-		}
-		rs.WallSec = time.Since(roundStart).Seconds()
-		res.Rounds = append(res.Rounds, rs)
-		if opts.Progress != nil {
-			fmt.Fprintf(opts.Progress, "round %3d  acc %.4f  loss %.4f  compute %.3fs  wall %.3fs\n",
-				t, rs.TestAcc, rs.TestLoss, rs.ComputeSec, rs.WallSec)
-		}
+	loop := runBarrierRounds
+	if !sched.Barrier() {
+		loop = runBufferedReleases
+	}
+	runErr := loop(cfg, sched, agg, st, refModel, fed, res, validateEvery, opts.Progress)
+	if runErr != nil {
+		return nil, runErr
 	}
 
 	// Shut clients down and surface any client error.
@@ -270,4 +274,141 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 		res.FinalLoss = res.Rounds[n-1].TestLoss
 	}
 	return res, nil
+}
+
+// recordRound finalizes one round's statistics, validating on cadence.
+func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module, fed *dataset.Federated,
+	rounds, validateEvery int, start time.Time, wbuf []float64, progress io.Writer) {
+	if fed.Test != nil && (rs.Round%validateEvery == 0 || rs.Round == rounds) {
+		rs.TestLoss, rs.TestAcc = EvaluateWeights(evalModel, agg.WeightsInto(wbuf), fed.Test, 256)
+	}
+	rs.WallSec = time.Since(start).Seconds()
+	res.Rounds = append(res.Rounds, rs)
+	if progress != nil {
+		fmt.Fprintf(progress, "round %3d  cohort %3d  acc %.4f  loss %.4f  compute %.3fs  wall %.3fs\n",
+			rs.Round, rs.CohortSize, rs.TestAcc, rs.TestLoss, rs.ComputeSec, rs.WallSec)
+	}
+}
+
+// runBarrierRounds drives the classic synchronous structure: each round
+// the scheduler picks a cohort, the server sends the model to exactly that
+// cohort, blocks until the whole cohort reports, and aggregates. With the
+// SyncAll schedule this reproduces the pre-refactor loop bit for bit.
+func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, st comm.ServerTransport,
+	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
+	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
+	var wbuf []float64
+	for t := 1; t <= cfg.Rounds; t++ {
+		roundStart := time.Now()
+		cohort := sched.Cohort(t)
+		wbuf = agg.WeightsInto(wbuf)
+		gm := &wire.GlobalModel{
+			Round:      uint32(t),
+			Weights:    wbuf,
+			Version:    uint64(agg.Version()),
+			CohortSize: uint32(len(cohort)),
+		}
+		if cfg.AdaptiveRho && rhoReporter != nil {
+			gm.Rho = rhoReporter.CurrentRho()
+		}
+		if err := st.SendTo(cohort, gm); err != nil {
+			return fmt.Errorf("core: send round %d: %w", t, err)
+		}
+		updates, err := st.GatherFrom(cohort)
+		if err != nil {
+			return fmt.Errorf("core: gather round %d: %w", t, err)
+		}
+		maxCompute := 0.0
+		for _, u := range updates {
+			if u.ComputeSec > maxCompute {
+				maxCompute = u.ComputeSec
+			}
+			if !u.InCohort {
+				res.Echoes++
+			}
+		}
+		if err := agg.Aggregate(updates); err != nil {
+			return fmt.Errorf("core: aggregate round %d: %w", t, err)
+		}
+		rs := RoundStats{Round: t, ComputeSec: maxCompute, CohortSize: len(cohort)}
+		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, roundStart, wbuf, progress)
+	}
+	return nil
+}
+
+// runBufferedReleases drives the FedBuff-style semi-asynchronous
+// structure: every client trains continuously against the freshest model
+// it has; the server releases an aggregation as soon as K updates arrive
+// (in arrival order, regardless of origin) and immediately re-dispatches
+// the new model to exactly the clients that contributed. Stragglers never
+// block a release; their updates arrive with positive staleness and are
+// down-weighted or dropped by the BufferedAggregator.
+func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, st comm.ServerTransport,
+	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
+	quorum := sched.Quorum()
+	var wbuf []float64
+	dispatch := func(ids []int, round int) error {
+		wbuf = agg.WeightsInto(wbuf)
+		return st.SendTo(ids, &wire.GlobalModel{
+			Round:      uint32(round),
+			Weights:    wbuf,
+			Version:    uint64(agg.Version()),
+			CohortSize: uint32(len(ids)),
+		})
+	}
+	all := sched.Cohort(1)
+	if err := dispatch(all, 1); err != nil {
+		return fmt.Errorf("core: initial dispatch: %w", err)
+	}
+	outstanding := len(all)
+
+	buffered, _ := agg.(*BufferedAggregator)
+	for rel := 1; rel <= cfg.Rounds; rel++ {
+		relStart := time.Now()
+		batch, err := st.GatherAny(quorum)
+		if err != nil {
+			return fmt.Errorf("core: release %d: %w", rel, err)
+		}
+		outstanding -= len(batch)
+		maxCompute := 0.0
+		for _, u := range batch {
+			if u.ComputeSec > maxCompute {
+				maxCompute = u.ComputeSec
+			}
+		}
+		// The aggregator is the authority on what was actually folded vs
+		// dropped; read its counters rather than re-deriving staleness here.
+		prevStale, prevDropped := 0, 0
+		if buffered != nil {
+			prevStale, prevDropped = buffered.StaleApplied, buffered.Dropped
+		}
+		if err := agg.Aggregate(batch); err != nil {
+			return fmt.Errorf("core: aggregate release %d: %w", rel, err)
+		}
+		if buffered != nil {
+			res.Stale += buffered.StaleApplied - prevStale
+			res.Dropped += buffered.Dropped - prevDropped
+		}
+		// Hand the contributors the fresh model so they keep training —
+		// unless the run is over, in which case they wait for Final.
+		if rel < cfg.Rounds {
+			ids := make([]int, len(batch))
+			for i, u := range batch {
+				ids[i] = int(u.ClientID)
+			}
+			if err := dispatch(ids, rel+1); err != nil {
+				return fmt.Errorf("core: re-dispatch after release %d: %w", rel, err)
+			}
+			outstanding += len(ids)
+		}
+		rs := RoundStats{Round: rel, ComputeSec: maxCompute, CohortSize: len(batch)}
+		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, relStart, wbuf, progress)
+	}
+	// Drain in-flight stragglers so their uploads don't block shutdown.
+	if outstanding > 0 {
+		if _, err := st.GatherAny(outstanding); err != nil {
+			return fmt.Errorf("core: draining %d stragglers: %w", outstanding, err)
+		}
+	}
+	return nil
 }

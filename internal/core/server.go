@@ -25,17 +25,55 @@ type ServerAlgorithm interface {
 type BaseServer struct {
 	W          []float64 // global model parameters
 	NumClients int
+
+	version int // aggregations applied so far
 }
 
-// GlobalWeights returns the global parameter vector.
+// GlobalWeights returns the global parameter vector. This is the live
+// slice — mutating it corrupts server state; use Weights or WeightsInto
+// for a safe copy.
 func (b *BaseServer) GlobalWeights() []float64 { return b.W }
+
+// Weights returns a defensive copy of the global parameter vector.
+func (b *BaseServer) Weights() []float64 { return b.WeightsInto(nil) }
+
+// WeightsInto copies the global parameter vector into dst (grown as
+// needed) and returns it.
+func (b *BaseServer) WeightsInto(dst []float64) []float64 {
+	dst = append(dst[:0], b.W...)
+	return dst
+}
+
+// Dim returns the model dimension.
+func (b *BaseServer) Dim() int { return len(b.W) }
+
+// Version counts the aggregations applied so far.
+func (b *BaseServer) Version() int { return b.version }
+
+// checkCount enforces the full-federation batch size of the strict
+// Update path.
+func (b *BaseServer) checkCount(n int) error {
+	if n != b.NumClients {
+		return fmt.Errorf("core: gathered %d updates for %d clients", n, b.NumClients)
+	}
+	return nil
+}
 
 // checkUpdates validates the gathered batch shape shared by all servers.
 func (b *BaseServer) checkUpdates(updates []*wire.LocalUpdate, needDual bool) error {
-	if len(updates) != b.NumClients {
-		return fmt.Errorf("core: gathered %d updates for %d clients", len(updates), b.NumClients)
+	if err := b.checkCount(len(updates)); err != nil {
+		return err
 	}
-	for i, u := range updates {
+	return b.checkBatch(updates, needDual)
+}
+
+// checkBatch validates a released batch of any size (the cohort form used
+// by the Scheduler × Aggregator path).
+func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual bool) error {
+	if len(batch) == 0 {
+		return fmt.Errorf("core: aggregate on an empty batch")
+	}
+	for i, u := range batch {
 		if u == nil {
 			return fmt.Errorf("core: missing update from client %d", i)
 		}
@@ -65,13 +103,26 @@ func NewFedAvgServer(w0 []float64, numClients int) *FedAvgServer {
 // Update averages the client primal vectors weighted by sample counts.
 // Updates with NumSamples == 0 (non-participants under partial
 // participation) carry zero weight; a round in which nobody trained leaves
-// the global model unchanged.
+// the global model unchanged. The batch must cover every client; partial
+// cohorts go through Aggregate.
 func (s *FedAvgServer) Update(updates []*wire.LocalUpdate) error {
-	if err := s.checkUpdates(updates, false); err != nil {
+	if err := s.checkCount(len(updates)); err != nil {
 		return err
 	}
+	return s.Aggregate(updates)
+}
+
+// Aggregate averages a released batch of any size — the cohort form: a
+// sampled cohort's updates carry full weight, and the math over a full
+// cohort is identical to Update's, so the SyncAll schedule reproduces the
+// pre-refactor trajectory exactly.
+func (s *FedAvgServer) Aggregate(batch []*wire.LocalUpdate) error {
+	if err := s.checkBatch(batch, false); err != nil {
+		return err
+	}
+	s.version++
 	total := 0.0
-	for _, u := range updates {
+	for _, u := range batch {
 		total += float64(u.NumSamples)
 	}
 	if total == 0 {
@@ -80,7 +131,7 @@ func (s *FedAvgServer) Update(updates []*wire.LocalUpdate) error {
 	for i := range s.W {
 		s.W[i] = 0
 	}
-	for _, u := range updates {
+	for _, u := range batch {
 		if u.NumSamples == 0 {
 			continue
 		}
@@ -120,6 +171,7 @@ func (s *ICEADMMServer) Update(updates []*wire.LocalUpdate) error {
 	if err := s.checkUpdates(updates, true); err != nil {
 		return err
 	}
+	s.version++
 	s.wPrev = append(s.wPrev[:0], s.W...)
 	invP := 1.0 / float64(s.NumClients)
 	for i := range s.W {
@@ -188,6 +240,7 @@ func (s *IIADMMServer) Update(updates []*wire.LocalUpdate) error {
 	if err := s.checkUpdates(updates, false); err != nil {
 		return err
 	}
+	s.version++
 	s.wPrev = append(s.wPrev[:0], s.W...)
 	// Line 6: λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1}); w is still the model that
 	// was broadcast this round, and ρ is the value that rode with it.
@@ -220,6 +273,23 @@ func (s *IIADMMServer) Update(updates []*wire.LocalUpdate) error {
 	}
 	return nil
 }
+
+// Aggregate consumes a released batch. The ADMM family maintains one dual
+// per client, so a valid batch always covers the whole federation ordered
+// by client ID — partial cohorts are a configuration error caught by
+// Config.Validate.
+func (s *ICEADMMServer) Aggregate(batch []*wire.LocalUpdate) error { return s.Update(batch) }
+
+// Aggregate consumes a released batch; see ICEADMMServer.Aggregate for why
+// the ADMM family requires full cohorts.
+func (s *IIADMMServer) Aggregate(batch []*wire.LocalUpdate) error { return s.Update(batch) }
+
+// Interface conformance checks: the legacy servers are Aggregators.
+var (
+	_ Aggregator = (*FedAvgServer)(nil)
+	_ Aggregator = (*ICEADMMServer)(nil)
+	_ Aggregator = (*IIADMMServer)(nil)
+)
 
 // NewServer constructs the server for cfg with initial weights w0.
 func NewServer(cfg Config, w0 []float64, numClients int) (ServerAlgorithm, error) {

@@ -1,0 +1,203 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// The fuzz targets pin the codec's central robustness contract: no input,
+// however truncated or adversarial, may panic a decoder — malformed
+// messages must surface ErrTruncated/ErrBadTag/ErrOverflow (or a
+// formatting error) instead. `go test` exercises the seed corpus; run
+// `go test -fuzz=FuzzDecodeLocalUpdate ./internal/wire` to explore.
+
+// seedMessages returns encodings of representative messages, used to seed
+// every decode fuzzer with structurally valid bytes worth mutating.
+func seedMessages() [][]byte {
+	var out [][]byte
+	add := func(m interface{ Marshal(*Encoder) }) {
+		e := NewEncoder(nil)
+		m.Marshal(e)
+		out = append(out, append([]byte(nil), e.Bytes()...))
+	}
+	add(&Join{ClientID: 7, Name: "client-7"})
+	add(&JoinAck{NumClients: 203, Rounds: 50, ModelSize: 123456})
+	add(&GlobalModel{Round: 3, Weights: []float64{1, -2, math.Pi}, Rho: 2.5, Version: 9, CohortSize: 4})
+	add(&LocalUpdate{
+		ClientID: 1, Round: 2, NumSamples: 64,
+		Primal: []float64{0.5, -0.5}, Dual: []float64{1, 1},
+		Epsilon: math.Inf(1), ComputeSec: 0.25, BaseVersion: 8, InCohort: true,
+	})
+	return out
+}
+
+func FuzzDecodeLocalUpdate(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x08})       // lone tag, truncated payload
+	f.Add([]byte{0x22, 0xff}) // length-delimited field announcing too much
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var u LocalUpdate
+		_ = u.Unmarshal(NewDecoder(data)) // must not panic
+	})
+}
+
+func FuzzDecodeGlobalModel(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m GlobalModel
+		_ = m.Unmarshal(NewDecoder(data))
+	})
+}
+
+func FuzzDecodeJoinAndAck(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var j Join
+		_ = j.Unmarshal(NewDecoder(data))
+		var a JoinAck
+		_ = a.Unmarshal(NewDecoder(data))
+	})
+}
+
+// FuzzVarintRoundTrip: every uint64 must encode and decode to itself, and
+// zigzag must round-trip every int64.
+func FuzzVarintRoundTrip(f *testing.F) {
+	for _, v := range []uint64{0, 1, 127, 128, 1<<35 - 1, math.MaxUint64} {
+		f.Add(v)
+	}
+	f.Fuzz(func(t *testing.T, v uint64) {
+		e := NewEncoder(nil)
+		e.Uint64(1, v)
+		d := NewDecoder(e.Bytes())
+		if _, _, err := d.Tag(); err != nil {
+			t.Fatalf("tag: %v", err)
+		}
+		got, err := d.Uint64()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got != v {
+			t.Fatalf("varint round-trip %d -> %d", v, got)
+		}
+
+		s := int64(v)
+		e2 := NewEncoder(nil)
+		e2.Int64(2, s)
+		d2 := NewDecoder(e2.Bytes())
+		if _, _, err := d2.Tag(); err != nil {
+			t.Fatalf("zigzag tag: %v", err)
+		}
+		gs, err := d2.Int64()
+		if err != nil {
+			t.Fatalf("zigzag decode: %v", err)
+		}
+		if gs != s {
+			t.Fatalf("zigzag round-trip %d -> %d", s, gs)
+		}
+	})
+}
+
+// FuzzDoublesRoundTrip: packed doubles built from arbitrary bytes must
+// round-trip bit for bit (including NaN payloads and infinities).
+func FuzzDoublesRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		vals := make([]float64, len(raw)/8)
+		for i := range vals {
+			var bits uint64
+			for j := 0; j < 8; j++ {
+				bits |= uint64(raw[8*i+j]) << (8 * j)
+			}
+			vals[i] = math.Float64frombits(bits)
+		}
+		e := NewEncoder(nil)
+		e.Doubles(1, vals)
+		d := NewDecoder(e.Bytes())
+		if _, _, err := d.Tag(); err != nil {
+			t.Fatalf("tag: %v", err)
+		}
+		got, err := d.Doubles()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("length %d -> %d", len(vals), len(got))
+		}
+		for i := range got {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("value %d: %x -> %x", i, math.Float64bits(vals[i]), math.Float64bits(got[i]))
+			}
+		}
+	})
+}
+
+// FuzzTruncatedPrefixes: every strict prefix of a valid message must
+// decode to a typed codec error, never a panic and never silent success
+// masquerading as the full message.
+func FuzzTruncatedPrefixes(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for cut := 0; cut < len(data); cut++ {
+			var u LocalUpdate
+			if err := u.Unmarshal(NewDecoder(data[:cut])); err != nil {
+				if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadTag) && !errors.Is(err, ErrOverflow) &&
+					!isFormatError(err) {
+					t.Fatalf("cut %d: unexpected error type %v", cut, err)
+				}
+			}
+		}
+	})
+}
+
+// isFormatError recognizes the codec's fmt-wrapped errors (e.g. packed
+// doubles with a length not divisible by 8).
+func isFormatError(err error) bool {
+	return err != nil && bytes.Contains([]byte(err.Error()), []byte("wire:"))
+}
+
+// TestTruncatedKnownMessagesReturnTypedErrors is the deterministic
+// regression companion of the fuzzers: specific adversarial inputs return
+// the documented sentinel errors.
+func TestTruncatedKnownMessagesReturnTypedErrors(t *testing.T) {
+	// A varint that never terminates.
+	d := NewDecoder([]byte{0x80, 0x80, 0x80})
+	if _, _, err := d.Tag(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("unterminated varint: %v", err)
+	}
+	// A varint overflowing 64 bits.
+	over := bytes.Repeat([]byte{0x80}, 10)
+	over = append(over, 0x02)
+	d = NewDecoder(over)
+	if _, _, err := d.Tag(); !errors.Is(err, ErrOverflow) {
+		t.Fatalf("overflowing varint: %v", err)
+	}
+	// Field number 0 is a malformed tag.
+	d = NewDecoder([]byte{0x00})
+	if _, _, err := d.Tag(); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("zero field tag: %v", err)
+	}
+	// A length-delimited field promising more bytes than exist.
+	e := NewEncoder(nil)
+	e.Doubles(4, []float64{1, 2, 3})
+	full := e.Bytes()
+	var u LocalUpdate
+	if err := u.Unmarshal(NewDecoder(full[:len(full)-5])); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated doubles: %v", err)
+	}
+	// Wire type 7 does not exist.
+	d = NewDecoder([]byte{0x0f})
+	if _, _, err := d.Tag(); !errors.Is(err, ErrBadTag) {
+		t.Fatalf("wire type 7: %v", err)
+	}
+}

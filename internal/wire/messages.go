@@ -126,12 +126,18 @@ func (m *JoinAck) Unmarshal(d *Decoder) error {
 // GlobalModel carries the global weights w^{t+1} from server to clients.
 // Rho, when positive, is the penalty ρ_t the clients must use this round —
 // the channel through which the adaptive-penalty extension (paper §V,
-// item 2) keeps server and clients consistent.
+// item 2) keeps server and clients consistent. Version is the aggregation
+// counter of the model (how many server updates produced it); clients echo
+// it back as LocalUpdate.BaseVersion so the server can attribute staleness
+// under buffered/asynchronous scheduling. CohortSize reports how many
+// clients were scheduled for the round that this model opens.
 type GlobalModel struct {
-	Round   uint32
-	Weights []float64
-	Final   bool
-	Rho     float64
+	Round      uint32
+	Weights    []float64
+	Final      bool
+	Rho        float64
+	Version    uint64
+	CohortSize uint32
 }
 
 // Marshal encodes m.
@@ -141,6 +147,12 @@ func (m *GlobalModel) Marshal(e *Encoder) {
 	e.Bool(3, m.Final)
 	if m.Rho > 0 {
 		e.Float64(4, m.Rho)
+	}
+	if m.Version > 0 {
+		e.Uint64(5, m.Version)
+	}
+	if m.CohortSize > 0 {
+		e.Uint64(6, uint64(m.CohortSize))
 	}
 }
 
@@ -176,6 +188,18 @@ func (m *GlobalModel) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.Rho = v
+		case 5:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.Version = v
+		case 6:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.CohortSize = uint32(v)
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -189,14 +213,23 @@ func (m *GlobalModel) Unmarshal(d *Decoder) error {
 // is always present (z_p); Dual (λ_p) is populated only by algorithms that
 // communicate dual information (ICEADMM) — its absence is precisely
 // IIADMM's communication saving.
+//
+// BaseVersion echoes the GlobalModel.Version the client trained from, the
+// staleness anchor of the buffered/asynchronous schedulers. InCohort is
+// true when the client actually trained as a scheduled participant; the
+// legacy client-side partial-participation path sets it false on its
+// zero-weight echoes, making out-of-cohort contributions attributable at
+// the server.
 type LocalUpdate struct {
-	ClientID   uint32
-	Round      uint32
-	NumSamples uint64
-	Primal     []float64
-	Dual       []float64
-	Epsilon    float64 // privacy budget used for this release (+Inf = none)
-	ComputeSec float64 // client-side local update time, for instrumentation
+	ClientID    uint32
+	Round       uint32
+	NumSamples  uint64
+	Primal      []float64
+	Dual        []float64
+	Epsilon     float64 // privacy budget used for this release (+Inf = none)
+	ComputeSec  float64 // client-side local update time, for instrumentation
+	BaseVersion uint64
+	InCohort    bool
 }
 
 // Marshal encodes m. An empty Dual is omitted entirely, so the byte size
@@ -211,6 +244,12 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 	}
 	e.Float64(6, m.Epsilon)
 	e.Float64(7, m.ComputeSec)
+	if m.BaseVersion > 0 {
+		e.Uint64(8, m.BaseVersion)
+	}
+	if m.InCohort {
+		e.Bool(9, m.InCohort)
+	}
 }
 
 // Unmarshal decodes m, ignoring unknown fields.
@@ -263,6 +302,18 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.ComputeSec = v
+		case 8:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.BaseVersion = v
+		case 9:
+			v, err := d.Bool()
+			if err != nil {
+				return err
+			}
+			m.InCohort = v
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
