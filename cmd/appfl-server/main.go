@@ -35,11 +35,17 @@ func main() {
 	train := flag.Int("train", 960, "total training samples (for validation-set seed parity)")
 	test := flag.Int("test", 240, "server-side validation samples")
 	seed := flag.Uint64("seed", 1, "shared seed (must match clients)")
+	pipe := flag.String("pipeline", "", "update-pipeline spec (must match the clients)")
+	downF16 := flag.Bool("downlink-f16", false, "broadcast the global model as float16 (~4x downlink cut)")
 	timeout := flag.Duration("accept-timeout", 2*time.Minute, "join deadline")
 	flag.Parse()
 
-	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed}.WithDefaults()
+	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe}.WithDefaults()
 	if err := cfg.Validate(); err != nil {
+		fatal(err)
+	}
+	serverPipe, err := core.NewServerPipeline(cfg)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -71,11 +77,20 @@ func main() {
 	fmt.Println("appfl-server: all clients joined")
 
 	for t := 1; t <= cfg.Rounds; t++ {
-		if err := srv.Broadcast(&wire.GlobalModel{Round: uint32(t), Weights: server.GlobalWeights()}); err != nil {
+		gm := &wire.GlobalModel{Round: uint32(t), Weights: server.GlobalWeights()}
+		if *downF16 {
+			if err := core.EncodeDownlinkF16(gm); err != nil {
+				fatal(err)
+			}
+		}
+		if err := srv.Broadcast(gm); err != nil {
 			fatal(err)
 		}
 		updates, err := srv.Gather()
 		if err != nil {
+			fatal(err)
+		}
+		if err := core.DecodeUpdates(updates, serverPipe, len(w0)); err != nil {
 			fatal(err)
 		}
 		if err := server.Update(updates); err != nil {

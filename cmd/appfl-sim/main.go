@@ -25,6 +25,8 @@ func main() {
 	localSteps := flag.Int("local-steps", 10, "local steps/epochs L")
 	batch := flag.Int("batch", 64, "local mini-batch size")
 	eps := flag.Float64("eps", 0, "privacy budget epsilon (0 = non-private)")
+	pipe := flag.String("pipeline", "", "update-pipeline spec, e.g. clip:1,laplace:0.5,topk:0.1 (mutually exclusive with -eps)")
+	downF16 := flag.Bool("downlink-f16", false, "broadcast the global model as float16 (~4x downlink cut)")
 	train := flag.Int("train", 960, "training samples")
 	test := flag.Int("test", 240, "test samples")
 	seed := flag.Uint64("seed", 1, "master seed")
@@ -37,6 +39,13 @@ func main() {
 	alpha := flag.Float64("alpha", 0, "buffered: base mixing rate (0 = default 0.6)")
 	gamma := flag.Float64("gamma", 0, "buffered: staleness-decay exponent (0 = default 0.5)")
 	flag.Parse()
+
+	// Same rule Config.Validate enforces, surfaced before any dataset is
+	// generated so flag misuse fails fast.
+	if *pipe != "" && *eps > 0 {
+		fmt.Fprintln(os.Stderr, "appfl-sim: -pipeline and -eps both configure noise; set the budget in the pipeline spec only")
+		os.Exit(2)
+	}
 
 	epsVal := math.Inf(1)
 	if *eps > 0 {
@@ -73,6 +82,8 @@ func main() {
 		LocalSteps:     *localSteps,
 		BatchSize:      *batch,
 		Epsilon:        epsVal,
+		Pipeline:       *pipe,
+		DownlinkF16:    *downF16,
 		Seed:           *seed,
 		Scheduler:      *scheduler,
 		CohortFraction: *cohortFraction,
@@ -86,8 +97,8 @@ func main() {
 		cfg.CohortFraction = 0
 		cfg.CohortMin = 0
 	}
-	fmt.Printf("appfl-sim: %s on %s, %d clients, T=%d, L=%d, eps=%v, transport=%s, scheduler=%s\n",
-		*algorithm, *ds, fed.NumClients(), *rounds, *localSteps, *eps, *transport, *scheduler)
+	fmt.Printf("appfl-sim: %s on %s, %d clients, T=%d, L=%d, eps=%v, pipeline=%q, transport=%s, scheduler=%s\n",
+		*algorithm, *ds, fed.NumClients(), *rounds, *localSteps, *eps, *pipe, *transport, *scheduler)
 	res, err := appfl.Run(cfg, fed, factory, appfl.RunOptions{
 		Transport: core.Transport(*transport),
 		Progress:  os.Stdout,

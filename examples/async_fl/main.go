@@ -15,7 +15,6 @@ import (
 
 	appfl "repro"
 	"repro/internal/core"
-	"repro/internal/dp"
 	"repro/internal/hetero"
 	"repro/internal/nn"
 	"repro/internal/rng"
@@ -45,7 +44,11 @@ func main() {
 			defer wg.Done()
 			model := factory()
 			nn.SetParams(model, w0)
-			client := core.NewFedAvgClient(i, model, fed.Clients[i], cfg, dp.None{}, cr)
+			pipe, err := core.NewClientPipeline(cfg, cr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			client := core.NewFedAvgClient(i, model, fed.Clients[i], cfg, pipe, cr)
 			// Faster devices complete more local updates in the same wall
 			// time budget: pushes ∝ throughput.
 			pushes := int(12 * dev.Throughput / hetero.A100.Throughput)

@@ -16,7 +16,6 @@ import (
 	appfl "repro"
 	"repro/internal/comm/rpc"
 	"repro/internal/core"
-	"repro/internal/dp"
 	"repro/internal/nn"
 	"repro/internal/rng"
 	"repro/internal/wire"
@@ -60,7 +59,11 @@ func main() {
 			defer wg.Done()
 			model := factory()
 			nn.SetParams(model, w0)
-			algo, err := core.NewClient(cfg, i, model, fed.Clients[i], w0, dp.NewLaplace(cfg.Epsilon, cr.Split()), cr)
+			pipe, err := core.NewClientPipeline(cfg, cr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			algo, err := core.NewClient(cfg, i, model, fed.Clients[i], w0, pipe, cr)
 			if err != nil {
 				log.Fatal(err)
 			}

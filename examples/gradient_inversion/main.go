@@ -44,7 +44,10 @@ func main() {
 		"epsilon", "reconstruction error", "attack outcome")
 	noiseRng := rng.New(3)
 	for _, eps := range []float64{10, 5, 3, 1} {
-		mech := dp.NewLaplace(eps, noiseRng.Split())
+		mech, err := dp.NewLaplace(eps, noiseRng.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
 		nw, nb := gradW.Clone(), gradB.Clone()
 		mech.Perturb(nw.Data(), 0.1)
 		mech.Perturb(nb.Data(), 0.1)

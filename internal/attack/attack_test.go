@@ -60,7 +60,10 @@ func TestDPDefeatsGradientInversion(t *testing.T) {
 
 	// Perturb what the adversary sees, as the output-perturbation method
 	// does before anything leaves the client.
-	mech := dp.NewLaplace(1.0, rng.New(5))
+	mech, err := dp.NewLaplace(1.0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
 	noisyW := gradW.Clone()
 	noisyB := gradB.Clone()
 	mech.Perturb(noisyW.Data(), 0.1)
@@ -130,7 +133,11 @@ func TestMembershipAttackOnOverfitModel(t *testing.T) {
 		loader := dataset.NewLoader(train, 8, true, r.Split())
 		var mech dp.Mechanism = dp.None{}
 		if !math.IsInf(noiseEps, 1) {
-			mech = dp.NewLaplace(noiseEps, r.Split())
+			lap, err := dp.NewLaplace(noiseEps, r.Split())
+			if err != nil {
+				t.Fatal(err)
+			}
+			mech = lap
 		}
 		for epoch := 0; epoch < 60; epoch++ {
 			loader.Reset()

@@ -259,10 +259,10 @@ func TestFLTransportRoundTrip(t *testing.T) {
 			t.Fatalf("epsilon lost: %v", u.Epsilon)
 		}
 	}
-	// Byte accounting: server sent P copies of (6 header + 2 weights) floats.
+	// Byte accounting: server sent P copies of (7 header + 2 weights) floats.
 	snap := server.Stats()
-	if snap.BytesSent != uint64(P*8*8) {
-		t.Fatalf("server bytes sent %d, want %d", snap.BytesSent, P*8*8)
+	if snap.BytesSent != uint64(P*9*8) {
+		t.Fatalf("server bytes sent %d, want %d", snap.BytesSent, P*9*8)
 	}
 	if snap.MsgsRecv != P {
 		t.Fatalf("server msgs recv %d", snap.MsgsRecv)
@@ -314,5 +314,74 @@ func BenchmarkGather16Ranks(b *testing.B) {
 		}
 		w.Rank(0).Gather(0, nil)
 		wg.Wait()
+	}
+}
+
+func TestPackUpdateCarriesCompressedPayload(t *testing.T) {
+	u := &wire.LocalUpdate{
+		ClientID: 2, Round: 5, NumSamples: 10, Epsilon: math.Inf(1), InCohort: true,
+		PrimalP: &wire.Payload{Enc: wire.EncSparse, Dim: 100, Indices: []uint32{3, 97}, Values: []float64{-1.5, 2.25}},
+	}
+	got, err := unpackUpdate(packUpdate(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.PrimalP == nil || got.PrimalP.Enc != wire.EncSparse || got.PrimalP.Dim != 100 {
+		t.Fatalf("payload lost through the flat buffer: %+v", got.PrimalP)
+	}
+	dense, err := got.PrimalP.Densify(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense[3] != -1.5 || dense[97] != 2.25 {
+		t.Fatalf("payload values corrupted: %v %v", dense[3], dense[97])
+	}
+	// A compressed upload must be far smaller than its dense equivalent.
+	denseBuf := packUpdate(&wire.LocalUpdate{ClientID: 2, Round: 5, Primal: make([]float64, 100)})
+	if sparseLen := len(packUpdate(u)); sparseLen*2 >= len(denseBuf) {
+		t.Fatalf("sparse buffer %d words vs dense %d: compression lost in transport", sparseLen, len(denseBuf))
+	}
+}
+
+func TestPackGlobalCarriesCompressedPayload(t *testing.T) {
+	codes := make([]byte, 6)
+	for i, v := range []float64{1, -2, 0.5} {
+		h := wire.Float16FromFloat64(v)
+		codes[2*i] = byte(h)
+		codes[2*i+1] = byte(h >> 8)
+	}
+	g := &wire.GlobalModel{Round: 1, Version: 3, WeightsP: &wire.Payload{Enc: wire.EncFloat16, Dim: 3, Codes: codes}}
+	got, err := unpackGlobal(packGlobal(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.WeightsP == nil {
+		t.Fatal("weights payload lost through the flat buffer")
+	}
+	dense, err := got.WeightsP.Densify(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense[0] != 1 || dense[1] != -2 || dense[2] != 0.5 {
+		t.Fatalf("weights corrupted: %v", dense)
+	}
+}
+
+func TestUnpackRejectsCorruptPayloadWords(t *testing.T) {
+	u := &wire.LocalUpdate{
+		ClientID: 1, Round: 1,
+		PrimalP: &wire.Payload{Enc: wire.EncSparse, Dim: 10, Indices: []uint32{1}, Values: []float64{2}},
+	}
+	buf := packUpdate(u)
+	// A payload word that is not a 48-bit integer must be rejected, not
+	// silently truncated into garbage bytes.
+	buf[len(buf)-1] = math.Pi
+	if _, err := unpackUpdate(buf); err == nil {
+		t.Fatal("corrupt payload word accepted")
+	}
+	// Truncating the payload bytes must surface a typed codec error.
+	buf2 := packUpdate(u)
+	if _, err := unpackUpdate(buf2[:len(buf2)-1]); err == nil {
+		t.Fatal("truncated payload accepted")
 	}
 }

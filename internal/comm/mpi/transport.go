@@ -66,9 +66,69 @@ func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
 	return server, clients
 }
 
+// Compressed payloads (wire.Payload) ride the numeric buffers as their
+// wire-codec bytes packed six per float64 word: 48-bit integers are
+// exactly representable, so no word can land on a NaN/denormal bit
+// pattern the FP path might alter. The 8/6 inflation still leaves top-k
+// and quantized uploads far below the dense buffer size, so the MPI byte
+// accounting tracks the compression honestly.
+
+// packBytesWords appends b to buf as 48-bit little-endian words.
+func packBytesWords(buf []float64, b []byte) []float64 {
+	for i := 0; i < len(b); i += 6 {
+		var w uint64
+		for j := 0; j < 6 && i+j < len(b); j++ {
+			w |= uint64(b[i+j]) << (8 * j)
+		}
+		buf = append(buf, float64(w))
+	}
+	return buf
+}
+
+// byteWords is the word count packBytesWords emits for n bytes.
+func byteWords(n int) int { return (n + 5) / 6 }
+
+// unpackBytesWords reverses packBytesWords for n original bytes.
+func unpackBytesWords(words []float64, n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for _, f := range words {
+		if f < 0 || f != math.Trunc(f) || f >= 1<<48 {
+			return nil, fmt.Errorf("mpi: corrupt payload word %v", f)
+		}
+		w := uint64(f)
+		for j := 0; j < 6 && len(out) < n; j++ {
+			out = append(out, byte(w>>(8*j)))
+		}
+	}
+	if len(out) != n {
+		return nil, fmt.Errorf("mpi: payload words carry %d bytes, header says %d", len(out), n)
+	}
+	return out, nil
+}
+
+// marshalPayload renders a wire.Payload to its codec bytes (nil → empty).
+func marshalPayload(p *wire.Payload) []byte {
+	if p == nil {
+		return nil
+	}
+	e := wire.NewEncoder(nil)
+	p.Marshal(e)
+	return e.Bytes()
+}
+
+// unmarshalPayload decodes and validates codec bytes back to a Payload.
+func unmarshalPayload(b []byte) (*wire.Payload, error) {
+	var p wire.Payload
+	if err := p.Unmarshal(wire.NewDecoder(b)); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
 // packGlobal flattens a GlobalModel into one buffer.
 func packGlobal(m *wire.GlobalModel) []float64 {
-	buf := make([]float64, 6+len(m.Weights))
+	pb := marshalPayload(m.WeightsP)
+	buf := make([]float64, 7+len(m.Weights), 7+len(m.Weights)+byteWords(len(pb)))
 	buf[0] = float64(m.Round)
 	if m.Final {
 		buf[1] = 1
@@ -77,31 +137,48 @@ func packGlobal(m *wire.GlobalModel) []float64 {
 	buf[3] = float64(m.Version)
 	buf[4] = float64(m.CohortSize)
 	buf[5] = float64(len(m.Weights))
-	copy(buf[6:], m.Weights)
-	return buf
+	buf[6] = float64(len(pb))
+	copy(buf[7:], m.Weights)
+	return packBytesWords(buf, pb)
 }
 
 func unpackGlobal(buf []float64) (*wire.GlobalModel, error) {
-	if len(buf) < 6 {
+	if len(buf) < 7 {
 		return nil, fmt.Errorf("mpi: global-model buffer too short (%d)", len(buf))
 	}
-	n := int(buf[5])
-	if len(buf) != 6+n {
-		return nil, fmt.Errorf("mpi: global-model buffer length %d, header says %d weights", len(buf), n)
+	n, npb := int(buf[5]), int(buf[6])
+	if n < 0 || npb < 0 {
+		return nil, fmt.Errorf("mpi: global-model header counts negative (%d weights, %d payload bytes)", n, npb)
 	}
-	return &wire.GlobalModel{
+	if len(buf) != 7+n+byteWords(npb) {
+		return nil, fmt.Errorf("mpi: global-model buffer length %d, header says %d weights + %d payload bytes", len(buf), n, npb)
+	}
+	m := &wire.GlobalModel{
 		Round:      uint32(buf[0]),
 		Final:      buf[1] != 0,
 		Rho:        buf[2],
 		Version:    uint64(buf[3]),
 		CohortSize: uint32(buf[4]),
-		Weights:    buf[6 : 6+n],
-	}, nil
+		Weights:    buf[7 : 7+n],
+	}
+	if npb > 0 {
+		pb, err := unpackBytesWords(buf[7+n:], npb)
+		if err != nil {
+			return nil, err
+		}
+		p, err := unmarshalPayload(pb)
+		if err != nil {
+			return nil, err
+		}
+		m.WeightsP = p
+	}
+	return m, nil
 }
 
 // packUpdate flattens a LocalUpdate into one buffer.
 func packUpdate(m *wire.LocalUpdate) []float64 {
-	buf := make([]float64, 9+len(m.Primal)+len(m.Dual))
+	pb := marshalPayload(m.PrimalP)
+	buf := make([]float64, 10+len(m.Primal)+len(m.Dual), 10+len(m.Primal)+len(m.Dual)+byteWords(len(pb)))
 	buf[0] = float64(m.ClientID)
 	buf[1] = float64(m.Round)
 	buf[2] = float64(m.NumSamples)
@@ -113,18 +190,22 @@ func packUpdate(m *wire.LocalUpdate) []float64 {
 	}
 	buf[7] = float64(len(m.Primal))
 	buf[8] = float64(len(m.Dual))
-	copy(buf[9:], m.Primal)
-	copy(buf[9+len(m.Primal):], m.Dual)
-	return buf
+	buf[9] = float64(len(pb))
+	copy(buf[10:], m.Primal)
+	copy(buf[10+len(m.Primal):], m.Dual)
+	return packBytesWords(buf, pb)
 }
 
 func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
-	if len(buf) < 9 {
+	if len(buf) < 10 {
 		return nil, fmt.Errorf("mpi: update buffer too short (%d)", len(buf))
 	}
-	np, nd := int(buf[7]), int(buf[8])
-	if len(buf) != 9+np+nd {
-		return nil, fmt.Errorf("mpi: update buffer length %d, header says %d+%d payload", len(buf), np, nd)
+	np, nd, npb := int(buf[7]), int(buf[8]), int(buf[9])
+	if np < 0 || nd < 0 || npb < 0 {
+		return nil, fmt.Errorf("mpi: update header counts negative (%d primal, %d dual, %d payload bytes)", np, nd, npb)
+	}
+	if len(buf) != 10+np+nd+byteWords(npb) {
+		return nil, fmt.Errorf("mpi: update buffer length %d, header says %d+%d payload + %d payload bytes", len(buf), np, nd, npb)
 	}
 	u := &wire.LocalUpdate{
 		ClientID:    uint32(buf[0]),
@@ -134,10 +215,21 @@ func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
 		ComputeSec:  buf[4],
 		BaseVersion: uint64(buf[5]),
 		InCohort:    buf[6] != 0,
-		Primal:      buf[9 : 9+np],
+		Primal:      buf[10 : 10+np],
 	}
 	if nd > 0 {
-		u.Dual = buf[9+np : 9+np+nd]
+		u.Dual = buf[10+np : 10+np+nd]
+	}
+	if npb > 0 {
+		pb, err := unpackBytesWords(buf[10+np+nd:], npb)
+		if err != nil {
+			return nil, err
+		}
+		p, err := unmarshalPayload(pb)
+		if err != nil {
+			return nil, err
+		}
+		u.PrimalP = p
 	}
 	if math.IsNaN(u.Epsilon) {
 		return nil, fmt.Errorf("mpi: update carries NaN epsilon")

@@ -5,7 +5,6 @@ import (
 	"sync"
 	"testing"
 
-	"repro/internal/dp"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -112,7 +111,7 @@ func TestAsyncConvergesOnTinyProblem(t *testing.T) {
 			defer wg.Done()
 			m := factory()
 			nn.SetParams(m, w0)
-			client := NewFedAvgClient(i, m, fed.Clients[i], cfg, dp.None{}, rng.New(uint64(i)+10))
+			client := NewFedAvgClient(i, m, fed.Clients[i], cfg, testPipe(t, cfg, nil), rng.New(uint64(i)+10))
 			// Slower clients do fewer pushes, mimicking V100 vs A100 speed.
 			pushes := 6 - 2*i
 			for k := 0; k < pushes; k++ {

@@ -2,12 +2,12 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/dp"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/wire"
 )
@@ -21,60 +21,71 @@ type ClientAlgorithm interface {
 }
 
 // BaseClient carries the state every client algorithm shares: the model
-// replica, the private dataset, the clip bound, and scratch buffers. It
-// mirrors the Python BaseClient class.
+// replica, the private dataset, the configured update pipeline, and
+// scratch buffers. It mirrors the Python BaseClient class.
+//
+// The pipeline replaces the old inlined Clip/Mech fields: gradient
+// clipping and per-round objective noise enter through Pipe.GradHook
+// during training, and every release passes through Pipe.Apply (output
+// noise, then compression) before it is installed in the LocalUpdate.
 type BaseClient struct {
 	ID     int
 	Model  nn.Module
 	Data   dataset.Dataset
 	Loader *dataset.Loader
-	Clip   float64
-	Mech   dp.Mechanism
-	Sens   dp.SensitivityRule
-	// DPMode selects output perturbation (default) or objective
-	// perturbation; see Config.DPMode.
-	DPMode string
+	// Pipe is the ordered privacy + compression stack of this client.
+	Pipe *pipeline.Pipeline
+	// Sens derives the DP sensitivity Δ̄ the noise stages consume; it is
+	// recomputed when hyperparameters change (e.g. adaptive ρ).
+	Sens dp.SensitivityRule
 
-	dim      int
-	gradBuf  []float64
-	objNoise []float64
+	dim     int
+	gradBuf []float64
 }
 
 // newBaseClient wires the shared client state.
-func newBaseClient(id int, model nn.Module, ds dataset.Dataset, batch int, clip float64, mech dp.Mechanism, sens dp.SensitivityRule, r *rng.RNG) BaseClient {
+func newBaseClient(id int, model nn.Module, ds dataset.Dataset, batch int, pipe *pipeline.Pipeline, sens dp.SensitivityRule, r *rng.RNG) BaseClient {
+	if pipe == nil {
+		pipe, _ = pipeline.New() // identity
+	}
 	return BaseClient{
 		ID:     id,
 		Model:  model,
 		Data:   ds,
 		Loader: dataset.NewLoader(ds, batch, true, r),
-		Clip:   clip,
-		Mech:   mech,
+		Pipe:   pipe,
 		Sens:   sens,
 		dim:    nn.NumParams(model),
 	}
 }
 
-// beginRound prepares per-round privacy state: in objective mode it draws
-// the round's perturbation vector b, which gradAt then adds to every
-// gradient (the ⟨b, z⟩ term of the perturbed objective).
+// beginRound prepares per-round pipeline state: in objective-perturbation
+// mode the pipeline draws the round's noise vector b, which gradAt then
+// adds to every gradient (the ⟨b, z⟩ term of the perturbed objective).
 func (c *BaseClient) beginRound() {
-	if c.DPMode == DPModeObjective {
-		c.objNoise = dp.ObjectiveNoise(c.Mech, c.dim, c.Sens.Sensitivity())
+	c.Pipe.BeginRound(c.dim, c.Sens.Sensitivity())
+}
+
+// releasePrimal runs the outbound pipeline over v and installs the result
+// into m: a dense result goes out as the legacy Primal block, a compressed
+// one as the PrimalP payload. v is adopted and may be transformed in place.
+func (c *BaseClient) releasePrimal(v []float64, m *wire.LocalUpdate) error {
+	u := pipeline.NewDense(v)
+	if err := c.Pipe.Apply(u, c.Sens.Sensitivity()); err != nil {
+		return fmt.Errorf("core: client %d release: %w", c.ID, err)
+	}
+	if u.Enc == wire.EncDense {
+		m.Primal = u.Dense
 	} else {
-		c.objNoise = nil
+		m.PrimalP = u
 	}
+	m.Epsilon = c.Pipe.Epsilon()
+	return nil
 }
 
-// perturbOutput applies output perturbation to the release, unless the
-// noise already entered through the objective.
-func (c *BaseClient) perturbOutput(v []float64) {
-	if c.DPMode != DPModeObjective {
-		c.Mech.Perturb(v, c.Sens.Sensitivity())
-	}
-}
-
-// gradAt computes the clipped mean gradient of the loss at parameter
-// vector z over batch b. The returned slice is reused across calls.
+// gradAt computes the mean gradient of the loss at parameter vector z over
+// batch b, post-processed by the pipeline's training-time stages (L2
+// clipping, objective noise). The returned slice is reused across calls.
 func (c *BaseClient) gradAt(z []float64, b dataset.Batch) []float64 {
 	nn.SetParams(c.Model, z)
 	nn.ZeroGrad(c.Model)
@@ -82,12 +93,7 @@ func (c *BaseClient) gradAt(z []float64, b dataset.Batch) []float64 {
 	_, d := nn.CrossEntropy(logits, b.Labels)
 	c.Model.Backward(d)
 	c.gradBuf = nn.FlattenGrads(c.Model, c.gradBuf)
-	dp.ClipL2(c.gradBuf, c.Clip)
-	if c.objNoise != nil {
-		for i := range c.gradBuf {
-			c.gradBuf[i] += c.objNoise[i]
-		}
-	}
+	c.Pipe.GradHook(c.gradBuf)
 	return c.gradBuf
 }
 
@@ -119,18 +125,13 @@ func (c *BaseClient) fullGrad(z []float64) []float64 {
 	for i := range sum {
 		sum[i] /= float64(n)
 	}
-	dp.ClipL2(sum, c.Clip)
-	if c.objNoise != nil {
-		for i := range sum {
-			sum[i] += c.objNoise[i]
-		}
-	}
+	c.Pipe.GradHook(sum)
 	return sum
 }
 
 // FedAvgClient runs L epochs of mini-batch SGD with momentum from the
 // broadcast weights (the paper's FedAvg local solver, §IV-B) and uploads
-// the resulting parameters with Laplace output perturbation.
+// the resulting parameters through the update pipeline.
 type FedAvgClient struct {
 	BaseClient
 	LR       float64
@@ -146,11 +147,10 @@ type FedAvgClient struct {
 	veloc []float64
 }
 
-// NewFedAvgClient constructs the client.
-func NewFedAvgClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, mech dp.Mechanism, r *rng.RNG) *FedAvgClient {
-	sens := dp.FedAvgSensitivity{Clip: cfg.Clip, LR: cfg.LR}
-	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
-	bc.DPMode = cfg.DPMode
+// NewFedAvgClient constructs the client over its update pipeline.
+func NewFedAvgClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, pipe *pipeline.Pipeline, r *rng.RNG) *FedAvgClient {
+	sens := dp.FedAvgSensitivity{Clip: pipe.ClipBound(), LR: cfg.LR}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, pipe, sens, r)
 	return &FedAvgClient{
 		BaseClient: bc,
 		LR:         cfg.LR,
@@ -161,7 +161,8 @@ func NewFedAvgClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, me
 	}
 }
 
-// LocalUpdate trains locally and returns the perturbed parameters.
+// LocalUpdate trains locally and releases the parameters through the
+// pipeline.
 func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error) {
 	if len(w) != c.dim {
 		return nil, fmt.Errorf("core: client %d got %d weights, model is %d", c.ID, len(w), c.dim)
@@ -172,7 +173,7 @@ func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 			Round:      uint32(round),
 			NumSamples: 0, // zero weight: excluded from the average
 			Primal:     append([]float64(nil), w...),
-			Epsilon:    epsilonOf(c.Mech),
+			Epsilon:    c.Pipe.Epsilon(),
 			InCohort:   false, // attributable as an out-of-cohort echo
 		}, nil
 	}
@@ -200,17 +201,17 @@ func (c *FedAvgClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 			}
 		}
 	}
-	out := append([]float64(nil), c.z...)
-	c.perturbOutput(out)
-	return &wire.LocalUpdate{
+	m := &wire.LocalUpdate{
 		ClientID:   uint32(c.ID),
 		Round:      uint32(round),
 		NumSamples: uint64(c.Data.Len()),
-		Primal:     out,
-		Epsilon:    epsilonOf(c.Mech),
-		ComputeSec: time.Since(start).Seconds(),
 		InCohort:   true,
-	}, nil
+	}
+	if err := c.releasePrimal(append([]float64(nil), c.z...), m); err != nil {
+		return nil, err
+	}
+	m.ComputeSec = time.Since(start).Seconds()
+	return m, nil
 }
 
 // ICEADMMClient implements the baseline of Zhou & Li (2021): L joint
@@ -228,10 +229,9 @@ type ICEADMMClient struct {
 
 // NewICEADMMClient constructs the client; z starts from w0 and λ from
 // zero, the shared initialization.
-func NewICEADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, w0 []float64, mech dp.Mechanism, r *rng.RNG) *ICEADMMClient {
-	sens := dp.IADMMSensitivity{Clip: cfg.Clip, Rho: cfg.Rho, Zeta: cfg.Zeta}
-	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
-	bc.DPMode = cfg.DPMode
+func NewICEADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, w0 []float64, pipe *pipeline.Pipeline, r *rng.RNG) *ICEADMMClient {
+	sens := dp.IADMMSensitivity{Clip: pipe.ClipBound(), Rho: cfg.Rho, Zeta: cfg.Zeta}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, pipe, sens, r)
 	c := &ICEADMMClient{
 		BaseClient: bc,
 		Rho:        cfg.Rho,
@@ -248,11 +248,11 @@ func NewICEADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, w
 // recomputes the DP sensitivity.
 func (c *ICEADMMClient) SetRho(rho float64) {
 	c.Rho = rho
-	c.Sens = dp.IADMMSensitivity{Clip: c.Clip, Rho: rho, Zeta: c.Zeta}
+	c.Sens = dp.IADMMSensitivity{Clip: c.Pipe.ClipBound(), Rho: rho, Zeta: c.Zeta}
 }
 
 // LocalUpdate runs the joint primal/dual loop (Eq. 4 then Eq. 3c, L times)
-// and uploads both vectors, perturbing the primal.
+// and uploads both vectors, releasing the primal through the pipeline.
 func (c *ICEADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, error) {
 	if len(w) != c.dim {
 		return nil, fmt.Errorf("core: client %d got %d weights, model is %d", c.ID, len(w), c.dim)
@@ -271,19 +271,18 @@ func (c *ICEADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, 
 			}
 		}
 	}
-	zOut := append([]float64(nil), c.z...)
-	c.perturbOutput(zOut)
-	dualOut := append([]float64(nil), c.lambda...)
-	return &wire.LocalUpdate{
+	m := &wire.LocalUpdate{
 		ClientID:   uint32(c.ID),
 		Round:      uint32(round),
 		NumSamples: uint64(c.Data.Len()),
-		Primal:     zOut,
-		Dual:       dualOut,
-		Epsilon:    epsilonOf(c.Mech),
-		ComputeSec: time.Since(start).Seconds(),
+		Dual:       append([]float64(nil), c.lambda...),
 		InCohort:   true,
-	}, nil
+	}
+	if err := c.releasePrimal(append([]float64(nil), c.z...), m); err != nil {
+		return nil, err
+	}
+	m.ComputeSec = time.Since(start).Seconds()
+	return m, nil
 }
 
 // IIADMMClient implements ClientUpdate of the paper's Algorithm 1:
@@ -304,10 +303,9 @@ type IIADMMClient struct {
 }
 
 // NewIIADMMClient constructs the client with λ initialized to zero.
-func NewIIADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, mech dp.Mechanism, r *rng.RNG) *IIADMMClient {
-	sens := dp.IADMMSensitivity{Clip: cfg.Clip, Rho: cfg.Rho, Zeta: cfg.Zeta}
-	bc := newBaseClient(id, model, ds, cfg.BatchSize, cfg.Clip, mech, sens, r)
-	bc.DPMode = cfg.DPMode
+func NewIIADMMClient(id int, model nn.Module, ds dataset.Dataset, cfg Config, pipe *pipeline.Pipeline, r *rng.RNG) *IIADMMClient {
+	sens := dp.IADMMSensitivity{Clip: pipe.ClipBound(), Rho: cfg.Rho, Zeta: cfg.Zeta}
+	bc := newBaseClient(id, model, ds, cfg.BatchSize, pipe, sens, r)
 	c := &IIADMMClient{
 		BaseClient: bc,
 		Rho:        cfg.Rho,
@@ -327,7 +325,7 @@ func (c *IIADMMClient) Lambda() []float64 { return c.lambda }
 // new penalty automatically.
 func (c *IIADMMClient) SetRho(rho float64) {
 	c.Rho = rho
-	c.Sens = dp.IADMMSensitivity{Clip: c.Clip, Rho: rho, Zeta: c.Zeta}
+	c.Sens = dp.IADMMSensitivity{Clip: c.Pipe.ClipBound(), Rho: rho, Zeta: c.Zeta}
 }
 
 // LocalUpdate implements lines 10–22 of Algorithm 1.
@@ -356,47 +354,47 @@ func (c *IIADMMClient) LocalUpdate(round int, w []float64) (*wire.LocalUpdate, e
 		}
 	}
 	zOut := append([]float64(nil), c.z...) // line 20
-	c.perturbOutput(zOut)
-	if !c.FreezeDual {
-		for i := range c.lambda { // line 21, with the released primal
-			c.lambda[i] += c.Rho * (w[i] - zOut[i])
-		}
-	}
-	return &wire.LocalUpdate{ // line 22: primal only
+	m := &wire.LocalUpdate{                // line 22: primal only
 		ClientID:   uint32(c.ID),
 		Round:      uint32(round),
 		NumSamples: uint64(c.Data.Len()),
-		Primal:     zOut,
-		Epsilon:    epsilonOf(c.Mech),
-		ComputeSec: time.Since(start).Seconds(),
 		InCohort:   true,
-	}, nil
-}
-
-// epsilonOf extracts the budget for reporting in the update message.
-func epsilonOf(m dp.Mechanism) float64 {
-	switch x := m.(type) {
-	case *dp.Laplace:
-		return x.Eps
-	case *dp.Gaussian:
-		return x.Eps
-	default:
-		return math.Inf(1)
 	}
+	if err := c.releasePrimal(zOut, m); err != nil {
+		return nil, err
+	}
+	if !c.FreezeDual {
+		// Line 21 uses the *released* primal so the server mirror stays
+		// bit-identical. With a compression stage the release is the
+		// server-side reconstruction of the payload.
+		rel := m.Primal
+		if m.PrimalP != nil {
+			var err error
+			rel, err = m.PrimalP.Densify(nil)
+			if err != nil {
+				return nil, fmt.Errorf("core: client %d released payload: %w", c.ID, err)
+			}
+		}
+		for i := range c.lambda { // line 21, with the released primal
+			c.lambda[i] += c.Rho * (w[i] - rel[i])
+		}
+	}
+	m.ComputeSec = time.Since(start).Seconds()
+	return m, nil
 }
 
-// NewClient constructs the client algorithm for cfg.
-func NewClient(cfg Config, id int, model nn.Module, ds dataset.Dataset, w0 []float64, mech dp.Mechanism, r *rng.RNG) (ClientAlgorithm, error) {
+// NewClient constructs the client algorithm for cfg over its pipeline.
+func NewClient(cfg Config, id int, model nn.Module, ds dataset.Dataset, w0 []float64, pipe *pipeline.Pipeline, r *rng.RNG) (ClientAlgorithm, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	switch cfg.Algorithm {
 	case AlgoFedAvg:
-		return NewFedAvgClient(id, model, ds, cfg, mech, r), nil
+		return NewFedAvgClient(id, model, ds, cfg, pipe, r), nil
 	case AlgoICEADMM:
-		return NewICEADMMClient(id, model, ds, cfg, w0, mech, r), nil
+		return NewICEADMMClient(id, model, ds, cfg, w0, pipe, r), nil
 	case AlgoIIADMM:
-		return NewIIADMMClient(id, model, ds, cfg, mech, r), nil
+		return NewIIADMMClient(id, model, ds, cfg, pipe, r), nil
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", cfg.Algorithm)
 	}

@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/pipeline"
 )
 
 // Algorithm names accepted in Config.Algorithm.
@@ -52,6 +54,27 @@ type Config struct {
 	// objective with a random linear term instead (Chaudhuri et al., the
 	// paper's planned advanced scheme). Ignored when Epsilon is infinite.
 	DPMode string
+
+	// Pipeline is the ordered update-pipeline spec: the stack of privacy
+	// and compression stages every client release passes through, e.g.
+	//
+	//	"clip:1.0,laplace:0.5,topk:0.1"
+	//
+	// Stages: clip:C, laplace:EPS, gaussian:EPS[:DELTA], topk:FRAC,
+	// quantize[:BITS], f16 (see pipeline.Parse for the grammar and
+	// ordering rules). When empty, the legacy fields above define the
+	// stack — clip:Clip plus laplace:Epsilon when Epsilon is finite — so
+	// existing configs reproduce their pre-pipeline trajectories bit for
+	// bit. When set, it replaces Clip/Epsilon entirely; combining it with
+	// a finite Epsilon is a validation error (one noise authority).
+	Pipeline string
+
+	// DownlinkF16 broadcasts every global model as a float16 payload
+	// instead of dense float64 — a ~4x cut of server→client bytes, the
+	// downlink mirror of the upload pipeline's compression stages.
+	// Clients densify the payload before training; the cast is lossy, so
+	// trajectories differ from dense downlink runs.
+	DownlinkF16 bool
 
 	// FreezeDual pins every dual variable at zero (λt ≡ 0). This is the
 	// reduction under which the IADMM family collapses to FedAvg
@@ -194,6 +217,16 @@ func (c Config) Validate() error {
 	case "", DPModeOutput, DPModeObjective:
 	default:
 		return fmt.Errorf("core: unknown DPMode %q", c.DPMode)
+	}
+	if c.Pipeline != "" {
+		// The earlier Epsilon check already rejected non-positive values,
+		// so a non-infinite Epsilon here is a real finite budget.
+		if !math.IsInf(c.Epsilon, 1) {
+			return fmt.Errorf("core: Pipeline and a finite Epsilon both configure noise; set the budget in the pipeline spec only")
+		}
+		if _, err := pipeline.Parse(c.Pipeline); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	if c.ClientFraction < 0 || c.ClientFraction > 1 {
 		return fmt.Errorf("core: ClientFraction must be in [0,1], got %v", c.ClientFraction)

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
-	"repro/internal/dp"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/tensor"
 	"repro/internal/wire"
@@ -201,7 +201,8 @@ func TestAdaptiveRhoKeepsDualMirrorExact(t *testing.T) {
 	for i := range clients {
 		m := factory()
 		nn.SetParams(m, w0)
-		clients[i] = NewIIADMMClient(i, m, fed.Clients[i], cfg, dp.None{}, master.Split())
+		cr := master.Split()
+		clients[i] = NewIIADMMClient(i, m, fed.Clients[i], cfg, testPipe(t, cfg, cr), cr)
 	}
 	rhoSeen := map[float64]bool{}
 	for round := 1; round <= 4; round++ {
@@ -323,7 +324,8 @@ func TestIIADMMDualMirrorConsistencyUnderDP(t *testing.T) {
 	for i := range clients {
 		m := factory()
 		nn.SetParams(m, w0)
-		clients[i] = NewIIADMMClient(i, m, fed.Clients[i], cfg, dp.NewLaplace(cfg.Epsilon, master.Split()), master.Split())
+		cr := master.Split()
+		clients[i] = NewIIADMMClient(i, m, fed.Clients[i], cfg, testPipe(t, cfg, cr), cr)
 	}
 	for round := 1; round <= 3; round++ {
 		w := append([]float64(nil), server.GlobalWeights()...)
@@ -381,8 +383,8 @@ func TestFedAvgEqualsICEADMMSpecialCase(t *testing.T) {
 	w0 := nn.FlattenParams(mA, nil)
 	nn.SetParams(mB, w0)
 
-	ca := NewFedAvgClient(0, mA, train, fa, dp.None{}, rng.New(2))
-	cb := NewICEADMMClient(0, mB, train, ice, w0, dp.None{}, rng.New(2))
+	ca := NewFedAvgClient(0, mA, train, fa, testPipe(t, fa, nil), rng.New(2))
+	cb := NewICEADMMClient(0, mB, train, ice, w0, testPipe(t, ice, nil), rng.New(2))
 
 	w := append([]float64(nil), w0...)
 	for round := 1; round <= 4; round++ {
@@ -433,7 +435,7 @@ func TestIIADMMSingleStepClosedForm(t *testing.T) {
 	ref.Backward(d)
 	g := nn.FlattenGrads(ref, nil)
 
-	c := NewIIADMMClient(0, m, train, cfg, dp.None{}, rng.New(4))
+	c := NewIIADMMClient(0, m, train, cfg, testPipe(t, cfg, nil), rng.New(4))
 	u, err := c.LocalUpdate(1, w0)
 	if err != nil {
 		t.Fatal(err)
@@ -611,11 +613,7 @@ func TestObjectivePerturbationMode(t *testing.T) {
 		factory := tinyFactory()
 		m := factory()
 		w0 := nn.FlattenParams(m, nil)
-		var mech dp.Mechanism = dp.None{}
-		if !math.IsInf(eps, 1) {
-			mech = dp.NewLaplace(eps, rng.New(55))
-		}
-		c := NewIIADMMClient(0, m, train, cfg, mech, rng.New(44))
+		c := NewIIADMMClient(0, m, train, cfg, testPipe(t, cfg, rng.New(55)), rng.New(44))
 		u, err := c.LocalUpdate(1, w0)
 		if err != nil {
 			t.Fatal(err)
@@ -689,4 +687,15 @@ func TestTransportsAgreeOnResult(t *testing.T) {
 	if accs[TransportMPI] != accs[TransportPubSub] || accs[TransportMPI] != accs[TransportRPC] {
 		t.Fatalf("transports disagree on the result: %v", accs)
 	}
+}
+
+// testPipe builds the client update pipeline for cfg. r seeds the
+// randomized stages (nil is fine for stacks without noise/quantization).
+func testPipe(t testing.TB, cfg Config, r *rng.RNG) *pipeline.Pipeline {
+	t.Helper()
+	p, err := NewClientPipeline(cfg, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
 }

@@ -7,9 +7,9 @@ import (
 	"sync"
 
 	"repro/internal/dataset"
-	"repro/internal/dp"
 	"repro/internal/nn"
 	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // This file implements the decentralized extension the paper lists as
@@ -155,17 +155,23 @@ func RunDecentralized(cfg Config, fed *dataset.Federated, factory nn.Factory, to
 	dim := len(w0)
 
 	master := rng.New(cfg.Seed)
+	// Peers invert each other's compressed releases with the shared
+	// inverse-only pipeline (stateless and deterministic, so one suffices).
+	invPipe, err := NewServerPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
 	clients := make([]*FedAvgClient, P)
 	states := make([][]float64, P) // x_p, each client's current model
 	for i := 0; i < P; i++ {
 		cr := master.Split()
-		var mech dp.Mechanism = dp.None{}
-		if !math.IsInf(cfg.Epsilon, 1) {
-			mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+		pipe, err := NewClientPipeline(cfg, cr)
+		if err != nil {
+			return nil, err
 		}
 		m := factory()
 		nn.SetParams(m, w0)
-		clients[i] = NewFedAvgClient(i, m, fed.Clients[i], cfg, mech, cr)
+		clients[i] = NewFedAvgClient(i, m, fed.Clients[i], cfg, pipe, cr)
 		states[i] = append([]float64(nil), w0...)
 	}
 
@@ -187,7 +193,13 @@ func RunDecentralized(cfg Config, fed *dataset.Federated, factory nn.Factory, to
 					errs[p] = err
 					return
 				}
-				released[p] = up.Primal // already perturbed by the mechanism
+				// Each peer applies the server half of the pipeline to what
+				// it receives (Invert is stateless, so sharing one is safe).
+				if derr := DecodeUpdates([]*wire.LocalUpdate{up}, invPipe, dim); derr != nil {
+					errs[p] = derr
+					return
+				}
+				released[p] = up.Primal
 			}(p)
 		}
 		wg.Wait()

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// PipelineSpecs resolves the effective update-pipeline specification of
+// cfg: the parsed Config.Pipeline when set, otherwise the legacy synthesis
+// clip:Clip (+ laplace:Epsilon when the budget is finite) — the stack that
+// reproduces the pre-pipeline client behavior bit for bit.
+func (c Config) PipelineSpecs() (pipeline.Specs, error) {
+	c = c.WithDefaults()
+	if c.Pipeline != "" {
+		return pipeline.Parse(c.Pipeline)
+	}
+	spec := fmt.Sprintf("clip:%g", c.Clip)
+	if !math.IsInf(c.Epsilon, 1) {
+		spec += fmt.Sprintf(",laplace:%g", c.Epsilon)
+	}
+	return pipeline.Parse(spec)
+}
+
+// NewClientPipeline builds one client's update pipeline from cfg. r is the
+// client's RNG: each randomized stage splits one child stream from it, in
+// stack order, so the stream consumption matches the legacy construction
+// exactly (one split for the Laplace mechanism, none when non-private).
+func NewClientPipeline(cfg Config, r *rng.RNG) (*pipeline.Pipeline, error) {
+	specs, err := cfg.PipelineSpecs()
+	if err != nil {
+		return nil, err
+	}
+	p, err := specs.Build(r)
+	if err != nil {
+		return nil, err
+	}
+	p.SetObjective(cfg.DPMode == DPModeObjective)
+	return p, nil
+}
+
+// NewServerPipeline builds the server-side (inverse-only) form of cfg's
+// pipeline: no RNG streams are consumed, and the result can only Invert.
+func NewServerPipeline(cfg Config) (*pipeline.Pipeline, error) {
+	specs, err := cfg.PipelineSpecs()
+	if err != nil {
+		return nil, err
+	}
+	return specs.Build(nil)
+}
+
+// EncodeDownlinkF16 replaces gm's dense weights with a float16 payload —
+// the Config.DownlinkF16 broadcast compression. The dense slice is left
+// untouched (the caller may be reusing it); gm carries only the payload.
+func EncodeDownlinkF16(gm *wire.GlobalModel) error {
+	u := pipeline.NewDense(gm.Weights)
+	var cast pipeline.Float16Cast
+	if err := cast.Apply(u, 0); err != nil {
+		return err
+	}
+	gm.WeightsP = u
+	gm.Weights = nil
+	return nil
+}
+
+// DecodeGlobal is the client half of the downlink path: when a received
+// GlobalModel carries a compressed weights payload, it is densified back
+// into Weights. Dense broadcasts pass through untouched. Every receiver —
+// the simulator's client loop and the standalone appfl-client — must call
+// this before training on gm.Weights.
+func DecodeGlobal(gm *wire.GlobalModel) error {
+	if gm.WeightsP == nil {
+		return nil
+	}
+	w, err := gm.WeightsP.Densify(nil)
+	if err != nil {
+		return err
+	}
+	gm.Weights = w
+	gm.WeightsP = nil
+	return nil
+}
+
+// DecodeUpdates runs the server half of the pipeline over a gathered
+// batch: every compressed primal payload is inverted through inv (reverse
+// stack order) back to a dense Primal before the batch reaches an
+// Aggregator. Dense (legacy-encoded) updates pass through untouched, and a
+// payload whose encoding does not match the configured stack is rejected
+// with a typed error — a client cannot smuggle an unconfigured encoding.
+//
+// dim is the model dimension the server expects. It is enforced *before*
+// inversion: densifying is an O(Dim) allocation, so an adversarial payload
+// declaring a huge Dim must be rejected up front, not after the server has
+// tried to materialize it.
+func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim int) error {
+	for _, u := range batch {
+		if u == nil || u.PrimalP == nil {
+			continue
+		}
+		if int(u.PrimalP.Dim) != dim {
+			return fmt.Errorf("core: client %d payload dimension %d, model is %d: %w",
+				u.ClientID, u.PrimalP.Dim, dim, wire.ErrBadPayload)
+		}
+		if err := inv.Invert(u.PrimalP); err != nil {
+			return fmt.Errorf("core: client %d update: %w", u.ClientID, err)
+		}
+		u.Primal = u.PrimalP.Dense
+		u.PrimalP = nil
+	}
+	return nil
+}

@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// e2eRun executes a small FedAvg federation with the given pipeline spec
+// and returns the result (with byte-accurate traffic accounting).
+func e2eRun(t *testing.T, spec string, transport Transport) *Result {
+	t.Helper()
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 96, Test: 32, Seed: 11})
+	fed := &dataset.Federated{Clients: dataset.PartitionIID(tr, 3, rng.New(12)), Test: te}
+	factory := func() nn.Module { return nn.NewMLP(28*28, []int{8}, 10, rng.New(11)) }
+	cfg := Config{
+		Algorithm: AlgoFedAvg, Rounds: 2, LocalSteps: 1, BatchSize: 32,
+		Seed: 11, Pipeline: spec,
+	}
+	res, err := Run(cfg, fed, factory, RunOptions{Transport: transport})
+	if err != nil {
+		t.Fatalf("run with pipeline %q: %v", spec, err)
+	}
+	return res
+}
+
+// TestTopKPipelineCutsUploadBytes pins the acceptance criterion of the
+// pipeline refactor: a clip→laplace→topk:0.1 stack must cut client→server
+// bytes at least 4× versus the dense baseline, measured on a real
+// transport, and the run must still converge to a working model.
+func TestTopKPipelineCutsUploadBytes(t *testing.T) {
+	denseRes := e2eRun(t, "clip:1", TransportMPI)
+	topkRes := e2eRun(t, "clip:1,laplace:5,topk:0.1", TransportMPI)
+	if topkRes.UploadsB == 0 || denseRes.UploadsB == 0 {
+		t.Fatal("byte accounting returned zero")
+	}
+	ratio := float64(denseRes.UploadsB) / float64(topkRes.UploadsB)
+	if ratio < 4 {
+		t.Fatalf("topk:0.1 upload reduction %.2fx < 4x (dense %dB, topk %dB)",
+			ratio, denseRes.UploadsB, topkRes.UploadsB)
+	}
+	if len(topkRes.Rounds) != 2 {
+		t.Fatalf("compressed run recorded %d rounds", len(topkRes.Rounds))
+	}
+	// The model must still be a model: finite loss, evaluated accuracy.
+	if math.IsNaN(topkRes.FinalLoss) || math.IsInf(topkRes.FinalLoss, 0) {
+		t.Fatalf("compressed run produced loss %v", topkRes.FinalLoss)
+	}
+}
+
+// TestPipelineStacksRunOverRPC exercises the full wire path — compressed
+// payloads encoded, framed, decoded, validated, and inverted — over the
+// TCP RPC transport for each compression encoding.
+func TestPipelineStacksRunOverRPC(t *testing.T) {
+	for _, spec := range []string{
+		"clip:1,topk:0.25",
+		"clip:1,quantize:8",
+		"clip:1,f16",
+		"clip:1,laplace:2,quantize:12",
+	} {
+		res := e2eRun(t, spec, TransportRPC)
+		if math.IsNaN(res.FinalLoss) || math.IsInf(res.FinalLoss, 0) {
+			t.Fatalf("pipeline %q: loss %v", spec, res.FinalLoss)
+		}
+	}
+}
+
+// TestQuantizePipelineTracksDenseAccuracy: 8-bit stochastic quantization
+// is nearly lossless at this scale; final accuracy must stay close to the
+// dense baseline while upload bytes drop substantially.
+func TestQuantizePipelineTracksDenseAccuracy(t *testing.T) {
+	denseRes := e2eRun(t, "clip:1", TransportMPI)
+	qRes := e2eRun(t, "clip:1,quantize:8", TransportMPI)
+	if math.Abs(denseRes.FinalAcc-qRes.FinalAcc) > 0.25 {
+		t.Fatalf("quantize:8 accuracy %v strays too far from dense %v", qRes.FinalAcc, denseRes.FinalAcc)
+	}
+	ratio := float64(denseRes.UploadsB) / float64(qRes.UploadsB)
+	if ratio < 4 {
+		t.Fatalf("quantize:8 upload reduction %.2fx < 4x", ratio)
+	}
+}
+
+// TestBufferedSchedulerWithCompressedPipeline: the decode-and-invert step
+// also sits on the buffered (semi-asynchronous) path.
+func TestBufferedSchedulerWithCompressedPipeline(t *testing.T) {
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 96, Test: 32, Seed: 13})
+	fed := &dataset.Federated{Clients: dataset.PartitionIID(tr, 4, rng.New(14)), Test: te}
+	factory := func() nn.Module { return nn.NewMLP(28*28, []int{8}, 10, rng.New(13)) }
+	cfg := Config{
+		Algorithm: AlgoFedAvg, Rounds: 3, LocalSteps: 1, BatchSize: 32, Seed: 13,
+		Scheduler: SchedBuffered, BufferK: 2,
+		Pipeline: "clip:1,f16",
+	}
+	res, err := Run(cfg, fed, factory, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("buffered compressed run recorded %d releases", len(res.Rounds))
+	}
+}
+
+// TestDecentralizedWithCompressedPipeline: gossip peers invert each
+// other's compressed releases through the shared inverse pipeline.
+func TestDecentralizedWithCompressedPipeline(t *testing.T) {
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 60, Test: 20, Seed: 15})
+	fed := &dataset.Federated{Clients: dataset.PartitionIID(tr, 3, rng.New(16)), Test: te}
+	factory := func() nn.Module { return nn.NewMLP(28*28, []int{8}, 10, rng.New(15)) }
+	cfg := Config{
+		Algorithm: AlgoFedAvg, Rounds: 2, LocalSteps: 1, BatchSize: 20, Seed: 15,
+		Pipeline: "clip:1,quantize:8",
+	}
+	res, err := RunDecentralized(cfg, fed, factory, Ring(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 2 {
+		t.Fatalf("decentralized compressed run recorded %d rounds", len(res.Rounds))
+	}
+}
+
+// TestDownlinkF16CutsBroadcastBytes: the downlink mirror of the upload
+// pipeline — global models broadcast as float16 payloads — must cut
+// server→client bytes substantially while the run still trains.
+func TestDownlinkF16CutsBroadcastBytes(t *testing.T) {
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 96, Test: 32, Seed: 17})
+	fed := &dataset.Federated{Clients: dataset.PartitionIID(tr, 3, rng.New(18)), Test: te}
+	factory := func() nn.Module { return nn.NewMLP(28*28, []int{8}, 10, rng.New(17)) }
+	run := func(f16 bool) *Result {
+		cfg := Config{
+			Algorithm: AlgoFedAvg, Rounds: 2, LocalSteps: 1, BatchSize: 32,
+			Seed: 17, DownlinkF16: f16,
+		}
+		res, err := Run(cfg, fed, factory, RunOptions{Transport: TransportRPC})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	dense := run(false)
+	compressed := run(true)
+	ratio := float64(dense.DownloadsB) / float64(compressed.DownloadsB)
+	if ratio < 3 {
+		t.Fatalf("downlink f16 cut broadcasts only %.2fx (dense %dB, f16 %dB)",
+			ratio, dense.DownloadsB, compressed.DownloadsB)
+	}
+	if math.IsNaN(compressed.FinalLoss) || math.IsInf(compressed.FinalLoss, 0) {
+		t.Fatalf("f16 downlink run produced loss %v", compressed.FinalLoss)
+	}
+}
+
+// TestDecodeUpdatesRejectsOversizedPayloadDim: an adversarial payload
+// declaring a huge Dim must be rejected *before* the server materializes
+// it — the dimension check runs ahead of the O(Dim) densify allocation.
+func TestDecodeUpdatesRejectsOversizedPayloadDim(t *testing.T) {
+	inv, err := NewServerPipeline(Config{Algorithm: AlgoFedAvg, Pipeline: "clip:1,topk:0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := &wire.LocalUpdate{
+		ClientID: 9,
+		PrimalP: &wire.Payload{
+			Enc: wire.EncSparse, Dim: math.MaxUint32,
+			Indices: []uint32{0}, Values: []float64{1},
+		},
+	}
+	err = DecodeUpdates([]*wire.LocalUpdate{hostile}, inv, 100)
+	if err == nil {
+		t.Fatal("oversized payload dimension accepted")
+	}
+	if !errors.Is(err, wire.ErrBadPayload) {
+		t.Fatalf("want ErrBadPayload, got %v", err)
+	}
+	if hostile.Primal != nil {
+		t.Fatal("hostile payload was materialized")
+	}
+}
+
+// TestQuantizeRejectsDivergedUpdate: NaN coordinates (diverged training)
+// must surface as an error, not be silently laundered into codes.
+func TestQuantizeRejectsDivergedUpdate(t *testing.T) {
+	cfg := Config{Algorithm: AlgoFedAvg, Pipeline: "clip:1,quantize:8"}
+	pipe, err := NewClientPipeline(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := pipeline.NewDense([]float64{1, math.NaN(), 3})
+	if err := pipe.Apply(u, 0); err == nil {
+		t.Fatal("NaN coordinate quantized without error")
+	}
+}

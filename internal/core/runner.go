@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"io"
-	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -13,8 +12,8 @@ import (
 	"repro/internal/comm/pubsub"
 	"repro/internal/comm/rpc"
 	"repro/internal/dataset"
-	"repro/internal/dp"
 	"repro/internal/nn"
+	"repro/internal/pipeline"
 	"repro/internal/rng"
 	"repro/internal/wire"
 )
@@ -170,17 +169,24 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	}
 	defer st.Close()
 
-	// Clients: own replica, own RNG stream, own DP mechanism.
+	// The server's inverse-only pipeline undoes the compression stages of
+	// every received payload before a batch reaches the Aggregator.
+	serverPipe, err := NewServerPipeline(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// Clients: own replica, own RNG stream, own update pipeline.
 	clients := make([]ClientAlgorithm, P)
 	for i := 0; i < P; i++ {
 		cr := master.Split()
-		var mech dp.Mechanism = dp.None{}
-		if !math.IsInf(cfg.Epsilon, 1) {
-			mech = dp.NewLaplace(cfg.Epsilon, cr.Split())
+		pipe, err := NewClientPipeline(cfg, cr)
+		if err != nil {
+			return nil, err
 		}
 		model := factory()
 		nn.SetParams(model, w0)
-		c, err := NewClient(cfg, i, model, fed.Clients[i], w0, mech, cr)
+		c, err := NewClient(cfg, i, model, fed.Clients[i], w0, pipe, cr)
 		if err != nil {
 			return nil, err
 		}
@@ -211,6 +217,10 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 					return
 				}
 				if gm.Final {
+					return
+				}
+				if derr := DecodeGlobal(gm); derr != nil {
+					clientErrs[i] = derr
 					return
 				}
 				if gm.Rho > 0 {
@@ -249,7 +259,7 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	if !sched.Barrier() {
 		loop = runBufferedReleases
 	}
-	runErr := loop(cfg, sched, agg, st, refModel, fed, res, validateEvery, opts.Progress)
+	runErr := loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, validateEvery, opts.Progress)
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -294,7 +304,7 @@ func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module
 // the scheduler picks a cohort, the server sends the model to exactly that
 // cohort, blocks until the whole cohort reports, and aggregates. With the
 // SyncAll schedule this reproduces the pre-refactor loop bit for bit.
-func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, st comm.ServerTransport,
+func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
 	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
 	var wbuf []float64
@@ -311,12 +321,20 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, st comm.Serve
 		if cfg.AdaptiveRho && rhoReporter != nil {
 			gm.Rho = rhoReporter.CurrentRho()
 		}
+		if cfg.DownlinkF16 {
+			if err := EncodeDownlinkF16(gm); err != nil {
+				return fmt.Errorf("core: downlink round %d: %w", t, err)
+			}
+		}
 		if err := st.SendTo(cohort, gm); err != nil {
 			return fmt.Errorf("core: send round %d: %w", t, err)
 		}
 		updates, err := st.GatherFrom(cohort)
 		if err != nil {
 			return fmt.Errorf("core: gather round %d: %w", t, err)
+		}
+		if err := DecodeUpdates(updates, serverPipe, agg.Dim()); err != nil {
+			return fmt.Errorf("core: decode round %d: %w", t, err)
 		}
 		maxCompute := 0.0
 		for _, u := range updates {
@@ -343,18 +361,24 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, st comm.Serve
 // the new model to exactly the clients that contributed. Stragglers never
 // block a release; their updates arrive with positive staleness and are
 // down-weighted or dropped by the BufferedAggregator.
-func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, st comm.ServerTransport,
+func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
 	quorum := sched.Quorum()
 	var wbuf []float64
 	dispatch := func(ids []int, round int) error {
 		wbuf = agg.WeightsInto(wbuf)
-		return st.SendTo(ids, &wire.GlobalModel{
+		gm := &wire.GlobalModel{
 			Round:      uint32(round),
 			Weights:    wbuf,
 			Version:    uint64(agg.Version()),
 			CohortSize: uint32(len(ids)),
-		})
+		}
+		if cfg.DownlinkF16 {
+			if err := EncodeDownlinkF16(gm); err != nil {
+				return fmt.Errorf("core: downlink release %d: %w", round, err)
+			}
+		}
+		return st.SendTo(ids, gm)
 	}
 	all := sched.Cohort(1)
 	if err := dispatch(all, 1); err != nil {
@@ -368,6 +392,9 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, st comm.Se
 		batch, err := st.GatherAny(quorum)
 		if err != nil {
 			return fmt.Errorf("core: release %d: %w", rel, err)
+		}
+		if err := DecodeUpdates(batch, serverPipe, agg.Dim()); err != nil {
+			return fmt.Errorf("core: decode release %d: %w", rel, err)
 		}
 		outstanding -= len(batch)
 		maxCompute := 0.0

@@ -7,10 +7,19 @@
 package dp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/rng"
+)
+
+// Typed configuration errors returned by the mechanism constructors.
+// Library code never panics on bad user config: these surface through
+// core.Config.Validate and the pipeline spec parser instead.
+var (
+	ErrEpsilon = errors.New("dp: epsilon must be positive (use +Inf for non-private)")
+	ErrDelta   = errors.New("dp: delta must be in (0,1)")
 )
 
 // Epsilon is the privacy budget ε̄ of Definition 1. math.Inf(1) disables
@@ -34,12 +43,12 @@ type Laplace struct {
 }
 
 // NewLaplace builds the mechanism. eps must be positive (use math.Inf(1)
-// for the non-private setting).
-func NewLaplace(eps Epsilon, r *rng.RNG) *Laplace {
-	if eps <= 0 {
-		panic("dp: epsilon must be positive (use +Inf for non-private)")
+// for the non-private setting); a non-positive eps returns ErrEpsilon.
+func NewLaplace(eps Epsilon, r *rng.RNG) (*Laplace, error) {
+	if math.IsNaN(eps) || eps <= 0 {
+		return nil, fmt.Errorf("%w, got %v", ErrEpsilon, eps)
 	}
-	return &Laplace{Eps: eps, R: r}
+	return &Laplace{Eps: eps, R: r}, nil
 }
 
 // Perturb adds Laplace noise with scale sensitivity/ε̄ to every coordinate.
@@ -71,15 +80,16 @@ type Gaussian struct {
 	R     *rng.RNG
 }
 
-// NewGaussian builds the mechanism; delta must be in (0,1).
-func NewGaussian(eps Epsilon, delta float64, r *rng.RNG) *Gaussian {
-	if eps <= 0 {
-		panic("dp: epsilon must be positive")
+// NewGaussian builds the mechanism; eps must be positive and delta in
+// (0,1). Bad parameters return ErrEpsilon / ErrDelta.
+func NewGaussian(eps Epsilon, delta float64, r *rng.RNG) (*Gaussian, error) {
+	if math.IsNaN(eps) || eps <= 0 {
+		return nil, fmt.Errorf("%w, got %v", ErrEpsilon, eps)
 	}
-	if delta <= 0 || delta >= 1 {
-		panic("dp: delta must be in (0,1)")
+	if math.IsNaN(delta) || delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("%w, got %v", ErrDelta, delta)
 	}
-	return &Gaussian{Eps: eps, Delta: delta, R: r}
+	return &Gaussian{Eps: eps, Delta: delta, R: r}, nil
 }
 
 // Perturb adds Gaussian noise calibrated to (ε, δ)-DP.

@@ -1,6 +1,7 @@
 package dp
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -8,9 +9,29 @@ import (
 	"repro/internal/rng"
 )
 
+// mustLaplace builds a Laplace mechanism or fails the test.
+func mustLaplace(t testing.TB, eps Epsilon, r *rng.RNG) *Laplace {
+	t.Helper()
+	m, err := NewLaplace(eps, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mustGaussian builds a Gaussian mechanism or fails the test.
+func mustGaussian(t testing.TB, eps, delta float64, r *rng.RNG) *Gaussian {
+	t.Helper()
+	m, err := NewGaussian(eps, delta, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
 func TestLaplaceNoiseScale(t *testing.T) {
 	r := rng.New(1)
-	mech := NewLaplace(2.0, r)
+	mech := mustLaplace(t, 2.0, r)
 	const n = 200000
 	v := make([]float64, n)
 	mech.Perturb(v, 4.0) // scale b = 4/2 = 2, Var = 2b² = 8
@@ -30,7 +51,7 @@ func TestLaplaceNoiseScale(t *testing.T) {
 }
 
 func TestLaplaceInfinityIsNoop(t *testing.T) {
-	mech := NewLaplace(math.Inf(1), rng.New(1))
+	mech := mustLaplace(t, math.Inf(1), rng.New(1))
 	v := []float64{1, 2, 3}
 	mech.Perturb(v, 10)
 	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
@@ -39,7 +60,7 @@ func TestLaplaceInfinityIsNoop(t *testing.T) {
 }
 
 func TestLaplaceZeroSensitivityIsNoop(t *testing.T) {
-	mech := NewLaplace(1.0, rng.New(1))
+	mech := mustLaplace(t, 1.0, rng.New(1))
 	v := []float64{5}
 	mech.Perturb(v, 0)
 	if v[0] != 5 {
@@ -47,13 +68,12 @@ func TestLaplaceZeroSensitivityIsNoop(t *testing.T) {
 	}
 }
 
-func TestLaplacePanicsOnBadEps(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestLaplaceTypedErrorOnBadEps(t *testing.T) {
+	for _, eps := range []float64{0, -1, math.Inf(-1), math.NaN()} {
+		if _, err := NewLaplace(eps, rng.New(1)); !errors.Is(err, ErrEpsilon) {
+			t.Fatalf("eps=%v: want ErrEpsilon, got %v", eps, err)
 		}
-	}()
-	NewLaplace(0, rng.New(1))
+	}
 }
 
 // TestLaplaceDPRatioBound empirically checks the ε̄-DP guarantee of
@@ -64,7 +84,7 @@ func TestLaplaceDPRatioBound(t *testing.T) {
 	eps := 1.0
 	delta := 1.0 // sensitivity
 	r := rng.New(2)
-	mech := NewLaplace(eps, r)
+	mech := mustLaplace(t, eps, r)
 	const n = 400000
 	// A(D) = 0 + noise, A(D') = Δ + noise.
 	histA := map[int]int{}
@@ -94,7 +114,7 @@ func TestLaplaceDPRatioBound(t *testing.T) {
 
 func TestGaussianNoiseScale(t *testing.T) {
 	r := rng.New(3)
-	mech := NewGaussian(1.0, 1e-5, r)
+	mech := mustGaussian(t, 1.0, 1e-5, r)
 	const n = 100000
 	v := make([]float64, n)
 	mech.Perturb(v, 1.0)
@@ -110,19 +130,13 @@ func TestGaussianNoiseScale(t *testing.T) {
 }
 
 func TestGaussianValidation(t *testing.T) {
-	for _, f := range []func(){
-		func() { NewGaussian(0, 0.1, rng.New(1)) },
-		func() { NewGaussian(1, 0, rng.New(1)) },
-		func() { NewGaussian(1, 1, rng.New(1)) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("expected panic")
-				}
-			}()
-			f()
-		}()
+	if _, err := NewGaussian(0, 0.1, rng.New(1)); !errors.Is(err, ErrEpsilon) {
+		t.Fatalf("eps=0: want ErrEpsilon, got %v", err)
+	}
+	for _, delta := range []float64{0, 1, -0.5, math.NaN()} {
+		if _, err := NewGaussian(1, delta, rng.New(1)); !errors.Is(err, ErrDelta) {
+			t.Fatalf("delta=%v: want ErrDelta, got %v", delta, err)
+		}
 	}
 }
 
@@ -229,20 +243,20 @@ func TestAccountant(t *testing.T) {
 }
 
 func TestMechanismNames(t *testing.T) {
-	if NewLaplace(3, rng.New(1)).Name() != "laplace(eps=3)" {
+	if mustLaplace(t, 3, rng.New(1)).Name() != "laplace(eps=3)" {
 		t.Fatal("laplace name")
 	}
-	if NewLaplace(math.Inf(1), rng.New(1)).Name() != "laplace(eps=inf)" {
+	if mustLaplace(t, math.Inf(1), rng.New(1)).Name() != "laplace(eps=inf)" {
 		t.Fatal("laplace inf name")
 	}
-	g := NewGaussian(1, 1e-5, rng.New(1))
+	g := mustGaussian(t, 1, 1e-5, rng.New(1))
 	if g.Name() != "gaussian(eps=1,delta=1e-05)" {
 		t.Fatalf("gaussian name %q", g.Name())
 	}
 }
 
 func BenchmarkLaplacePerturb(b *testing.B) {
-	mech := NewLaplace(1, rng.New(1))
+	mech := mustLaplace(b, 1, rng.New(1))
 	v := make([]float64, 10000)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -251,7 +265,7 @@ func BenchmarkLaplacePerturb(b *testing.B) {
 }
 
 func TestObjectiveNoiseScaleAndFreshness(t *testing.T) {
-	mech := NewLaplace(2, rng.New(9))
+	mech := mustLaplace(t, 2, rng.New(9))
 	a := ObjectiveNoise(mech, 1000, 4) // Laplace scale 2, Var 8
 	b := ObjectiveNoise(mech, 1000, 4)
 	var va float64
@@ -270,7 +284,7 @@ func TestObjectiveNoiseScaleAndFreshness(t *testing.T) {
 		t.Fatalf("consecutive draws shared %d coordinates; noise must be fresh per round", same)
 	}
 	// Non-private mode: zero vector.
-	z := ObjectiveNoise(NewLaplace(math.Inf(1), rng.New(1)), 10, 4)
+	z := ObjectiveNoise(mustLaplace(t, math.Inf(1), rng.New(1)), 10, 4)
 	for _, v := range z {
 		if v != 0 {
 			t.Fatal("objective noise must vanish at eps=inf")

@@ -10,14 +10,19 @@ import (
 	"repro/internal/rng"
 )
 
-// CommVolumeRow records one algorithm's measured traffic.
+// CommVolumeRow records one configuration's measured traffic.
 type CommVolumeRow struct {
 	Algorithm string
+	// Pipeline is the update-pipeline spec of the run ("" = dense legacy).
+	Pipeline  string
 	UploadB   uint64 // client→server bytes over the whole run
 	DownloadB uint64 // server→client bytes
 	// UploadPerClientRound is upload bytes normalized by clients×rounds×
 	// model bytes — 1.0 means "one model per client per round".
 	UploadPerClientRound float64
+	// UploadBPerRound is the raw client→server bytes per communication
+	// round, the quantity the compression stages shrink.
+	UploadBPerRound float64
 }
 
 // CommVolumeOptions scales the measurement run.
@@ -27,9 +32,19 @@ type CommVolumeOptions struct {
 	Seed    uint64
 }
 
+// CommVolumePipelines is the default set of update-pipeline stacks the
+// compression comparison measures against the dense baseline.
+var CommVolumePipelines = []string{
+	"clip:1,topk:0.1",
+	"clip:1,quantize:8",
+	"clip:1,f16",
+}
+
 // CommVolume measures the Section III-A claim with real transports and
-// byte accounting: FedAvg and IIADMM upload exactly one model per client
-// per round, ICEADMM uploads two (primal + dual).
+// byte accounting — FedAvg and IIADMM upload exactly one model per client
+// per round, ICEADMM uploads two (primal + dual) — and then re-measures
+// FedAvg under the compression stacks of the update pipeline, reporting
+// uploaded bytes per round with and without compression.
 func CommVolume(o CommVolumeOptions) ([]CommVolumeRow, *metrics.Table, error) {
 	if o.Clients == 0 {
 		o.Clients = 4
@@ -48,23 +63,42 @@ func CommVolume(o CommVolumeOptions) ([]CommVolumeRow, *metrics.Table, error) {
 
 	var rows []CommVolumeRow
 	t := metrics.NewTable(
-		"Communication volume per algorithm (measured on the wire)",
-		"algorithm", "upload bytes", "download bytes", "models uploaded / client / round",
+		"Communication volume per algorithm and pipeline (measured on the wire)",
+		"algorithm", "pipeline", "upload bytes", "upload B/round", "download bytes", "models uploaded / client / round",
 	)
-	for _, algo := range []string{core.AlgoFedAvg, core.AlgoICEADMM, core.AlgoIIADMM} {
-		cfg := core.Config{Algorithm: algo, Rounds: o.Rounds, LocalSteps: 1, BatchSize: 64, Seed: o.Seed}
-		res, err := core.Run(cfg, fed, factory, core.RunOptions{})
+	measure := func(algo, pipe string) error {
+		cfg := core.Config{Algorithm: algo, Rounds: o.Rounds, LocalSteps: 1, BatchSize: 64, Seed: o.Seed, Pipeline: pipe}
+		res, err := core.Run(cfg, fed, factory, core.RunOptions{Transport: core.TransportRPC})
 		if err != nil {
-			return nil, nil, err
+			return err
 		}
 		norm := float64(res.UploadsB) / float64(o.Clients*o.Rounds*modelBytes)
+		perRound := float64(res.UploadsB) / float64(o.Rounds)
 		rows = append(rows, CommVolumeRow{
 			Algorithm:            algo,
+			Pipeline:             pipe,
 			UploadB:              res.UploadsB,
 			DownloadB:            res.DownloadsB,
 			UploadPerClientRound: norm,
+			UploadBPerRound:      perRound,
 		})
-		t.AddRow(algo, fmt.Sprintf("%d", res.UploadsB), fmt.Sprintf("%d", res.DownloadsB), fmt.Sprintf("%.3f", norm))
+		label := pipe
+		if label == "" {
+			label = "dense"
+		}
+		t.AddRow(algo, label, fmt.Sprintf("%d", res.UploadsB), fmt.Sprintf("%.0f", perRound),
+			fmt.Sprintf("%d", res.DownloadsB), fmt.Sprintf("%.3f", norm))
+		return nil
+	}
+	for _, algo := range []string{core.AlgoFedAvg, core.AlgoICEADMM, core.AlgoIIADMM} {
+		if err := measure(algo, ""); err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, pipe := range CommVolumePipelines {
+		if err := measure(core.AlgoFedAvg, pipe); err != nil {
+			return nil, nil, err
+		}
 	}
 	return rows, t, nil
 }

@@ -165,8 +165,13 @@ func TestCommVolumeMatchesClaim(t *testing.T) {
 		t.Fatal(err)
 	}
 	byAlgo := map[string]CommVolumeRow{}
+	byPipe := map[string]CommVolumeRow{}
 	for _, r := range rows {
-		byAlgo[r.Algorithm] = r
+		if r.Pipeline == "" {
+			byAlgo[r.Algorithm] = r
+		} else {
+			byPipe[r.Pipeline] = r
+		}
 	}
 	// FedAvg and IIADMM: ~1 model per client per round; ICEADMM: ~2.
 	for _, algo := range []string{core.AlgoFedAvg, core.AlgoIIADMM} {
@@ -181,6 +186,24 @@ func TestCommVolumeMatchesClaim(t *testing.T) {
 	}
 	if !strings.Contains(table.String(), "iiadmm") {
 		t.Fatal("table render incomplete")
+	}
+	// Compression rows: every stack shrinks the per-round upload, and the
+	// top-10% stack cuts it at least 4x versus the dense FedAvg baseline.
+	dense := byAlgo[core.AlgoFedAvg].UploadBPerRound
+	if dense <= 0 {
+		t.Fatal("dense baseline reported zero bytes/round")
+	}
+	for pipe, r := range byPipe {
+		if r.UploadBPerRound >= dense {
+			t.Fatalf("pipeline %q did not reduce bytes/round (%.0f vs dense %.0f)", pipe, r.UploadBPerRound, dense)
+		}
+	}
+	topk, ok := byPipe["clip:1,topk:0.1"]
+	if !ok {
+		t.Fatal("topk:0.1 row missing from the comparison — the >=4x acceptance criterion is not being measured")
+	}
+	if dense/topk.UploadBPerRound < 4 {
+		t.Fatalf("topk:0.1 reduced bytes/round only %.2fx, want >= 4x", dense/topk.UploadBPerRound)
 	}
 }
 

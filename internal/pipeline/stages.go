@@ -1,0 +1,414 @@
+package pipeline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dp"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+var inf = math.Inf(1)
+
+// ---------------------------------------------------------------------------
+// ClipL2 — the training-time privacy stage.
+
+// ClipL2 bounds the L2 norm of every local gradient at C. It is a
+// training-time stage: clipping is what makes the DP sensitivity of the
+// release finite, so it acts on gradients via GradHook, not on the
+// released vector (matching Eq. (6): the release itself is not renormed).
+// Apply and Invert are the identity.
+type ClipL2 struct {
+	C float64
+}
+
+// NewClipL2 builds the stage; c must be positive.
+func NewClipL2(c float64) (*ClipL2, error) {
+	if math.IsNaN(c) || c <= 0 {
+		return nil, fmt.Errorf("%w: clip bound must be positive, got %v", ErrSpec, c)
+	}
+	return &ClipL2{C: c}, nil
+}
+
+// Name returns "clip".
+func (s *ClipL2) Name() string { return "clip" }
+
+// Spec renders the stage.
+func (s *ClipL2) Spec() string { return fmt.Sprintf("clip:%g", s.C) }
+
+// Apply is the identity: clipping happens during training.
+func (s *ClipL2) Apply(u *Update, sens float64) error { return nil }
+
+// Invert is the identity.
+func (s *ClipL2) Invert(u *Update) error { return nil }
+
+// gradHook clips one gradient in place.
+func (s *ClipL2) gradHook(g []float64) { dp.ClipL2(g, s.C) }
+
+// ---------------------------------------------------------------------------
+// Noise stages — Laplace and Gaussian output/objective perturbation.
+
+// noiseCore holds everything the DP noise stages share: the mechanism,
+// its finite budget, whether an RNG was attached at build time, and the
+// per-client objective-perturbation flag. LaplaceNoise and GaussianNoise
+// are thin typed wrappers that only differ in Name/Spec rendering.
+type noiseCore struct {
+	mech      dp.Mechanism
+	eps       float64 // finite per-release budget (+Inf = noise disabled)
+	hasRNG    bool
+	objective bool
+}
+
+// apply perturbs the dense release, unless the noise already entered
+// through the objective this round. Invert is the identity — noise is
+// deliberately not removable; that is the privacy guarantee.
+func (n *noiseCore) apply(u *Update, sens float64) error {
+	if n.objective {
+		return nil
+	}
+	if u.Enc != wire.EncDense {
+		return fmt.Errorf("%w: noise requires a dense update, got %s", ErrSpec, u.Enc)
+	}
+	if !n.hasRNG && !math.IsInf(n.eps, 1) && sens != 0 {
+		return ErrNeedRNG
+	}
+	n.mech.Perturb(u.Dense, sens)
+	return nil
+}
+
+func (n *noiseCore) epsilon() float64 {
+	if math.IsInf(n.eps, 1) {
+		return 0
+	}
+	return n.eps
+}
+
+func (n *noiseCore) roundNoise(dim int, sens float64) []float64 {
+	return dp.ObjectiveNoise(n.mech, dim, sens)
+}
+
+func (n *noiseCore) setObjective(v bool) { n.objective = v }
+
+// Mechanism exposes the underlying dp mechanism (for accounting).
+func (n *noiseCore) Mechanism() dp.Mechanism { return n.mech }
+
+// LaplaceNoise is the ε̄-DP output-perturbation stage of Eq. (6): each
+// coordinate of the release receives independent Laplace(0, Δ̄/ε̄) noise.
+// In objective mode the noise instead enters the local objective once per
+// round.
+type LaplaceNoise struct {
+	noiseCore
+	lap *dp.Laplace
+}
+
+// NewLaplaceNoise builds the stage. r may be nil for a server-side
+// (inverse-only) pipeline; such a stage cannot Apply.
+func NewLaplaceNoise(eps float64, r *rng.RNG) (*LaplaceNoise, error) {
+	m, err := dp.NewLaplace(eps, r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return &LaplaceNoise{noiseCore: noiseCore{mech: m, eps: m.Eps, hasRNG: r != nil}, lap: m}, nil
+}
+
+// Name returns "laplace".
+func (s *LaplaceNoise) Name() string { return "laplace" }
+
+// Spec renders the stage.
+func (s *LaplaceNoise) Spec() string { return fmt.Sprintf("laplace:%g", s.lap.Eps) }
+
+// Apply perturbs the dense release (output mode only).
+func (s *LaplaceNoise) Apply(u *Update, sens float64) error { return s.apply(u, sens) }
+
+// Invert is the identity: the noise is the privacy guarantee.
+func (s *LaplaceNoise) Invert(u *Update) error { return nil }
+
+// GaussianNoise is the (ε, δ)-DP Gaussian analog of LaplaceNoise.
+type GaussianNoise struct {
+	noiseCore
+	gauss *dp.Gaussian
+}
+
+// NewGaussianNoise builds the stage; r may be nil for inverse-only use.
+func NewGaussianNoise(eps, delta float64, r *rng.RNG) (*GaussianNoise, error) {
+	m, err := dp.NewGaussian(eps, delta, r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return &GaussianNoise{noiseCore: noiseCore{mech: m, eps: m.Eps, hasRNG: r != nil}, gauss: m}, nil
+}
+
+// Name returns "gaussian".
+func (s *GaussianNoise) Name() string { return "gaussian" }
+
+// Spec renders the stage.
+func (s *GaussianNoise) Spec() string {
+	return fmt.Sprintf("gaussian:%g:%g", s.gauss.Eps, s.gauss.Delta)
+}
+
+// Apply perturbs the dense release (output mode only).
+func (s *GaussianNoise) Apply(u *Update, sens float64) error { return s.apply(u, sens) }
+
+// Invert is the identity.
+func (s *GaussianNoise) Invert(u *Update) error { return nil }
+
+// ---------------------------------------------------------------------------
+// TopKSparsify — magnitude sparsification.
+
+// TopKSparsify keeps only the k = ceil(Frac·dim) coordinates of largest
+// magnitude and ships them as (index, value) pairs — the classic
+// bandwidth/accuracy trade: upload shrinks to roughly 1.5·Frac of the
+// dense size (4-byte index + 8-byte value per survivor vs 8 bytes per
+// coordinate). Invert scatters the survivors into a zero vector.
+// Selection is deterministic; ties break toward the lower index.
+type TopKSparsify struct {
+	Frac float64
+}
+
+// NewTopKSparsify builds the stage; frac must be in (0,1].
+func NewTopKSparsify(frac float64) (*TopKSparsify, error) {
+	if math.IsNaN(frac) || frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("%w: topk fraction must be in (0,1], got %v", ErrSpec, frac)
+	}
+	return &TopKSparsify{Frac: frac}, nil
+}
+
+// Name returns "topk".
+func (s *TopKSparsify) Name() string { return "topk" }
+
+// Spec renders the stage.
+func (s *TopKSparsify) Spec() string { return fmt.Sprintf("topk:%g", s.Frac) }
+
+// Apply converts a dense update to the sparse encoding.
+func (s *TopKSparsify) Apply(u *Update, sens float64) error {
+	if u.Enc != wire.EncDense {
+		return fmt.Errorf("%w: topk requires a dense update, got %s", ErrSpec, u.Enc)
+	}
+	n := len(u.Dense)
+	k := int(math.Ceil(s.Frac * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	v := u.Dense
+	sort.Slice(order, func(a, b int) bool {
+		ma, mb := math.Abs(v[order[a]]), math.Abs(v[order[b]])
+		if ma != mb {
+			return ma > mb
+		}
+		return order[a] < order[b]
+	})
+	keep := order[:k]
+	sort.Ints(keep)
+	u.Indices = make([]uint32, k)
+	u.Values = make([]float64, k)
+	for i, idx := range keep {
+		u.Indices[i] = uint32(idx)
+		u.Values[i] = v[idx]
+	}
+	u.Enc = wire.EncSparse
+	u.Dense = nil
+	return nil
+}
+
+// Invert scatters the sparse survivors into a zero dense vector.
+func (s *TopKSparsify) Invert(u *Update) error {
+	if u.Enc != wire.EncSparse {
+		return fmt.Errorf("%w: expected sparse encoding, got %s", ErrSpec, u.Enc)
+	}
+	dense, err := u.Densify(nil)
+	if err != nil {
+		return err
+	}
+	u.Enc = wire.EncDense
+	u.Dense = dense
+	u.Indices, u.Values = nil, nil
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// StochasticQuantize — affine quantization with stochastic rounding.
+
+// StochasticQuantize maps each coordinate to one of 2^Bits−1 evenly spaced
+// levels between the vector's min and max, rounding stochastically so the
+// quantizer is unbiased (E[dequant] = value). Codes pack one per byte for
+// Bits ≤ 8 and one per two bytes above, so quantize:8 cuts upload ~8×.
+// Invert dequantizes deterministically from (Scale, Offset, Codes).
+type StochasticQuantize struct {
+	Bits uint8
+	r    *rng.RNG
+}
+
+// NewStochasticQuantize builds the stage; bits must be in [1,16]. r may be
+// nil for a server-side (inverse-only) pipeline; such a stage cannot Apply.
+func NewStochasticQuantize(bits int, r *rng.RNG) (*StochasticQuantize, error) {
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("%w: quantize bits must be in [1,16], got %d", ErrSpec, bits)
+	}
+	return &StochasticQuantize{Bits: uint8(bits), r: r}, nil
+}
+
+// Name returns "quantize".
+func (s *StochasticQuantize) Name() string { return "quantize" }
+
+// Spec renders the stage.
+func (s *StochasticQuantize) Spec() string { return fmt.Sprintf("quantize:%d", s.Bits) }
+
+// Apply converts a dense update to the quantized encoding.
+func (s *StochasticQuantize) Apply(u *Update, sens float64) error {
+	if u.Enc != wire.EncDense {
+		return fmt.Errorf("%w: quantize requires a dense update, got %s", ErrSpec, u.Enc)
+	}
+	if s.r == nil {
+		return ErrNeedRNG
+	}
+	v := u.Dense
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, x := range v {
+		// A NaN/Inf coordinate means local training diverged. Refuse to
+		// quantize it: uint16(NaN) is implementation-defined, so encoding
+		// would silently launder the divergence into plausible values.
+		// The dense path ships such vectors visibly; surface an error here.
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("%w: quantize requires finite values, coordinate %d is %v", ErrSpec, i, x)
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) { // empty vector: degenerate to zeros
+		lo = 0
+	}
+	levels := float64(uint32(1)<<s.Bits - 1)
+	scale := 0.0
+	if hi > lo {
+		scale = (hi - lo) / levels
+	}
+	width := 1
+	if s.Bits > 8 {
+		width = 2
+	}
+	codes := make([]byte, width*len(v))
+	for i, x := range v {
+		var code uint16
+		if scale > 0 {
+			q := (x - lo) / scale
+			fl := math.Floor(q)
+			frac := q - fl
+			c := fl
+			// Stochastic rounding: round up with probability frac, so the
+			// quantizer is unbiased.
+			if s.r.Float64() < frac {
+				c++
+			}
+			if c < 0 {
+				c = 0
+			}
+			if c > levels {
+				c = levels
+			}
+			code = uint16(c)
+		}
+		if width == 1 {
+			codes[i] = byte(code)
+		} else {
+			codes[2*i] = byte(code)
+			codes[2*i+1] = byte(code >> 8)
+		}
+	}
+	u.Enc = wire.EncQuant
+	u.Scale = scale
+	u.Offset = lo
+	u.Bits = s.Bits
+	u.Codes = codes
+	u.Dense = nil
+	return nil
+}
+
+// Invert dequantizes back to a dense vector.
+func (s *StochasticQuantize) Invert(u *Update) error {
+	if u.Enc != wire.EncQuant {
+		return fmt.Errorf("%w: expected quant encoding, got %s", ErrSpec, u.Enc)
+	}
+	if u.Bits != s.Bits {
+		return fmt.Errorf("%w: quantized at %d bits, stack configured for %d", ErrSpec, u.Bits, s.Bits)
+	}
+	dense, err := u.Densify(nil)
+	if err != nil {
+		return err
+	}
+	u.Enc = wire.EncDense
+	u.Dense = dense
+	u.Scale, u.Offset, u.Bits, u.Codes = 0, 0, 0, nil
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Float16Cast — half-precision casting.
+
+// Float16Cast ships each coordinate as an IEEE-754 binary16 — a 4×
+// reduction with ~3 decimal digits of precision, the cheapest lossy
+// compressor. Deterministic (round-to-nearest-even) in both directions.
+type Float16Cast struct{}
+
+// NewFloat16Cast builds the stage.
+func NewFloat16Cast() (*Float16Cast, error) { return &Float16Cast{}, nil }
+
+// Name returns "f16".
+func (s *Float16Cast) Name() string { return "f16" }
+
+// Spec renders the stage.
+func (s *Float16Cast) Spec() string { return "f16" }
+
+// maxFloat16 is the largest finite binary16 value.
+const maxFloat16 = 65504
+
+// Apply converts a dense update to packed half floats. Values binary16
+// cannot represent finitely — NaN, Inf, or magnitude above 65504 — are
+// rejected rather than saturated: like the quantize stage, shipping a
+// diverged update as plausible-looking (or infinite) codes would launder
+// the failure into the aggregate instead of surfacing it.
+func (s *Float16Cast) Apply(u *Update, sens float64) error {
+	if u.Enc != wire.EncDense {
+		return fmt.Errorf("%w: f16 requires a dense update, got %s", ErrSpec, u.Enc)
+	}
+	codes := make([]byte, 2*len(u.Dense))
+	for i, x := range u.Dense {
+		if math.IsNaN(x) || math.Abs(x) > maxFloat16 {
+			return fmt.Errorf("%w: f16 cannot represent coordinate %d = %v (max magnitude %v)", ErrSpec, i, x, float64(maxFloat16))
+		}
+		h := wire.Float16FromFloat64(x)
+		codes[2*i] = byte(h)
+		codes[2*i+1] = byte(h >> 8)
+	}
+	u.Enc = wire.EncFloat16
+	u.Codes = codes
+	u.Dense = nil
+	return nil
+}
+
+// Invert expands the half floats back to float64.
+func (s *Float16Cast) Invert(u *Update) error {
+	if u.Enc != wire.EncFloat16 {
+		return fmt.Errorf("%w: expected float16 encoding, got %s", ErrSpec, u.Enc)
+	}
+	dense, err := u.Densify(nil)
+	if err != nil {
+		return err
+	}
+	u.Enc = wire.EncDense
+	u.Dense = dense
+	u.Codes = nil
+	return nil
+}

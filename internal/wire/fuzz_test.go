@@ -30,7 +30,46 @@ func seedMessages() [][]byte {
 		Primal: []float64{0.5, -0.5}, Dual: []float64{1, 1},
 		Epsilon: math.Inf(1), ComputeSec: 0.25, BaseVersion: 8, InCohort: true,
 	})
+	// Compressed payloads: one of each encoding, plus messages carrying
+	// them, so the fuzzers mutate structurally valid compressed frames.
+	add(&Payload{Enc: EncDense, Dim: 2, Dense: []float64{1, -2}})
+	add(&Payload{Enc: EncSparse, Dim: 8, Indices: []uint32{1, 5}, Values: []float64{0.5, -4}})
+	add(&Payload{Enc: EncQuant, Dim: 3, Scale: 0.25, Offset: -1, Bits: 8, Codes: []byte{0, 128, 255}})
+	add(&Payload{Enc: EncFloat16, Dim: 2, Codes: []byte{0x00, 0x3c, 0x00, 0xc0}})
+	add(&LocalUpdate{
+		ClientID: 2, Round: 3, NumSamples: 32, Epsilon: 0.5, InCohort: true,
+		PrimalP: &Payload{Enc: EncSparse, Dim: 6, Indices: []uint32{0, 3}, Values: []float64{1, 2}},
+	})
+	add(&GlobalModel{
+		Round: 4, Version: 2,
+		WeightsP: &Payload{Enc: EncQuant, Dim: 2, Scale: 1, Offset: 0, Bits: 8, Codes: []byte{7, 9}},
+	})
 	return out
+}
+
+// FuzzDecodePayload: no payload bytes, however truncated or adversarial,
+// may panic the decoder — and any payload that survives decoding must be
+// structurally valid, so Densify can never panic on it either.
+func FuzzDecodePayload(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x08, 0x01})             // sparse with nothing else
+	f.Add([]byte{0x08, 0x02, 0x10, 0xff}) // quant with a huge dim
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p Payload
+		if err := p.Unmarshal(NewDecoder(data)); err != nil {
+			return
+		}
+		// Decoded OK ⇒ validated ⇒ densify must succeed without panicking
+		// (cap the dimension so the fuzzer cannot allocate gigabytes).
+		if p.Dim > 1<<20 {
+			return
+		}
+		if _, err := p.Densify(nil); err != nil {
+			t.Fatalf("validated payload failed to densify: %v", err)
+		}
+	})
 }
 
 func FuzzDecodeLocalUpdate(f *testing.F) {

@@ -138,12 +138,19 @@ type GlobalModel struct {
 	Rho        float64
 	Version    uint64
 	CohortSize uint32
+	// WeightsP, when non-nil, carries the weights in a compressed payload
+	// encoding instead of the dense Weights field (downlink compression).
+	// Receivers densify it back into Weights before training.
+	WeightsP *Payload
 }
 
-// Marshal encodes m.
+// Marshal encodes m. When WeightsP is set it replaces the dense Weights
+// block on the wire, so byte accounting reflects the compressed size.
 func (m *GlobalModel) Marshal(e *Encoder) {
 	e.Uint64(1, uint64(m.Round))
-	e.Doubles(2, m.Weights)
+	if m.WeightsP == nil {
+		e.Doubles(2, m.Weights)
+	}
 	e.Bool(3, m.Final)
 	if m.Rho > 0 {
 		e.Float64(4, m.Rho)
@@ -153,6 +160,9 @@ func (m *GlobalModel) Marshal(e *Encoder) {
 	}
 	if m.CohortSize > 0 {
 		e.Uint64(6, uint64(m.CohortSize))
+	}
+	if m.WeightsP != nil {
+		e.Message(7, m.WeightsP)
 	}
 }
 
@@ -200,6 +210,16 @@ func (m *GlobalModel) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.CohortSize = uint32(v)
+		case 7:
+			b, err := d.BytesField()
+			if err != nil {
+				return err
+			}
+			var p Payload
+			if err := p.Unmarshal(NewDecoder(b)); err != nil {
+				return err
+			}
+			m.WeightsP = &p
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -230,15 +250,23 @@ type LocalUpdate struct {
 	ComputeSec  float64 // client-side local update time, for instrumentation
 	BaseVersion uint64
 	InCohort    bool
+	// PrimalP, when non-nil, carries the primal in a compressed payload
+	// encoding instead of the dense Primal field — the output of the update
+	// pipeline's compression stages. The server inverts it back to a dense
+	// Primal before the update reaches an Aggregator.
+	PrimalP *Payload
 }
 
-// Marshal encodes m. An empty Dual is omitted entirely, so the byte size
-// reflects the algorithm's true communication volume.
+// Marshal encodes m. An empty Dual is omitted entirely, and a compressed
+// PrimalP replaces the dense Primal block, so the byte size reflects the
+// algorithm's (and pipeline's) true communication volume.
 func (m *LocalUpdate) Marshal(e *Encoder) {
 	e.Uint64(1, uint64(m.ClientID))
 	e.Uint64(2, uint64(m.Round))
 	e.Uint64(3, m.NumSamples)
-	e.Doubles(4, m.Primal)
+	if m.PrimalP == nil {
+		e.Doubles(4, m.Primal)
+	}
 	if len(m.Dual) > 0 {
 		e.Doubles(5, m.Dual)
 	}
@@ -249,6 +277,9 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 	}
 	if m.InCohort {
 		e.Bool(9, m.InCohort)
+	}
+	if m.PrimalP != nil {
+		e.Message(10, m.PrimalP)
 	}
 }
 
@@ -314,6 +345,16 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.InCohort = v
+		case 10:
+			b, err := d.BytesField()
+			if err != nil {
+				return err
+			}
+			var p Payload
+			if err := p.Unmarshal(NewDecoder(b)); err != nil {
+				return err
+			}
+			m.PrimalP = &p
 		default:
 			if err := d.Skip(w); err != nil {
 				return err

@@ -1,0 +1,363 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoding discriminates the vector representations a Payload can carry.
+// Dense is the legacy packed-float64 form; the others are the compressed
+// forms produced by the update pipeline's compression stages.
+type Encoding uint8
+
+// Payload encodings.
+const (
+	EncDense   Encoding = 0 // packed float64, one per coordinate
+	EncSparse  Encoding = 1 // index+value pairs (top-k sparsification)
+	EncQuant   Encoding = 2 // affine-quantized integer codes
+	EncFloat16 Encoding = 3 // IEEE-754 half-precision floats
+)
+
+// String names the encoding for logs and errors.
+func (e Encoding) String() string {
+	switch e {
+	case EncDense:
+		return "dense"
+	case EncSparse:
+		return "sparse"
+	case EncQuant:
+		return "quant"
+	case EncFloat16:
+		return "float16"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// ErrBadPayload is the sentinel wrapped by every structural payload
+// validation failure: unknown encoding, mismatched lengths, indices out of
+// range or out of order, invalid quantization width. Adversarial or
+// truncated payloads decode to an error wrapping it — never a panic.
+var ErrBadPayload = errors.New("wire: malformed payload")
+
+// Payload is a model vector in one of several wire encodings. It is the
+// value the update pipeline's compression stages produce on the client and
+// the server inverts back to a dense vector before aggregation.
+//
+// Exactly the fields of the active Enc are meaningful:
+//
+//	EncDense:   Dense (len == Dim)
+//	EncSparse:  Indices, Values (parallel, Indices strictly increasing < Dim)
+//	EncQuant:   Scale, Offset, Bits in [1,16], Codes (ceil(Bits/8) bytes/coord)
+//	EncFloat16: Codes (2 bytes/coord, little-endian half floats)
+type Payload struct {
+	Enc     Encoding
+	Dim     uint32
+	Dense   []float64
+	Indices []uint32
+	Values  []float64
+	Scale   float64
+	Offset  float64
+	Bits    uint8
+	Codes   []byte
+}
+
+// Marshal encodes p as a nested message body.
+func (p *Payload) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(p.Enc))
+	e.Uint64(2, uint64(p.Dim))
+	switch p.Enc {
+	case EncDense:
+		e.Doubles(3, p.Dense)
+	case EncSparse:
+		e.Uint32s(4, p.Indices)
+		e.Doubles(5, p.Values)
+	case EncQuant:
+		e.Float64(6, p.Scale)
+		e.Float64(7, p.Offset)
+		e.Uint64(8, uint64(p.Bits))
+		e.BytesField(9, p.Codes)
+	case EncFloat16:
+		e.BytesField(9, p.Codes)
+	}
+}
+
+// Unmarshal decodes and structurally validates p. Any malformed input —
+// truncated, adversarial, or merely inconsistent — returns a typed error
+// (the codec sentinels or ErrBadPayload); no input can panic the decoder
+// or produce a payload that later panics Densify.
+func (p *Payload) Unmarshal(d *Decoder) error {
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Enc = Encoding(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			if v > math.MaxUint32 {
+				return fmt.Errorf("wire: payload dimension %d overflows: %w", v, ErrBadPayload)
+			}
+			p.Dim = uint32(v)
+		case 3:
+			v, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			p.Dense = v
+		case 4:
+			v, err := d.Uint32s()
+			if err != nil {
+				return err
+			}
+			p.Indices = v
+		case 5:
+			v, err := d.Doubles()
+			if err != nil {
+				return err
+			}
+			p.Values = v
+		case 6:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			p.Scale = v
+		case 7:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			p.Offset = v
+		case 8:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			if v > math.MaxUint8 {
+				return fmt.Errorf("wire: payload bits %d overflows: %w", v, ErrBadPayload)
+			}
+			p.Bits = uint8(v)
+		case 9:
+			v, err := d.BytesField()
+			if err != nil {
+				return err
+			}
+			p.Codes = append([]byte(nil), v...)
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return p.Validate()
+}
+
+// codeWidth is the bytes-per-coordinate of the quantized encoding.
+func (p *Payload) codeWidth() int {
+	if p.Bits <= 8 {
+		return 1
+	}
+	return 2
+}
+
+// Validate checks the structural invariants of the active encoding and
+// returns an error wrapping ErrBadPayload on any violation.
+func (p *Payload) Validate() error {
+	switch p.Enc {
+	case EncDense:
+		if len(p.Dense) != int(p.Dim) {
+			return fmt.Errorf("wire: dense payload has %d values for dim %d: %w", len(p.Dense), p.Dim, ErrBadPayload)
+		}
+	case EncSparse:
+		if len(p.Indices) != len(p.Values) {
+			return fmt.Errorf("wire: sparse payload has %d indices, %d values: %w", len(p.Indices), len(p.Values), ErrBadPayload)
+		}
+		if len(p.Indices) > int(p.Dim) {
+			return fmt.Errorf("wire: sparse payload has %d entries for dim %d: %w", len(p.Indices), p.Dim, ErrBadPayload)
+		}
+		prev := int64(-1)
+		for _, idx := range p.Indices {
+			if int64(idx) <= prev || idx >= p.Dim {
+				return fmt.Errorf("wire: sparse index %d out of order or out of range [0,%d): %w", idx, p.Dim, ErrBadPayload)
+			}
+			prev = int64(idx)
+		}
+	case EncQuant:
+		if p.Bits < 1 || p.Bits > 16 {
+			return fmt.Errorf("wire: quantized payload bits %d outside [1,16]: %w", p.Bits, ErrBadPayload)
+		}
+		if want := int(p.Dim) * p.codeWidth(); len(p.Codes) != want {
+			return fmt.Errorf("wire: quantized payload has %d code bytes, want %d: %w", len(p.Codes), want, ErrBadPayload)
+		}
+		if math.IsNaN(p.Scale) || math.IsInf(p.Scale, 0) || p.Scale < 0 {
+			return fmt.Errorf("wire: quantized payload scale %v invalid: %w", p.Scale, ErrBadPayload)
+		}
+		if math.IsNaN(p.Offset) || math.IsInf(p.Offset, 0) {
+			return fmt.Errorf("wire: quantized payload offset %v invalid: %w", p.Offset, ErrBadPayload)
+		}
+	case EncFloat16:
+		if len(p.Codes) != 2*int(p.Dim) {
+			return fmt.Errorf("wire: float16 payload has %d code bytes for dim %d: %w", len(p.Codes), p.Dim, ErrBadPayload)
+		}
+	default:
+		return fmt.Errorf("wire: unknown payload encoding %d: %w", uint8(p.Enc), ErrBadPayload)
+	}
+	return nil
+}
+
+// Densify reconstructs the dense float64 vector from any encoding into dst
+// (grown as needed) and returns it. The payload must be valid (Unmarshal
+// validates; hand-built payloads should call Validate first) — Densify
+// re-checks and returns an error rather than panicking on bad shapes.
+func (p *Payload) Densify(dst []float64) ([]float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := int(p.Dim)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	dst = dst[:n]
+	switch p.Enc {
+	case EncDense:
+		copy(dst, p.Dense)
+	case EncSparse:
+		for i := range dst {
+			dst[i] = 0
+		}
+		for i, idx := range p.Indices {
+			dst[idx] = p.Values[i]
+		}
+	case EncQuant:
+		w := p.codeWidth()
+		for i := 0; i < n; i++ {
+			var code uint16
+			if w == 1 {
+				code = uint16(p.Codes[i])
+			} else {
+				code = uint16(p.Codes[2*i]) | uint16(p.Codes[2*i+1])<<8
+			}
+			dst[i] = p.Offset + p.Scale*float64(code)
+		}
+	case EncFloat16:
+		for i := 0; i < n; i++ {
+			bits := uint16(p.Codes[2*i]) | uint16(p.Codes[2*i+1])<<8
+			dst[i] = Float16ToFloat64(bits)
+		}
+	}
+	return dst, nil
+}
+
+// WireBytes returns the exact encoded size of the payload body, used by
+// the communication-volume accounting.
+func (p *Payload) WireBytes() int {
+	e := NewEncoder(nil)
+	p.Marshal(e)
+	return e.Len()
+}
+
+// Float16FromFloat64 converts v to IEEE-754 binary16 bits with
+// round-to-nearest-even, saturating overflow to ±Inf and preserving NaN.
+func Float16FromFloat64(v float64) uint16 {
+	// The double → single conversion already rounds to nearest even and is
+	// exact for every value binary16 can represent, so the two-step
+	// conversion equals a direct double → half rounding.
+	b := math.Float32bits(float32(v))
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23&0xff) - 127 + 15
+	mant := b & 0x7fffff
+	if b>>23&0xff == 0xff { // Inf or NaN
+		if mant != 0 {
+			return sign | 0x7e00 // quiet NaN
+		}
+		return sign | 0x7c00
+	}
+	if exp >= 0x1f { // overflow → ±Inf
+		return sign | 0x7c00
+	}
+	if exp <= 0 { // subnormal half (or underflow to zero)
+		if exp < -10 {
+			return sign
+		}
+		mant |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint16(mant >> shift)
+		rem := mant & (1<<shift - 1)
+		halfway := uint32(1) << (shift - 1)
+		if rem > halfway || (rem == halfway && half&1 == 1) {
+			half++
+		}
+		return sign | half
+	}
+	half := sign | uint16(exp)<<10 | uint16(mant>>13)
+	rem := mant & 0x1fff
+	if rem > 0x1000 || (rem == 0x1000 && half&1 == 1) {
+		half++ // carry may roll into the exponent; that is the correct rounding
+	}
+	return half
+}
+
+// Float16ToFloat64 converts IEEE-754 binary16 bits to float64, exactly.
+func Float16ToFloat64(h uint16) float64 {
+	sign := float64(1)
+	if h&0x8000 != 0 {
+		sign = -1
+	}
+	exp := int(h >> 10 & 0x1f)
+	mant := int(h & 0x3ff)
+	switch exp {
+	case 0: // zero or subnormal: mant · 2^-24
+		return sign * float64(mant) * 0x1p-24
+	case 0x1f:
+		if mant != 0 {
+			return math.NaN()
+		}
+		return sign * math.Inf(1)
+	default:
+		return sign * float64(mant+0x400) * math.Ldexp(1, exp-25)
+	}
+}
+
+// Uint32s encodes field as a packed block of little-endian fixed32 values,
+// the index stream of the sparse encoding.
+func (e *Encoder) Uint32s(field int, v []uint32) {
+	e.tag(field, typeBytes)
+	e.varint(uint64(4 * len(v)))
+	for _, x := range v {
+		e.buf = append(e.buf, byte(x), byte(x>>8), byte(x>>16), byte(x>>24))
+	}
+}
+
+// Uint32s reads a packed block of little-endian fixed32 values.
+func (d *Decoder) Uint32s() ([]uint32, error) {
+	b, err := d.BytesField()
+	if err != nil {
+		return nil, err
+	}
+	if len(b)%4 != 0 {
+		return nil, fmt.Errorf("wire: packed uint32 length %d not a multiple of 4", len(b))
+	}
+	out := make([]uint32, len(b)/4)
+	for i := range out {
+		out[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	return out, nil
+}
+
+// Message encodes m as a length-delimited nested message.
+func (e *Encoder) Message(field int, m interface{ Marshal(*Encoder) }) {
+	sub := NewEncoder(nil)
+	m.Marshal(sub)
+	e.BytesField(field, sub.Bytes())
+}
