@@ -41,6 +41,7 @@ package appfl
 import (
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/nn"
 	"repro/internal/rng"
 )
@@ -94,6 +95,32 @@ const (
 // aggregator; see core.Run.
 func Run(cfg Config, fed *Federated, factory Factory, opts RunOptions) (*Result, error) {
 	return core.Run(cfg, fed, factory, opts)
+}
+
+// FaultInjector is the deterministic chaos layer: it wraps a run's
+// transports and executes a scripted fault plan (see ParseFaultPlan).
+// Install one via RunOptions.Faults and set Config.RoundTimeout so the
+// scheduler survives what the injector throws at it.
+type FaultInjector = faults.Injector
+
+// ErrQuorum reports a round that could not assemble Config.MinCohort
+// survivors.
+var ErrQuorum = core.ErrQuorum
+
+// ParseFaultPlan parses a fault-plan spec such as
+//
+//	"crash:20%@3,drop:0:0.3,delay:1:10:5,rejoin:2@2+3,reorder"
+//
+// and resolves it into an injector over numClients clients. Every random
+// choice (which clients a percentage picks, which uploads drop, jitter,
+// reorder) derives from seed, so the same plan and seed replay the same
+// failure story bit for bit. See faults.Parse for the grammar.
+func ParseFaultPlan(spec string, numClients int, seed uint64) (*FaultInjector, error) {
+	p, err := faults.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return faults.NewInjector(p, numClients, seed)
 }
 
 // CNNFactory returns a Factory producing the paper's CNN with deterministic

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|all]
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|all]
 //	            [-out results] [-scale small|medium|paper]
 //
 // The -scale flag trades fidelity for time in the training-based Figure 2
@@ -23,7 +23,7 @@ import (
 )
 
 func main() {
-	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|all")
+	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|scenarios|all")
 	out := flag.String("out", "results", "output directory")
 	scale := flag.String("scale", "small", "fig2 scale: small|medium|paper")
 	flag.Parse()
@@ -56,6 +56,22 @@ func main() {
 			fatal(err)
 		}
 		emit(*out, "commvol", t)
+	}
+	if run("scenarios") {
+		fmt.Println("scenarios: chaos matrix (crash rounds wait out their timeouts; expect ~a minute)...")
+		rows, t, err := experiments.Scenarios(experiments.ScenarioOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "scenarios", t)
+		crashed, rejoined, timedOut := 0, 0, 0
+		for _, r := range rows {
+			crashed += r.Crashed
+			rejoined += r.Rejoined
+			timedOut += r.TimedOut
+		}
+		fmt.Printf("scenarios: %d runs absorbed %d crashes, %d rejoins, %d timed-out obligations\n",
+			len(rows), crashed, rejoined, timedOut)
 	}
 	if run("fig2") {
 		opts := experiments.Fig2Options{}

@@ -38,6 +38,10 @@ func main() {
 	maxStaleness := flag.Int("max-staleness", 0, "buffered: drop updates staler than this many releases (0 = keep all)")
 	alpha := flag.Float64("alpha", 0, "buffered: base mixing rate (0 = default 0.6)")
 	gamma := flag.Float64("gamma", 0, "buffered: staleness-decay exponent (0 = default 0.5)")
+	faultPlan := flag.String("faults", "", `fault-injection plan, e.g. "crash:20%@3,drop:0:0.3" (see README)`)
+	faultSeed := flag.Uint64("fault-seed", 42, "seed driving the fault plan's random choices")
+	roundTimeout := flag.Duration("round-timeout", 0, "server deadline per round (0 = wait forever; required to survive crash faults)")
+	minCohort := flag.Int("min-cohort", 0, "quorum: minimum survivors a deadline-cut round may aggregate (0 = 1)")
 	flag.Parse()
 
 	// Same rule Config.Validate enforces, surfaced before any dataset is
@@ -92,16 +96,28 @@ func main() {
 		MaxStaleness:   *maxStaleness,
 		AsyncAlpha:     *alpha,
 		AsyncGamma:     *gamma,
+		RoundTimeout:   *roundTimeout,
+		MinCohort:      *minCohort,
 	}
 	if *scheduler != appfl.SchedSampled {
 		cfg.CohortFraction = 0
 		cfg.CohortMin = 0
+	}
+	var inj *appfl.FaultInjector
+	if *faultPlan != "" {
+		var err error
+		inj, err = appfl.ParseFaultPlan(*faultPlan, fed.NumClients(), *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "appfl-sim:", err)
+			os.Exit(2)
+		}
 	}
 	fmt.Printf("appfl-sim: %s on %s, %d clients, T=%d, L=%d, eps=%v, pipeline=%q, transport=%s, scheduler=%s\n",
 		*algorithm, *ds, fed.NumClients(), *rounds, *localSteps, *eps, *pipe, *transport, *scheduler)
 	res, err := appfl.Run(cfg, fed, factory, appfl.RunOptions{
 		Transport: core.Transport(*transport),
 		Progress:  os.Stdout,
+		Faults:    inj,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "appfl-sim:", err)
@@ -116,5 +132,9 @@ func main() {
 	}
 	if res.Echoes > 0 {
 		fmt.Printf("legacy partial participation: %d zero-weight echoes crossed the wire\n", res.Echoes)
+	}
+	if res.Crashed > 0 || res.Rejoined > 0 || res.TimedOut > 0 {
+		fmt.Printf("faults absorbed: %d presumed dead, %d rejoined, %d timed-out obligations\n",
+			res.Crashed, res.Rejoined, res.TimedOut)
 	}
 }

@@ -9,11 +9,19 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/wire"
 )
+
+// ErrRoundTimeout reports that a deadline-aware gather hit its deadline
+// before every awaited update arrived. The partial batch returned alongside
+// it is valid: callers implementing quorum semantics aggregate the
+// survivors and Forgive the rest.
+var ErrRoundTimeout = errors.New("comm: round deadline exceeded")
 
 // ServerTransport is the server's side of the protocol. The classic
 // synchronous round is one Broadcast followed by one Gather; the
@@ -45,10 +53,49 @@ type ServerTransport interface {
 	// buffered (FedBuff-style) aggregation, where a release happens as soon
 	// as a quorum lands regardless of which clients supplied it.
 	GatherAny(n int) ([]*wire.LocalUpdate, error)
+	// GatherUntil collects up to n outstanding updates in arrival order,
+	// giving up when the timeout elapses. n is clamped to the number of
+	// outstanding obligations (asking with none outstanding is an error, as
+	// in GatherAny); timeout <= 0 waits forever. When the deadline cuts the
+	// gather short the partial batch is returned together with an error
+	// wrapping ErrRoundTimeout — the batch is valid either way. This is the
+	// deadline-aware receive path that keeps a barrier round from hanging
+	// on a client that will never report.
+	GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error)
+	// Forgive cancels the open update obligations of the listed clients
+	// (those that timed out or were announced dead). A forgiven client can
+	// be scheduled again; if its late update for the forgiven round does
+	// eventually arrive, the transport discards it instead of letting it
+	// pollute a later gather. Clients without an open obligation are
+	// ignored.
+	Forgive(clients []int)
+	// Outstanding returns the sorted client IDs with open update
+	// obligations — the set a caller must Forgive (or keep waiting on)
+	// when draining a faulted run.
+	Outstanding() []int
 	// Stats returns a snapshot of traffic counters.
 	Stats() Snapshot
 	// Close releases transport resources.
 	Close() error
+}
+
+// SessionResumer is implemented by client transports that can drop their
+// underlying connection and re-establish it, splicing the new connection
+// into the same logical session (the rpc transport's reconnect path). The
+// fault-injection layer uses it to make a disconnect-then-rejoin fault
+// exercise a real reconnect where the transport supports one.
+type SessionResumer interface {
+	Resume() error
+}
+
+// Unreachables is implemented by server transports that can tell which
+// clients are currently known to be unreachable (a dead connection with
+// no resume yet). Deadline-driven schedulers exclude them from dispatch
+// — sending would only open an obligation nothing can settle — and bench
+// them through the same quorum machinery as a timeout. Connection-less
+// transports simply don't implement it.
+type Unreachables interface {
+	Unreachable() []int
 }
 
 // ClientTransport is a client's side of the protocol.
@@ -75,8 +122,29 @@ func AllClients(n int) []int {
 
 // OrderByClient rearranges arrival-ordered updates into the order of the
 // requested client list. It reports an error when the two sets differ —
-// a duplicate, missing, or out-of-cohort update.
+// a duplicate, missing, or out-of-cohort update. It is the strict form of
+// OrderSubset: every scheduled client must have reported.
 func OrderByClient(clients []int, got []*wire.LocalUpdate) ([]*wire.LocalUpdate, error) {
+	out, err := OrderSubset(clients, got)
+	if err != nil {
+		return nil, err
+	}
+	if len(out) != len(clients) {
+		if m := Missing(clients, got); len(m) > 0 {
+			return nil, fmt.Errorf("comm: no update from scheduled client %d", m[0])
+		}
+		// Fewer results than requests with nobody missing: the request
+		// list itself repeated a client.
+		return nil, fmt.Errorf("comm: gather requested %d updates from %d distinct clients", len(clients), len(out))
+	}
+	return out, nil
+}
+
+// OrderSubset rearranges arrival-ordered updates into the order of the
+// requested client list, tolerating missing clients — the quorum form of
+// OrderByClient used after a deadline-cut gather, where absentees are
+// expected. Duplicates and out-of-cohort updates are still errors.
+func OrderSubset(clients []int, got []*wire.LocalUpdate) ([]*wire.LocalUpdate, error) {
 	byID := make(map[int]*wire.LocalUpdate, len(got))
 	for _, u := range got {
 		id := int(u.ClientID)
@@ -85,19 +153,33 @@ func OrderByClient(clients []int, got []*wire.LocalUpdate) ([]*wire.LocalUpdate,
 		}
 		byID[id] = u
 	}
-	out := make([]*wire.LocalUpdate, len(clients))
-	for i, id := range clients {
-		u, ok := byID[id]
-		if !ok {
-			return nil, fmt.Errorf("comm: no update from scheduled client %d", id)
+	out := make([]*wire.LocalUpdate, 0, len(got))
+	for _, id := range clients {
+		if u, ok := byID[id]; ok {
+			out = append(out, u)
+			delete(byID, id)
 		}
-		out[i] = u
-		delete(byID, id)
 	}
 	for id := range byID {
 		return nil, fmt.Errorf("comm: update from out-of-cohort client %d", id)
 	}
 	return out, nil
+}
+
+// Missing returns the clients in the requested list with no update in got,
+// in list order — the set a quorum round times out on.
+func Missing(clients []int, got []*wire.LocalUpdate) []int {
+	have := make(map[int]bool, len(got))
+	for _, u := range got {
+		have[int(u.ClientID)] = true
+	}
+	var out []int
+	for _, id := range clients {
+		if !have[id] {
+			out = append(out, id)
+		}
+	}
+	return out
 }
 
 // Stats is a thread-safe traffic counter shared by transport endpoints.

@@ -3,7 +3,7 @@ package mpi
 import (
 	"fmt"
 	"math"
-	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/wire"
@@ -38,10 +38,7 @@ type ServerTransport struct {
 	c        *Comm
 	stats    comm.Stats
 	arrivals chan arrival
-
-	mu      sync.Mutex
-	pending []bool // pending[i]: client i owes an update
-	nOwed   int
+	ledger   *comm.Ledger
 }
 
 // ClientTransport adapts a client rank to comm.ClientTransport.
@@ -57,7 +54,7 @@ func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
 	server := &ServerTransport{
 		c:        w.Rank(0),
 		arrivals: make(chan arrival, numClients),
-		pending:  make([]bool, numClients),
+		ledger:   comm.NewLedger(numClients),
 	}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
@@ -178,7 +175,7 @@ func unpackGlobal(buf []float64) (*wire.GlobalModel, error) {
 // packUpdate flattens a LocalUpdate into one buffer.
 func packUpdate(m *wire.LocalUpdate) []float64 {
 	pb := marshalPayload(m.PrimalP)
-	buf := make([]float64, 10+len(m.Primal)+len(m.Dual), 10+len(m.Primal)+len(m.Dual)+byteWords(len(pb)))
+	buf := make([]float64, 12+len(m.Primal)+len(m.Dual), 12+len(m.Primal)+len(m.Dual)+byteWords(len(pb)))
 	buf[0] = float64(m.ClientID)
 	buf[1] = float64(m.Round)
 	buf[2] = float64(m.NumSamples)
@@ -191,21 +188,29 @@ func packUpdate(m *wire.LocalUpdate) []float64 {
 	buf[7] = float64(len(m.Primal))
 	buf[8] = float64(len(m.Dual))
 	buf[9] = float64(len(pb))
-	copy(buf[10:], m.Primal)
-	copy(buf[10+len(m.Primal):], m.Dual)
+	buf[10] = float64(m.Control)
+	buf[11] = float64(m.RejoinRound)
+	copy(buf[12:], m.Primal)
+	copy(buf[12+len(m.Primal):], m.Dual)
 	return packBytesWords(buf, pb)
 }
 
 func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
-	if len(buf) < 10 {
+	if len(buf) < 12 {
 		return nil, fmt.Errorf("mpi: update buffer too short (%d)", len(buf))
 	}
 	np, nd, npb := int(buf[7]), int(buf[8]), int(buf[9])
 	if np < 0 || nd < 0 || npb < 0 {
 		return nil, fmt.Errorf("mpi: update header counts negative (%d primal, %d dual, %d payload bytes)", np, nd, npb)
 	}
-	if len(buf) != 10+np+nd+byteWords(npb) {
+	if len(buf) != 12+np+nd+byteWords(npb) {
 		return nil, fmt.Errorf("mpi: update buffer length %d, header says %d+%d payload + %d payload bytes", len(buf), np, nd, npb)
+	}
+	if c := buf[10]; c < 0 || c > 255 || c != math.Trunc(c) {
+		return nil, fmt.Errorf("mpi: update carries invalid control %v", c)
+	}
+	if r := buf[11]; r < 0 || r >= 1<<32 || r != math.Trunc(r) {
+		return nil, fmt.Errorf("mpi: update carries invalid rejoin round %v", r)
 	}
 	u := &wire.LocalUpdate{
 		ClientID:    uint32(buf[0]),
@@ -215,13 +220,15 @@ func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
 		ComputeSec:  buf[4],
 		BaseVersion: uint64(buf[5]),
 		InCohort:    buf[6] != 0,
-		Primal:      buf[10 : 10+np],
+		Control:     uint8(buf[10]),
+		RejoinRound: uint32(buf[11]),
+		Primal:      buf[12 : 12+np],
 	}
 	if nd > 0 {
-		u.Dual = buf[10+np : 10+np+nd]
+		u.Dual = buf[12+np : 12+np+nd]
 	}
 	if npb > 0 {
-		pb, err := unpackBytesWords(buf[10+np+nd:], npb)
+		pb, err := unpackBytesWords(buf[12+np+nd:], npb)
 		if err != nil {
 			return nil, err
 		}
@@ -239,19 +246,14 @@ func unpackUpdate(buf []float64) (*wire.LocalUpdate, error) {
 
 // dispatch sends the packed model to one client and, for non-final models,
 // registers a receiver for the obligatory reply.
-func (s *ServerTransport) dispatch(client int, buf []float64, final bool) error {
+func (s *ServerTransport) dispatch(client int, buf []float64, round uint32, final bool) error {
 	if client < 0 || client >= s.c.Size()-1 {
 		return fmt.Errorf("mpi: send to unknown client %d", client)
 	}
 	if !final {
-		s.mu.Lock()
-		if s.pending[client] {
-			s.mu.Unlock()
-			return fmt.Errorf("mpi: client %d already owes an update", client)
+		if err := s.ledger.Open(client, round); err != nil {
+			return fmt.Errorf("mpi: %w", err)
 		}
-		s.pending[client] = true
-		s.nOwed++
-		s.mu.Unlock()
 	}
 	s.c.Send(client+1, tagGlobal, buf)
 	s.stats.AddSent(8 * len(buf))
@@ -272,33 +274,36 @@ func (s *ServerTransport) Broadcast(m *wire.GlobalModel) error {
 func (s *ServerTransport) SendTo(clients []int, m *wire.GlobalModel) error {
 	buf := packGlobal(m)
 	for _, c := range clients {
-		if err := s.dispatch(c, buf, m.Final); err != nil {
+		if err := s.dispatch(c, buf, m.Round, m.Final); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// collect drains n arrivals in arrival order.
-func (s *ServerTransport) collect(n int) ([]*wire.LocalUpdate, error) {
-	s.mu.Lock()
-	owed := s.nOwed
-	s.mu.Unlock()
-	if n > owed {
+// collect drains n arrivals in arrival order. A nil timer waits forever;
+// otherwise the gather gives up when the timer fires and returns the
+// partial batch with ErrRoundTimeout.
+func (s *ServerTransport) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
+	if owed := s.ledger.Owed(); n > owed {
 		return nil, fmt.Errorf("mpi: gathering %d updates with only %d outstanding", n, owed)
 	}
 	out := make([]*wire.LocalUpdate, 0, n)
 	for len(out) < n {
-		a := <-s.arrivals
-		s.mu.Lock()
-		s.pending[a.rank] = false
-		s.nOwed--
-		s.mu.Unlock()
+		var a arrival
+		select {
+		case a = <-s.arrivals:
+		case <-timer:
+			return out, fmt.Errorf("mpi: %d of %d updates after deadline: %w", len(out), n, comm.ErrRoundTimeout)
+		}
 		u, err := unpackUpdate(a.buf)
 		if err != nil {
 			return nil, err
 		}
 		s.stats.AddRecv(8 * len(a.buf))
+		if !s.ledger.Admit(a.rank, u.Round) {
+			continue // late update for a forgiven round: discard
+		}
 		out = append(out, u)
 	}
 	return out, nil
@@ -312,7 +317,7 @@ func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
 // GatherFrom collects one update from each listed client, ordered as
 // listed.
 func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
-	got, err := s.collect(len(clients))
+	got, err := s.collect(len(clients), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -321,8 +326,21 @@ func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error)
 
 // GatherAny collects the next n outstanding updates in arrival order.
 func (s *ServerTransport) GatherAny(n int) ([]*wire.LocalUpdate, error) {
-	return s.collect(n)
+	return s.collect(n, nil)
 }
+
+// GatherUntil collects up to n outstanding updates, giving up at the
+// deadline; see comm.ServerTransport.
+func (s *ServerTransport) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
+	return comm.GatherWithDeadline(s.ledger, "mpi", n, timeout, s.collect)
+}
+
+// Forgive closes the open obligations of the listed clients; their late
+// updates, if any ever arrive, are discarded.
+func (s *ServerTransport) Forgive(clients []int) { s.ledger.Forgive(clients) }
+
+// Outstanding returns the sorted clients with open update obligations.
+func (s *ServerTransport) Outstanding() []int { return s.ledger.Outstanding() }
 
 // Stats returns the server's traffic snapshot.
 func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/wire"
@@ -94,18 +95,29 @@ func (b *Broker) Publish(topic string, payload []byte) error {
 // Recv blocks for the next message; ok is false after Unsubscribe/Close
 // once the queue has drained.
 func (s *Subscription) Recv() (Message, bool) {
+	m, ok, _ := s.RecvTimer(nil)
+	return m, ok
+}
+
+// RecvTimer is Recv with an optional deadline channel (nil waits
+// forever): timedOut reports that the timer fired before a message or
+// teardown. The teardown-drain rule — messages queued before
+// Unsubscribe/Close are still delivered — lives only here.
+func (s *Subscription) RecvTimer(timer <-chan time.Time) (m Message, ok, timedOut bool) {
 	select {
 	case m := <-s.ch:
-		return m, true
+		return m, true, false
 	case <-s.done:
 		// Drain messages that were queued before teardown, preserving the
 		// closed-channel semantics this replaced.
 		select {
 		case m := <-s.ch:
-			return m, true
+			return m, true, false
 		default:
-			return Message{}, false
+			return Message{}, false, false
 		}
+	case <-timer:
+		return Message{}, false, true
 	}
 }
 
@@ -159,20 +171,18 @@ func GlobalTopic(id int) string { return fmt.Sprintf("%s/%d", TopicGlobal, id) }
 
 // ServerTransport adapts a broker to comm.ServerTransport.
 //
-// A topic broker is connectionless, so unlike the mpi/rpc transports it
-// cannot attribute per-client obligations: spontaneous publishes are
-// accepted, and cohort attribution happens at GatherFrom via
-// comm.OrderByClient. The transport still counts models dispatched vs
-// updates collected so that GatherAny fails fast on an overdraw instead
-// of deadlocking.
+// A topic broker is connectionless, so spontaneous publishes are accepted
+// (QoS-0 style) and cohort attribution happens at GatherFrom via
+// comm.OrderByClient. The transport still keeps the shared obligation
+// ledger — models dispatched vs updates collected — so that GatherAny
+// fails fast on an overdraw instead of deadlocking, round timeouts can be
+// forgiven, and a forgiven round's late publish is discarded.
 type ServerTransport struct {
 	broker     *Broker
 	numClients int
 	updates    *Subscription
 	stats      comm.Stats
-
-	mu    sync.Mutex
-	nOwed int
+	ledger     *comm.Ledger
 }
 
 // ClientTransport adapts a broker to comm.ClientTransport.
@@ -190,7 +200,7 @@ func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &ServerTransport{broker: b, numClients: numClients, updates: upd}
+	st := &ServerTransport{broker: b, numClients: numClients, updates: upd, ledger: comm.NewLedger(numClients)}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
 		g, err := b.Subscribe(GlobalTopic(i), 1)
@@ -215,24 +225,32 @@ func (s *ServerTransport) SendTo(clients []int, m *wire.GlobalModel) error {
 		if c < 0 || c >= s.numClients {
 			return fmt.Errorf("pubsub: send to unknown client %d", c)
 		}
+		if !m.Final {
+			if err := s.ledger.Open(c, m.Round); err != nil {
+				return fmt.Errorf("pubsub: %w", err)
+			}
+		}
 		if err := s.broker.Publish(GlobalTopic(c), e.Bytes()); err != nil {
+			if !m.Final {
+				s.ledger.Rollback(c)
+			}
 			return err
 		}
 		s.stats.AddSent(e.Len())
-		if !m.Final {
-			s.mu.Lock()
-			s.nOwed++
-			s.mu.Unlock()
-		}
 	}
 	return nil
 }
 
 // collect reads n updates from the shared update topic in arrival order.
-func (s *ServerTransport) collect(n int) ([]*wire.LocalUpdate, error) {
+// A nil timer waits forever; otherwise the gather gives up when the timer
+// fires and returns the partial batch with ErrRoundTimeout.
+func (s *ServerTransport) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
 	out := make([]*wire.LocalUpdate, 0, n)
 	for len(out) < n {
-		msg, ok := s.updates.Recv()
+		msg, ok, timedOut := s.updates.RecvTimer(timer)
+		if timedOut {
+			return out, fmt.Errorf("pubsub: %d of %d updates after deadline: %w", len(out), n, comm.ErrRoundTimeout)
+		}
 		if !ok {
 			return nil, ErrClosed
 		}
@@ -244,12 +262,10 @@ func (s *ServerTransport) collect(n int) ([]*wire.LocalUpdate, error) {
 		if id := int(u.ClientID); id < 0 || id >= s.numClients {
 			return nil, fmt.Errorf("pubsub: update from unknown client %d", id)
 		}
-		out = append(out, &u)
-		s.mu.Lock()
-		if s.nOwed > 0 {
-			s.nOwed--
+		if !s.ledger.Admit(int(u.ClientID), u.Round) {
+			continue // late publish for a forgiven round: discard
 		}
-		s.mu.Unlock()
+		out = append(out, &u)
 	}
 	return out, nil
 }
@@ -262,7 +278,7 @@ func (s *ServerTransport) Gather() ([]*wire.LocalUpdate, error) {
 
 // GatherFrom reads one update per listed client, ordered as listed.
 func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
-	got, err := s.collect(len(clients))
+	got, err := s.collect(len(clients), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -274,14 +290,24 @@ func (s *ServerTransport) GatherFrom(clients []int) ([]*wire.LocalUpdate, error)
 // checks the dispatch ledger so a scheduler overdraw fails fast instead
 // of blocking forever on an update that will never come.
 func (s *ServerTransport) GatherAny(n int) ([]*wire.LocalUpdate, error) {
-	s.mu.Lock()
-	owed := s.nOwed
-	s.mu.Unlock()
-	if n > owed {
+	if owed := s.ledger.Owed(); n > owed {
 		return nil, fmt.Errorf("pubsub: gathering %d updates with only %d outstanding", n, owed)
 	}
-	return s.collect(n)
+	return s.collect(n, nil)
 }
+
+// GatherUntil reads up to n outstanding updates, giving up at the
+// deadline; see comm.ServerTransport.
+func (s *ServerTransport) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
+	return comm.GatherWithDeadline(s.ledger, "pubsub", n, timeout, s.collect)
+}
+
+// Forgive closes the open obligations of the listed clients; their late
+// publishes, if any ever arrive, are discarded.
+func (s *ServerTransport) Forgive(clients []int) { s.ledger.Forgive(clients) }
+
+// Outstanding returns the sorted clients with open update obligations.
+func (s *ServerTransport) Outstanding() []int { return s.ledger.Outstanding() }
 
 // Stats returns the traffic snapshot.
 func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }

@@ -8,6 +8,12 @@
 //
 // Frame layout: 1 byte message kind, 4 bytes big-endian payload length,
 // payload bytes.
+//
+// Sessions survive connection loss: a client may close its socket and
+// redial with a Resume join, and the server splices the new connection
+// into the same session (same client ID, same obligation ledger) — the
+// reconnect path a cross-device deployment needs when devices drop off
+// the network mid-run.
 package rpc
 
 import (
@@ -69,33 +75,45 @@ type ServerConfig struct {
 	ModelSize  int
 	// AcceptTimeout bounds the wait for all clients to join (0 = 30 s).
 	AcceptTimeout time.Duration
+	// ResumeWait bounds how long a dispatch that hit a dying connection
+	// waits for the client's Resume splice before surfacing the write
+	// error (0 = 1 s).
+	ResumeWait time.Duration
 }
 
 // Server is the comm.ServerTransport over TCP. It accepts exactly
-// NumClients connections, each beginning with a Join handshake.
+// NumClients connections, each beginning with a Join handshake, then keeps
+// the listener open for Resume joins that splice a reconnecting client
+// back into its session.
 //
-// Every non-final model written to a client obliges one LocalUpdate in
-// return; the server spawns a reader goroutine per obligation, feeding a
-// shared arrival channel that Gather/GatherFrom/GatherAny drain.
+// One reader goroutine per connection pumps every incoming frame into a
+// shared arrival channel that Gather/GatherFrom/GatherAny/GatherUntil
+// drain; the obligation ledger decides which arrivals settle obligations
+// and which are stale replays of forgiven rounds.
 type Server struct {
 	cfg   ServerConfig
 	ln    net.Listener
-	conns []net.Conn // indexed by client ID
 	stats comm.Stats
 
 	arrivals chan arrival
+	ledger   *comm.Ledger
+	done     chan struct{}
 
-	mu      sync.Mutex
-	pending []bool // pending[i]: client i owes an update
-	nOwed   int
-	closed  bool
+	mu       sync.Mutex
+	conns    []net.Conn    // indexed by client ID, swapped on resume
+	gens     []int         // connection generation per client
+	deadGen  []int         // generation whose connection died (-1 = alive)
+	resumeCh chan struct{} // closed (and replaced) on every resume splice
+	closed   bool
 }
 
-// arrival is one incoming update frame (or read failure), tagged by client.
+// arrival is one incoming update frame, or a connection event, tagged by
+// client and connection generation.
 type arrival struct {
 	client  int
+	gen     int
 	payload []byte
-	err     error
+	err     error // connection-level failure (read error, bad frame kind)
 }
 
 // Listen starts a server on addr (e.g. "127.0.0.1:0") and returns it
@@ -108,16 +126,27 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 30 * time.Second
 	}
+	if cfg.ResumeWait == 0 {
+		cfg.ResumeWait = time.Second
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
+	}
+	deadGen := make([]int, cfg.NumClients)
+	for i := range deadGen {
+		deadGen[i] = -1
 	}
 	return &Server{
 		cfg:      cfg,
 		ln:       ln,
 		conns:    make([]net.Conn, cfg.NumClients),
+		gens:     make([]int, cfg.NumClients),
+		deadGen:  deadGen,
+		resumeCh: make(chan struct{}),
 		arrivals: make(chan arrival, cfg.NumClients),
-		pending:  make([]bool, cfg.NumClients),
+		ledger:   comm.NewLedger(cfg.NumClients),
+		done:     make(chan struct{}),
 	}, nil
 }
 
@@ -125,7 +154,9 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Accept blocks until every client has connected and completed the Join
-// handshake. Client IDs must be unique and in [0, NumClients).
+// handshake, then starts one reader per connection and a background
+// acceptor for Resume joins. Client IDs must be unique and in
+// [0, NumClients).
 func (s *Server) Accept() error {
 	deadline := time.Now().Add(s.cfg.AcceptTimeout)
 	joined := 0
@@ -139,74 +170,226 @@ func (s *Server) Accept() error {
 		if err != nil {
 			return fmt.Errorf("rpc: accept after %d/%d joins: %w", joined, s.cfg.NumClients, err)
 		}
-		kind, payload, err := readFrame(conn)
+		join, err := s.readJoin(conn)
 		if err != nil {
 			conn.Close()
-			return fmt.Errorf("rpc: join read: %w", err)
-		}
-		s.stats.AddRecv(len(payload))
-		if kind != wire.KindJoin {
-			conn.Close()
-			return fmt.Errorf("rpc: expected Join, got %v", kind)
-		}
-		var join wire.Join
-		if err := join.Unmarshal(wire.NewDecoder(payload)); err != nil {
-			conn.Close()
-			return fmt.Errorf("rpc: join decode: %w", err)
+			return err
 		}
 		id := int(join.ClientID)
-		if id < 0 || id >= s.cfg.NumClients || s.conns[id] != nil {
+		s.mu.Lock()
+		dup := s.conns[id] != nil
+		s.mu.Unlock()
+		if dup {
 			conn.Close()
 			return fmt.Errorf("rpc: invalid or duplicate client id %d", id)
 		}
-		ack := wire.JoinAck{
-			NumClients: uint32(s.cfg.NumClients),
-			Rounds:     uint32(s.cfg.Rounds),
-			ModelSize:  uint64(s.cfg.ModelSize),
-		}
-		e := wire.NewEncoder(nil)
-		ack.Marshal(e)
-		if err := writeFrame(conn, wire.KindJoinAck, e.Bytes()); err != nil {
+		if err := s.ackJoin(conn); err != nil {
 			conn.Close()
-			return fmt.Errorf("rpc: join ack: %w", err)
+			return err
 		}
-		s.stats.AddSent(e.Len())
+		s.mu.Lock()
 		s.conns[id] = conn
+		s.mu.Unlock()
 		joined++
 	}
+	if tl, ok := s.ln.(*net.TCPListener); ok {
+		if err := tl.SetDeadline(time.Time{}); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	for id, conn := range s.conns {
+		go s.readLoop(id, s.gens[id], conn)
+	}
+	s.mu.Unlock()
+	go s.acceptResumes()
 	return nil
+}
+
+// readJoin reads and decodes a Join frame, validating the client ID.
+func (s *Server) readJoin(conn net.Conn) (*wire.Join, error) {
+	kind, payload, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: join read: %w", err)
+	}
+	s.stats.AddRecv(len(payload))
+	if kind != wire.KindJoin {
+		return nil, fmt.Errorf("rpc: expected Join, got %v", kind)
+	}
+	var join wire.Join
+	if err := join.Unmarshal(wire.NewDecoder(payload)); err != nil {
+		return nil, fmt.Errorf("rpc: join decode: %w", err)
+	}
+	if id := int(join.ClientID); id < 0 || id >= s.cfg.NumClients {
+		return nil, fmt.Errorf("rpc: invalid or duplicate client id %d", id)
+	}
+	return &join, nil
+}
+
+// ackJoin accepts a join by answering with the run configuration.
+func (s *Server) ackJoin(conn net.Conn) error {
+	ack := wire.JoinAck{
+		NumClients: uint32(s.cfg.NumClients),
+		Rounds:     uint32(s.cfg.Rounds),
+		ModelSize:  uint64(s.cfg.ModelSize),
+	}
+	e := wire.NewEncoder(nil)
+	ack.Marshal(e)
+	if err := writeFrame(conn, wire.KindJoinAck, e.Bytes()); err != nil {
+		return fmt.Errorf("rpc: join ack: %w", err)
+	}
+	s.stats.AddSent(e.Len())
+	return nil
+}
+
+// acceptResumes keeps accepting connections after the initial cohort has
+// joined: each must carry a Resume join naming an existing session, whose
+// connection is then swapped for the new one. A non-resume join at this
+// stage is rejected BEFORE any JoinAck is written, so the stray client's
+// Dial fails instead of succeeding against a connection the server is
+// about to drop. Runs until Close.
+func (s *Server) acceptResumes() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		join, err := s.readJoin(conn)
+		if err != nil || !join.Resume {
+			conn.Close()
+			continue
+		}
+		if err := s.ackJoin(conn); err != nil {
+			conn.Close()
+			continue
+		}
+		id := int(join.ClientID)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		// The old connection is NOT closed here: the client closed its
+		// side, and its reader must be allowed to drain any frames still
+		// buffered (a goodbye sent just before the disconnect) before it
+		// sees EOF and exits. Closing server-side would discard them.
+		s.conns[id] = conn
+		s.gens[id]++
+		s.deadGen[id] = -1
+		gen := s.gens[id]
+		// Wake any dispatch waiting out a dying connection.
+		close(s.resumeCh)
+		s.resumeCh = make(chan struct{})
+		s.mu.Unlock()
+		go s.readLoop(id, gen, conn)
+	}
+}
+
+// readLoop pumps every frame from one client connection into the arrival
+// channel. On a connection error it posts one tagged failure event and
+// exits; collect decides whether that event matters (an open obligation on
+// the current connection) or is ordinary teardown noise.
+func (s *Server) readLoop(c, gen int, conn net.Conn) {
+	for {
+		kind, payload, err := readFrame(conn)
+		var a arrival
+		switch {
+		case err != nil:
+			a = arrival{client: c, gen: gen, err: fmt.Errorf("rpc: gather from client %d: %w", c, err)}
+		case kind != wire.KindLocalUpdate:
+			a = arrival{client: c, gen: gen, err: fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", c, kind)}
+		default:
+			a = arrival{client: c, gen: gen, payload: payload}
+		}
+		select {
+		case s.arrivals <- a:
+		case <-s.done:
+			return
+		}
+		if a.err != nil {
+			return
+		}
+	}
+}
+
+// conn returns the current connection of client c.
+func (s *Server) conn(c int) net.Conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conns[c]
+}
+
+// awaitFresh waits up to ResumeWait for client c's connection to be
+// spliced away from old, returning the fresh connection or nil if no
+// resume landed in time. Waiters are woken by the splice signal rather
+// than polling.
+func (s *Server) awaitFresh(c int, old net.Conn) net.Conn {
+	deadline := time.NewTimer(s.cfg.ResumeWait)
+	defer deadline.Stop()
+	for {
+		s.mu.Lock()
+		cur, ch := s.conns[c], s.resumeCh
+		s.mu.Unlock()
+		if cur != old {
+			return cur
+		}
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return nil
+		case <-s.done:
+			return nil
+		}
+	}
+}
+
+// Unreachable returns the clients whose current connection is known dead
+// and not (yet) resumed — a deadline-driven caller excludes them from
+// dispatch instead of opening obligations nothing can settle.
+func (s *Server) Unreachable() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []int
+	for c := range s.deadGen {
+		if s.deadGen[c] == s.gens[c] {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Broadcast sends the global model to all clients concurrently. Per-client
 // serialization happens independently, as gRPC marshals per call.
 func (s *Server) Broadcast(m *wire.GlobalModel) error {
-	return s.SendTo(comm.AllClients(len(s.conns)), m)
+	return s.SendTo(comm.AllClients(s.cfg.NumClients), m)
 }
 
 // SendTo sends the global model to the listed clients concurrently. Each
-// non-final model registers a reader for the client's obligatory reply.
+// non-final model opens an obligation for the client's reply.
 func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 	const kind = wire.KindGlobalModel
 	for _, c := range clients {
-		if c < 0 || c >= len(s.conns) {
+		if c < 0 || c >= s.cfg.NumClients {
 			return fmt.Errorf("rpc: send to unknown client %d", c)
+		}
+		// A client whose connection died while idle has no reader left: a
+		// write could still land in the socket buffer, opening an
+		// obligation nothing can ever settle. Fail loudly instead (a
+		// resume clears this by advancing the generation).
+		s.mu.Lock()
+		dead := s.deadGen[c] == s.gens[c]
+		s.mu.Unlock()
+		if dead {
+			return fmt.Errorf("rpc: send to client %d whose connection is down", c)
 		}
 	}
 	if !m.Final {
-		// Two passes so a duplicate-dispatch error leaves the ledger
-		// untouched: validate the whole cohort, then mark it.
-		s.mu.Lock()
-		for _, c := range clients {
-			if s.pending[c] {
-				s.mu.Unlock()
-				return fmt.Errorf("rpc: client %d already owes an update", c)
-			}
+		// All-or-nothing so a duplicate-dispatch error leaves the ledger
+		// untouched.
+		if err := s.ledger.OpenAll(clients, m.Round); err != nil {
+			return fmt.Errorf("rpc: %w", err)
 		}
-		for _, c := range clients {
-			s.pending[c] = true
-			s.nOwed++
-		}
-		s.mu.Unlock()
 	}
 	errs := make([]error, len(clients))
 	var wg sync.WaitGroup
@@ -216,65 +399,75 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 			defer wg.Done()
 			e := wire.NewEncoder(nil)
 			m.Marshal(e)
-			if err := writeFrame(s.conns[c], kind, e.Bytes()); err != nil {
+			conn := s.conn(c)
+			err := writeFrame(conn, kind, e.Bytes())
+			if err != nil {
+				// The write may have raced a session resume (the client
+				// dropped this connection as it spliced in a new one).
+				// Wait on the splice signal up to ResumeWait and retry
+				// once on the fresh connection; a client that never
+				// resumes keeps the original error.
+				if fresh := s.awaitFresh(c, conn); fresh != nil {
+					err = writeFrame(fresh, kind, e.Bytes())
+				}
+			}
+			if err != nil {
 				errs[i] = fmt.Errorf("rpc: send to client %d: %w", c, err)
 				if !m.Final {
 					// No reply can come from a model that never left:
 					// roll the obligation back so the ledger stays
 					// consistent for callers that recover from the error.
-					s.mu.Lock()
-					s.pending[c] = false
-					s.nOwed--
-					s.mu.Unlock()
+					s.ledger.Rollback(c)
 				}
 				return
 			}
 			s.stats.AddSent(e.Len())
-			if !m.Final {
-				go s.readOne(c)
-			}
 		}(i, c)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
 }
 
-// readOne reads the single obliged update frame from client c and posts it
-// to the arrival channel.
-func (s *Server) readOne(c int) {
-	kind, payload, err := readFrame(s.conns[c])
-	switch {
-	case err != nil:
-		s.arrivals <- arrival{client: c, err: fmt.Errorf("rpc: gather from client %d: %w", c, err)}
-	case kind != wire.KindLocalUpdate:
-		s.arrivals <- arrival{client: c, err: fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", c, kind)}
-	default:
-		s.arrivals <- arrival{client: c, payload: payload}
-	}
-}
-
-// collect drains n arrivals in arrival order.
-func (s *Server) collect(n int) ([]*wire.LocalUpdate, error) {
-	s.mu.Lock()
-	owed := s.nOwed
-	s.mu.Unlock()
-	if n > owed {
-		return nil, fmt.Errorf("rpc: gathering %d updates with only %d outstanding", n, owed)
-	}
+// collect drains n update arrivals in arrival order. A nil timer waits
+// forever; otherwise the gather gives up when the timer fires and returns
+// the partial batch with ErrRoundTimeout.
+func (s *Server) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
 	out := make([]*wire.LocalUpdate, 0, n)
 	for len(out) < n {
-		a := <-s.arrivals
-		s.mu.Lock()
-		s.pending[a.client] = false
-		s.nOwed--
-		s.mu.Unlock()
+		var a arrival
+		select {
+		case a = <-s.arrivals:
+		case <-timer:
+			return out, fmt.Errorf("rpc: %d of %d updates after deadline: %w", len(out), n, comm.ErrRoundTimeout)
+		}
 		if a.err != nil {
-			return nil, a.err
+			// A connection event for the current generation marks the
+			// client unreachable (a stale generation means it already
+			// resumed: teardown noise). Whether it fails the gather
+			// depends on the mode: a blocking gather has no other way to
+			// stop waiting on a client that still owes an update, so it
+			// surfaces the error loudly; a deadline gather lets the
+			// deadline expire instead, feeding the caller's quorum
+			// machinery (forgive, bench, retry) — a process death is then
+			// one timed-out round, not the run.
+			s.mu.Lock()
+			current := a.gen == s.gens[a.client] && !s.closed
+			if current {
+				s.deadGen[a.client] = a.gen
+			}
+			s.mu.Unlock()
+			if current && timer == nil && s.ledger.Pending(a.client) {
+				return nil, a.err
+			}
+			continue
 		}
 		s.stats.AddRecv(len(a.payload))
 		var u wire.LocalUpdate
 		if err := u.Unmarshal(wire.NewDecoder(a.payload)); err != nil {
 			return nil, fmt.Errorf("rpc: update decode from client %d: %w", a.client, err)
+		}
+		if !s.ledger.Admit(a.client, u.Round) {
+			continue // late update for a forgiven round: discard
 		}
 		out = append(out, &u)
 	}
@@ -284,13 +477,13 @@ func (s *Server) collect(n int) ([]*wire.LocalUpdate, error) {
 // Gather reads one LocalUpdate from every client and returns them indexed
 // by client ID.
 func (s *Server) Gather() ([]*wire.LocalUpdate, error) {
-	return s.GatherFrom(comm.AllClients(len(s.conns)))
+	return s.GatherFrom(comm.AllClients(s.cfg.NumClients))
 }
 
 // GatherFrom reads one LocalUpdate from each listed client, ordered as
 // listed.
 func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
-	got, err := s.collect(len(clients))
+	got, err := s.gatherN(len(clients), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -299,8 +492,29 @@ func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
 
 // GatherAny reads the next n outstanding updates in arrival order.
 func (s *Server) GatherAny(n int) ([]*wire.LocalUpdate, error) {
-	return s.collect(n)
+	return s.gatherN(n, nil)
 }
+
+// gatherN enforces the overdraw check shared by the blocking gathers.
+func (s *Server) gatherN(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
+	if owed := s.ledger.Owed(); n > owed {
+		return nil, fmt.Errorf("rpc: gathering %d updates with only %d outstanding", n, owed)
+	}
+	return s.collect(n, timer)
+}
+
+// GatherUntil reads up to n outstanding updates, giving up at the
+// deadline; see comm.ServerTransport.
+func (s *Server) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
+	return comm.GatherWithDeadline(s.ledger, "rpc", n, timeout, s.collect)
+}
+
+// Forgive closes the open obligations of the listed clients; their late
+// updates, if any ever arrive, are discarded.
+func (s *Server) Forgive(clients []int) { s.ledger.Forgive(clients) }
+
+// Outstanding returns the sorted clients with open update obligations.
+func (s *Server) Outstanding() []int { return s.ledger.Outstanding() }
 
 // Stats returns the traffic snapshot.
 func (s *Server) Stats() comm.Snapshot { return s.stats.Snapshot() }
@@ -313,6 +527,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	close(s.done)
 	err := s.ln.Close()
 	for _, c := range s.conns {
 		if c != nil {
@@ -326,43 +541,84 @@ func (s *Server) Close() error {
 
 // Client is the comm.ClientTransport over TCP.
 type Client struct {
-	conn  net.Conn
 	id    uint32
+	name  string
+	addr  string
 	ack   wire.JoinAck
 	stats comm.Stats
+
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 // Dial connects to the server, performs the Join handshake, and returns
 // the client transport.
 func Dial(addr string, id uint32, name string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
+	c := &Client{id: id, name: name, addr: addr}
+	if err := c.dial(false); err != nil {
 		return nil, err
 	}
-	join := wire.Join{ClientID: id, Name: name}
+	return c, nil
+}
+
+// dial establishes (or re-establishes) the connection and performs the
+// Join handshake, marking it a Resume when reconnecting.
+func (c *Client) dial(resume bool) error {
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return err
+	}
+	join := wire.Join{ClientID: c.id, Name: c.name, Resume: resume}
 	e := wire.NewEncoder(nil)
 	join.Marshal(e)
-	c := &Client{conn: conn, id: id}
 	if err := writeFrame(conn, wire.KindJoin, e.Bytes()); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rpc: join send: %w", err)
+		return fmt.Errorf("rpc: join send: %w", err)
 	}
 	c.stats.AddSent(e.Len())
 	kind, payload, err := readFrame(conn)
 	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rpc: join ack read: %w", err)
+		return fmt.Errorf("rpc: join ack read: %w", err)
 	}
 	if kind != wire.KindJoinAck {
 		conn.Close()
-		return nil, fmt.Errorf("rpc: expected JoinAck, got %v", kind)
+		return fmt.Errorf("rpc: expected JoinAck, got %v", kind)
 	}
 	c.stats.AddRecv(len(payload))
 	if err := c.ack.Unmarshal(wire.NewDecoder(payload)); err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("rpc: join ack decode: %w", err)
+		return fmt.Errorf("rpc: join ack decode: %w", err)
 	}
-	return c, nil
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	return nil
+}
+
+// Resume redials the server with a Resume join and then drops the old
+// connection, splicing this client back into its session — the
+// reconnect-with-session-resumption path of the rejoin handshake. The
+// new connection is established FIRST so the server is never left
+// holding a closed socket as the client's only address: a dispatch
+// racing the resume sees either the old conn (its write is absorbed or
+// retried on the new one) or the spliced conn, not a gap.
+func (c *Client) Resume() error {
+	old := c.current()
+	if err := c.dial(true); err != nil {
+		return err
+	}
+	if old != nil {
+		old.Close()
+	}
+	return nil
+}
+
+// current returns the live connection.
+func (c *Client) current() net.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
 }
 
 // Config returns the run configuration received at join time.
@@ -370,7 +626,7 @@ func (c *Client) Config() wire.JoinAck { return c.ack }
 
 // RecvGlobal blocks for the next global model.
 func (c *Client) RecvGlobal() (*wire.GlobalModel, error) {
-	kind, payload, err := readFrame(c.conn)
+	kind, payload, err := readFrame(c.current())
 	if err != nil {
 		return nil, err
 	}
@@ -392,7 +648,7 @@ func (c *Client) RecvGlobal() (*wire.GlobalModel, error) {
 func (c *Client) SendUpdate(m *wire.LocalUpdate) error {
 	e := wire.NewEncoder(nil)
 	m.Marshal(e)
-	if err := writeFrame(c.conn, wire.KindLocalUpdate, e.Bytes()); err != nil {
+	if err := writeFrame(c.current(), wire.KindLocalUpdate, e.Bytes()); err != nil {
 		return err
 	}
 	c.stats.AddSent(e.Len())
@@ -403,10 +659,11 @@ func (c *Client) SendUpdate(m *wire.LocalUpdate) error {
 func (c *Client) Stats() comm.Snapshot { return c.stats.Snapshot() }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.current().Close() }
 
 // Interface conformance checks.
 var (
 	_ comm.ServerTransport = (*Server)(nil)
 	_ comm.ClientTransport = (*Client)(nil)
+	_ comm.SessionResumer  = (*Client)(nil)
 )

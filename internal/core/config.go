@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/pipeline"
 )
@@ -127,6 +128,20 @@ type Config struct {
 	// such as 1e-12).
 	AsyncGamma float64
 
+	// RoundTimeout bounds how long the server waits on a round's gather.
+	// Zero (the default) waits forever — the pre-fault-tolerance behavior,
+	// under which a client that never reports hangs the round. With a
+	// timeout, a barrier round completes with whoever reported (quorum
+	// permitting), the missing clients are forgiven and benched with
+	// exponential backoff, and a buffered round releases whatever arrived
+	// instead of blocking on K arrivals that will never come.
+	RoundTimeout time.Duration
+	// MinCohort is the quorum: the minimum number of survivors a
+	// deadline-cut barrier round may aggregate (and the minimum cohort the
+	// scheduler may dispatch to once failed clients are excluded). Fewer
+	// survivors abort the run with ErrQuorum. 0 defaults to 1.
+	MinCohort int
+
 	Seed uint64 // master seed (default 1)
 }
 
@@ -227,6 +242,12 @@ func (c Config) Validate() error {
 		if _, err := pipeline.Parse(c.Pipeline); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	if c.RoundTimeout < 0 {
+		return fmt.Errorf("core: RoundTimeout must be >= 0, got %v", c.RoundTimeout)
+	}
+	if c.MinCohort < 0 {
+		return fmt.Errorf("core: MinCohort must be >= 0, got %d", c.MinCohort)
 	}
 	if c.ClientFraction < 0 || c.ClientFraction > 1 {
 		return fmt.Errorf("core: ClientFraction must be in [0,1], got %v", c.ClientFraction)

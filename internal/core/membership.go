@@ -1,0 +1,168 @@
+package core
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrQuorum reports that a round could not assemble MinCohort clients —
+// either the scheduler's cohort shrank below quorum after exclusions, or a
+// deadline-cut gather came back with too few survivors.
+var ErrQuorum = errors.New("core: round quorum not met")
+
+// membership is the runner's failure detector and roster. It tracks which
+// clients are currently schedulable: clients that announced a goodbye are
+// excluded until their rejoin lease expires (or forever), and clients that
+// timed out a round are benched with exponential backoff — so a dead
+// client costs one RoundTimeout once, not every round, while a client that
+// merely hiccuped gets retried. It is the server-side half of the
+// ClientGoodbye/rejoin handshake.
+type membership struct {
+	// departedUntil[c] excludes c from rounds before it; 0 = present,
+	// math.MaxInt = gone for good.
+	departedUntil []int
+	// benchedUntil[c] excludes a timed-out c from rounds before it.
+	benchedUntil []int
+	// strikes[c] counts consecutive timeouts; a success resets it.
+	strikes []int
+	// awaitingRejoin marks a leased departure whose return has not yet
+	// been observed, so rejoins are counted exactly once.
+	awaitingRejoin []bool
+
+	rejoined int // rejoin events observed
+	timedOut int // timed-out obligations observed
+}
+
+func newMembership(n int) *membership {
+	return &membership{
+		departedUntil:  make([]int, n),
+		benchedUntil:   make([]int, n),
+		strikes:        make([]int, n),
+		awaitingRejoin: make([]bool, n),
+	}
+}
+
+// eligible reports whether client c may be scheduled in round.
+func (m *membership) eligible(c, round int) bool {
+	return round >= m.departedUntil[c] && round >= m.benchedUntil[c]
+}
+
+// filter returns the eligible subset of cohort for round (order
+// preserved), counting the rejoins it observes: a leased-out client
+// reappearing in a schedulable cohort has rejoined.
+func (m *membership) filter(cohort []int, round int) []int {
+	out := make([]int, 0, len(cohort))
+	for _, c := range cohort {
+		if !m.eligible(c, round) {
+			continue
+		}
+		if m.awaitingRejoin[c] {
+			m.awaitingRejoin[c] = false
+			m.departedUntil[c] = 0
+			m.rejoined++
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// depart records a goodbye: rejoinRound > 0 leases a return at that round,
+// 0 is a permanent departure.
+func (m *membership) depart(c, rejoinRound int) {
+	if rejoinRound > 0 {
+		m.departedUntil[c] = rejoinRound
+		m.awaitingRejoin[c] = true
+	} else {
+		m.departedUntil[c] = math.MaxInt
+		m.awaitingRejoin[c] = false
+	}
+	m.strikes[c] = 0
+	m.benchedUntil[c] = 0
+}
+
+// strike records a timed-out obligation at round and benches the client
+// with exponential backoff: 1 round after the first strike, 2 after the
+// second, doubling up to 16 — a dead client costs one timeout now and
+// then, not one per round.
+func (m *membership) strike(c, round int) {
+	m.timedOut++
+	m.strikes[c]++
+	shift := m.strikes[c] - 1
+	if shift > 4 {
+		shift = 4
+	}
+	m.benchedUntil[c] = round + 1 + 1<<shift
+}
+
+// reported records a successful (non-timed-out) reply, clearing strikes.
+func (m *membership) reported(c int) { m.strikes[c] = 0 }
+
+// dueRejoins returns the leased-out clients whose lease expires by round,
+// marking them rejoined — the buffered loop's re-admission path, which
+// must actively re-dispatch to a returning client because arrivals drive
+// its scheduling.
+func (m *membership) dueRejoins(round int) []int {
+	var out []int
+	for c := range m.departedUntil {
+		if m.awaitingRejoin[c] && round >= m.departedUntil[c] {
+			m.awaitingRejoin[c] = false
+			m.departedUntil[c] = 0
+			m.rejoined++
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// dueRetries returns the struck clients whose bench expires by round and
+// that are neither departed nor currently in flight — the buffered loop's
+// retry path: a client whose upload was lost (or that hiccuped) gets a
+// fresh model once its backoff lapses, instead of silently leaving the
+// buffered cycle forever.
+func (m *membership) dueRetries(round int, inflight map[int]bool) []int {
+	var out []int
+	for c := range m.strikes {
+		if m.strikes[c] > 0 && round >= m.benchedUntil[c] &&
+			m.departedUntil[c] == 0 && !inflight[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// nextReturn returns the earliest round at which any currently excluded
+// client becomes schedulable again — an unexpired timeout bench or a
+// rejoin lease — or 0 when no client can ever return. The buffered loop
+// uses it to ride out a window where everyone in flight went silent.
+func (m *membership) nextReturn() int {
+	r := 0
+	for c := range m.departedUntil {
+		var cand int
+		switch {
+		case m.awaitingRejoin[c]:
+			cand = m.departedUntil[c]
+		case m.departedUntil[c] == math.MaxInt:
+			continue // gone for good
+		case m.strikes[c] > 0:
+			cand = m.benchedUntil[c]
+		default:
+			continue
+		}
+		if r == 0 || cand < r {
+			r = cand
+		}
+	}
+	return r
+}
+
+// presumedDead counts the clients presumed gone at the end of a run:
+// permanent departures plus clients with unresolved timeout strikes.
+func (m *membership) presumedDead() int {
+	n := 0
+	for c := range m.departedUntil {
+		if m.departedUntil[c] == math.MaxInt || m.strikes[c] > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// The scheduler timeout paths interleave a deadline firing on the server
+// with a straggler's upload landing: the suspected data race is between
+// the buffered release (or barrier forgiveness) and a late arrival's
+// ledger write. These tests pin those interleavings under -race by
+// scripting delays comparable to the round timeout, so every run scatters
+// arrivals on both sides of the deadline. The outcome is allowed to vary
+// (a round may or may not time out); corruption, deadlock, or a race
+// report is the failure.
+
+// raceRun executes a run whose uploads straddle the deadline.
+func raceRun(t *testing.T, sched string, plan string, timeout time.Duration) {
+	t.Helper()
+	cfg := scenConfig(sched, "")
+	cfg.Rounds = 6
+	cfg.RoundTimeout = timeout
+	res, err := runScenario(t, cfg, TransportMPI, plan)
+	// With delays hovering at the deadline, entire rounds can lose quorum;
+	// that abort is a legal outcome — a hang or a race report is not.
+	if err != nil && !errors.Is(err, ErrQuorum) {
+		t.Fatalf("run: %v", err)
+	}
+	if err == nil {
+		for i, rs := range res.Rounds {
+			if rs.Round != i+1 {
+				t.Fatalf("round %d recorded as %d", i+1, rs.Round)
+			}
+		}
+	}
+}
+
+func TestRaceBarrierDeadlineVsLateArrival(t *testing.T) {
+	// Every upload delayed by ~the timeout, with jitter spreading arrivals
+	// across the deadline. Timed-out clients are forgiven while their
+	// uploads are mid-flight — the late-arrival discard path under fire.
+	raceRun(t, SchedSyncAll, "delay:100%:35:30", 50*time.Millisecond)
+}
+
+func TestRaceBufferedReleaseVsStraggler(t *testing.T) {
+	// Buffered releases race the stragglers directly: the release fires on
+	// K arrivals or the deadline, whichever comes first, while delayed
+	// uploads keep landing.
+	raceRun(t, SchedBuffered, "delay:100%:35:30", 50*time.Millisecond)
+}
+
+func TestRaceSampledCohortTimeoutChurn(t *testing.T) {
+	// Sampled cohorts plus upload loss: forgiveness, benching, and
+	// re-scheduling churn the ledger from both sides.
+	raceRun(t, SchedSampled, "drop:100%:0.4,delay:100%:10:25", 40*time.Millisecond)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/comm/pubsub"
 	"repro/internal/comm/rpc"
 	"repro/internal/dataset"
+	"repro/internal/faults"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
@@ -55,6 +57,12 @@ type Result struct {
 	// Echoes counts zero-weight echo updates from the legacy client-side
 	// partial-participation path (LocalUpdate.InCohort == false).
 	Echoes int
+	// Crashed counts the clients presumed dead when the run ended:
+	// permanent goodbyes plus clients whose last scheduled round timed out
+	// unresolved. Rejoined counts departures that came back (goodbye with a
+	// rejoin lease, honored). TimedOut counts timed-out update obligations
+	// over the whole run — how often the server gave up waiting.
+	Crashed, Rejoined, TimedOut int
 }
 
 // RunOptions tunes the runner.
@@ -67,6 +75,12 @@ type RunOptions struct {
 	// the given client before its upload — the straggler model used by the
 	// scheduler benchmarks (a slow device or link, without burning CPU).
 	ClientDelay func(client, round int) time.Duration
+	// Faults, when non-nil, wraps every transport endpoint with the
+	// deterministic fault-injection layer so the run executes the
+	// injector's scripted plan (crashes, drops, delays, rejoins, reorder).
+	// Pair it with Config.RoundTimeout, or a crashed client hangs a
+	// barrier round exactly as an unprotected deployment would.
+	Faults *faults.Injector
 }
 
 // newServerTransport builds the server and client transports for a run.
@@ -169,6 +183,16 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	}
 	defer st.Close()
 
+	// The fault layer wraps both ends of every link; the wrappers execute
+	// the injector's deterministic script and the unwrapped path is
+	// untouched when no injector is configured.
+	if opts.Faults != nil {
+		st = opts.Faults.WrapServer(st)
+		for i := range cts {
+			cts[i] = opts.Faults.WrapClient(i, cts[i])
+		}
+	}
+
 	// The server's inverse-only pipeline undoes the compression stages of
 	// every received payload before a batch reaches the Aggregator.
 	serverPipe, err := NewServerPipeline(cfg)
@@ -255,11 +279,15 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 		validateEvery = 1
 	}
 
+	mem := newMembership(P)
 	loop := runBarrierRounds
 	if !sched.Barrier() {
 		loop = runBufferedReleases
 	}
-	runErr := loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, validateEvery, opts.Progress)
+	runErr := loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, mem, validateEvery, opts.Progress)
+	res.Rejoined = mem.rejoined
+	res.TimedOut = mem.timedOut
+	res.Crashed = mem.presumedDead()
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -303,14 +331,33 @@ func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module
 // runBarrierRounds drives the classic synchronous structure: each round
 // the scheduler picks a cohort, the server sends the model to exactly that
 // cohort, blocks until the whole cohort reports, and aggregates. With the
-// SyncAll schedule this reproduces the pre-refactor loop bit for bit.
+// SyncAll schedule and no RoundTimeout this reproduces the pre-refactor
+// loop bit for bit.
+//
+// With a RoundTimeout the round is fault-tolerant: the gather gives up at
+// the deadline, the round completes with whoever reported (quorum
+// permitting — FedAvg renormalizes the sample weights over the survivors),
+// the silent clients are forgiven and benched with backoff, and goodbye
+// announcements are honored by excluding the client until its rejoin
+// lease expires.
 func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
-	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
+	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
 	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
+	minCohort := cfg.MinCohort
+	if minCohort <= 0 {
+		minCohort = 1
+	}
 	var wbuf []float64
 	for t := 1; t <= cfg.Rounds; t++ {
 		roundStart := time.Now()
-		cohort := sched.Cohort(t)
+		cohort := mem.filter(sched.Cohort(t), t)
+		if cfg.RoundTimeout > 0 {
+			cohort = dropUnreachable(st, mem, cohort, t)
+		}
+		if len(cohort) < minCohort {
+			return fmt.Errorf("core: round %d cohort has %d schedulable clients, quorum is %d: %w",
+				t, len(cohort), minCohort, ErrQuorum)
+		}
 		wbuf = agg.WeightsInto(wbuf)
 		gm := &wire.GlobalModel{
 			Round:      uint32(t),
@@ -329,15 +376,39 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		if err := st.SendTo(cohort, gm); err != nil {
 			return fmt.Errorf("core: send round %d: %w", t, err)
 		}
-		updates, err := st.GatherFrom(cohort)
+		var updates []*wire.LocalUpdate
+		var err error
+		if cfg.RoundTimeout > 0 {
+			got, gerr := st.GatherUntil(len(cohort), cfg.RoundTimeout)
+			if gerr != nil && !errors.Is(gerr, comm.ErrRoundTimeout) {
+				return fmt.Errorf("core: gather round %d: %w", t, gerr)
+			}
+			if gerr != nil {
+				// Deadline cut the gather: forgive and bench the silent
+				// clients; the survivors carry the round.
+				missing := comm.Missing(cohort, got)
+				st.Forgive(missing)
+				for _, c := range missing {
+					mem.strike(c, t)
+				}
+			}
+			updates, err = comm.OrderSubset(cohort, got)
+		} else {
+			updates, err = st.GatherFrom(cohort)
+		}
 		if err != nil {
 			return fmt.Errorf("core: gather round %d: %w", t, err)
 		}
-		if err := DecodeUpdates(updates, serverPipe, agg.Dim()); err != nil {
+		data := splitControl(updates, mem)
+		if len(data) < minCohort {
+			return fmt.Errorf("core: round %d completed with %d of %d clients, quorum is %d: %w",
+				t, len(data), len(cohort), minCohort, ErrQuorum)
+		}
+		if err := DecodeUpdates(data, serverPipe, agg.Dim()); err != nil {
 			return fmt.Errorf("core: decode round %d: %w", t, err)
 		}
 		maxCompute := 0.0
-		for _, u := range updates {
+		for _, u := range data {
 			if u.ComputeSec > maxCompute {
 				maxCompute = u.ComputeSec
 			}
@@ -345,13 +416,60 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 				res.Echoes++
 			}
 		}
-		if err := agg.Aggregate(updates); err != nil {
+		if err := agg.Aggregate(data); err != nil {
 			return fmt.Errorf("core: aggregate round %d: %w", t, err)
 		}
-		rs := RoundStats{Round: t, ComputeSec: maxCompute, CohortSize: len(cohort)}
+		rs := RoundStats{Round: t, ComputeSec: maxCompute, CohortSize: len(data)}
 		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, roundStart, wbuf, progress)
 	}
 	return nil
+}
+
+// dropUnreachable removes clients the transport currently knows cannot
+// receive a dispatch (a dead connection with no resume yet, reported via
+// comm.Unreachables), benching each like a timeout so it is retried if
+// it ever comes back. Dispatching to them would only open obligations
+// nothing can settle. Used only under a RoundTimeout; transports without
+// connection state don't implement the interface and pass through.
+func dropUnreachable(st comm.ServerTransport, mem *membership, ids []int, round int) []int {
+	ur, ok := st.(comm.Unreachables)
+	if !ok {
+		return ids
+	}
+	down := ur.Unreachable()
+	if len(down) == 0 {
+		return ids
+	}
+	dead := make(map[int]bool, len(down))
+	for _, c := range down {
+		dead[c] = true
+	}
+	kept := ids[:0]
+	for _, c := range ids {
+		if dead[c] {
+			mem.strike(c, round)
+			continue
+		}
+		kept = append(kept, c)
+	}
+	return kept
+}
+
+// splitControl separates lifecycle messages from training data: goodbyes
+// update the membership roster and are removed from the batch; data
+// updates clear their sender's timeout strikes. The returned slice aliases
+// updates' backing array.
+func splitControl(updates []*wire.LocalUpdate, mem *membership) []*wire.LocalUpdate {
+	data := updates[:0]
+	for _, u := range updates {
+		if u.Control == wire.ControlGoodbye {
+			mem.depart(int(u.ClientID), int(u.RejoinRound))
+			continue
+		}
+		mem.reported(int(u.ClientID))
+		data = append(data, u)
+	}
+	return data
 }
 
 // runBufferedReleases drives the FedBuff-style semi-asynchronous
@@ -362,7 +480,7 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 // block a release; their updates arrive with positive staleness and are
 // down-weighted or dropped by the BufferedAggregator.
 func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
-	evalModel nn.Module, fed *dataset.Federated, res *Result, validateEvery int, progress io.Writer) error {
+	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
 	quorum := sched.Quorum()
 	var wbuf []float64
 	dispatch := func(ids []int, round int) error {
@@ -389,16 +507,69 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 	buffered, _ := agg.(*BufferedAggregator)
 	for rel := 1; rel <= cfg.Rounds; rel++ {
 		relStart := time.Now()
-		batch, err := st.GatherAny(quorum)
-		if err != nil {
-			return fmt.Errorf("core: release %d: %w", rel, err)
+		if outstanding == 0 {
+			// Everyone in flight went silent at once (a stall longer than
+			// the deadline, or every upload lost in one window). Instead
+			// of dying, fast-forward to the earliest bench expiry or
+			// rejoin lease and re-dispatch there — a transient all-silent
+			// window costs a timeout, not the run. Only when no client
+			// can ever come back is the run truly starved.
+			r := mem.nextReturn()
+			if r == 0 {
+				return fmt.Errorf("core: release %d has no clients in flight and none can return: %w", rel, ErrQuorum)
+			}
+			round := rel
+			if r > round {
+				round = r
+			}
+			ids := append(mem.dueRejoins(r), mem.dueRetries(r, map[int]bool{})...)
+			ids = dropUnreachable(st, mem, ids, rel)
+			if len(ids) == 0 {
+				return fmt.Errorf("core: release %d starved: every returnable client is unreachable: %w", rel, ErrQuorum)
+			}
+			if err := dispatch(ids, round); err != nil {
+				return fmt.Errorf("core: retry dispatch at release %d: %w", rel, err)
+			}
+			outstanding += len(ids)
 		}
-		if err := DecodeUpdates(batch, serverPipe, agg.Dim()); err != nil {
-			return fmt.Errorf("core: decode release %d: %w", rel, err)
+		want := quorum
+		if want > outstanding {
+			want = outstanding
+		}
+		var batch []*wire.LocalUpdate
+		var err error
+		if cfg.RoundTimeout > 0 {
+			// Release on deadline with whatever arrived instead of
+			// blocking on K arrivals that will never come. Clients still
+			// silent after a whole deadline are forgiven and benched; the
+			// retry dispatch below re-admits them once their backoff
+			// lapses, so a lost upload costs a timeout, not the client's
+			// membership.
+			batch, err = st.GatherUntil(want, cfg.RoundTimeout)
+			if err != nil && !errors.Is(err, comm.ErrRoundTimeout) {
+				return fmt.Errorf("core: release %d: %w", rel, err)
+			}
+			if err != nil {
+				silent := st.Outstanding()
+				st.Forgive(silent)
+				for _, c := range silent {
+					mem.strike(c, rel)
+				}
+				outstanding -= len(silent)
+			}
+		} else {
+			batch, err = st.GatherAny(want)
+			if err != nil {
+				return fmt.Errorf("core: release %d: %w", rel, err)
+			}
 		}
 		outstanding -= len(batch)
+		data := splitControl(batch, mem)
+		if err := DecodeUpdates(data, serverPipe, agg.Dim()); err != nil {
+			return fmt.Errorf("core: decode release %d: %w", rel, err)
+		}
 		maxCompute := 0.0
-		for _, u := range batch {
+		for _, u := range data {
 			if u.ComputeSec > maxCompute {
 				maxCompute = u.ComputeSec
 			}
@@ -409,8 +580,10 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		if buffered != nil {
 			prevStale, prevDropped = buffered.StaleApplied, buffered.Dropped
 		}
-		if err := agg.Aggregate(batch); err != nil {
-			return fmt.Errorf("core: aggregate release %d: %w", rel, err)
+		if len(data) > 0 {
+			if err := agg.Aggregate(data); err != nil {
+				return fmt.Errorf("core: aggregate release %d: %w", rel, err)
+			}
 		}
 		if buffered != nil {
 			res.Stale += buffered.StaleApplied - prevStale
@@ -418,22 +591,49 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		// Hand the contributors the fresh model so they keep training —
 		// unless the run is over, in which case they wait for Final.
+		// Arrivals drive buffered scheduling, so re-admissions take an
+		// explicit dispatch too: leased-out clients whose rejoin falls due
+		// and benched clients whose backoff lapsed ride along here.
 		if rel < cfg.Rounds {
-			ids := make([]int, len(batch))
-			for i, u := range batch {
-				ids[i] = int(u.ClientID)
+			ids := make([]int, 0, len(data)+1)
+			for _, u := range data {
+				ids = append(ids, int(u.ClientID))
 			}
-			if err := dispatch(ids, rel+1); err != nil {
-				return fmt.Errorf("core: re-dispatch after release %d: %w", rel, err)
+			ids = append(ids, mem.dueRejoins(rel+1)...)
+			if cfg.RoundTimeout > 0 {
+				inflight := make(map[int]bool)
+				for _, c := range st.Outstanding() {
+					inflight[c] = true
+				}
+				ids = append(ids, mem.dueRetries(rel+1, inflight)...)
+				ids = dropUnreachable(st, mem, ids, rel)
 			}
-			outstanding += len(ids)
+			if len(ids) > 0 {
+				if err := dispatch(ids, rel+1); err != nil {
+					return fmt.Errorf("core: re-dispatch after release %d: %w", rel, err)
+				}
+				outstanding += len(ids)
+			}
 		}
-		rs := RoundStats{Round: rel, ComputeSec: maxCompute, CohortSize: len(batch)}
+		rs := RoundStats{Round: rel, ComputeSec: maxCompute, CohortSize: len(data)}
 		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, relStart, wbuf, progress)
 	}
-	// Drain in-flight stragglers so their uploads don't block shutdown.
+	// Drain in-flight stragglers so their uploads don't block shutdown;
+	// under a deadline, clients that stay silent for a whole timeout are
+	// forgiven instead of blocking it forever.
 	if outstanding > 0 {
-		if _, err := st.GatherAny(outstanding); err != nil {
+		if cfg.RoundTimeout > 0 {
+			if _, err := st.GatherUntil(outstanding, cfg.RoundTimeout); err != nil {
+				if !errors.Is(err, comm.ErrRoundTimeout) {
+					return fmt.Errorf("core: draining %d stragglers: %w", outstanding, err)
+				}
+				silent := st.Outstanding()
+				st.Forgive(silent)
+				for _, c := range silent {
+					mem.strike(c, cfg.Rounds)
+				}
+			}
+		} else if _, err := st.GatherAny(outstanding); err != nil {
 			return fmt.Errorf("core: draining %d stragglers: %w", outstanding, err)
 		}
 	}

@@ -1,0 +1,362 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/nn"
+	"repro/internal/rng"
+	"repro/internal/wire"
+)
+
+// Scenario-matrix geometry: small enough that a full cross-product run is
+// test-suite material, large enough that quorum rounds, benching, and
+// rejoins all actually occur.
+const (
+	scenClients = 6
+	scenRounds  = 4
+	scenSeed    = 9
+	// scenTimeout must dominate a client's local update time (milliseconds
+	// here) by a wide margin, so that a deadline cut always means a
+	// scripted fault and never a slow survivor — that margin is what makes
+	// the faulted trajectories deterministic.
+	scenTimeout = 800 * time.Millisecond
+	// scenWatchdog is the no-deadlock invariant: every scenario must
+	// finish well inside it even with its timeout rounds.
+	scenWatchdog = 90 * time.Second
+	// scenFaultSeed drives every injector, decoupled from the model seed.
+	scenFaultSeed = 77
+)
+
+// Fault axis of the matrix. The drop plan also exercises server-side
+// reorder so the arrival-order paths see permuted batches.
+var scenPlans = map[string]string{
+	"none":   "",
+	"crash":  "crash:20%@2",
+	"drop":   "drop:100%:0.3,reorder",
+	"rejoin": "rejoin:1@2+2",
+}
+
+var scenSchedulers = []string{SchedSyncAll, SchedSampled, SchedBuffered}
+var scenTransports = []Transport{TransportMPI, TransportRPC, TransportPubSub}
+var scenPipelines = map[string]string{
+	"identity":     "",
+	"clip+laplace": "clip:1,laplace:5",
+	"topk":         "topk:0.25",
+}
+
+func scenFed() *dataset.Federated {
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 72, Test: 24, Seed: 5})
+	return &dataset.Federated{Clients: dataset.PartitionIID(tr, scenClients, rng.New(6)), Test: te}
+}
+
+func scenFactory() nn.Module { return nn.NewMLP(28*28, []int{4}, 10, rng.New(scenSeed)) }
+
+func scenConfig(sched, pipe string) Config {
+	cfg := Config{
+		Algorithm:  AlgoFedAvg,
+		Rounds:     scenRounds,
+		LocalSteps: 1,
+		BatchSize:  16,
+		Seed:       scenSeed,
+		Pipeline:   pipe,
+	}
+	switch sched {
+	case SchedSampled:
+		cfg.Scheduler = SchedSampled
+		cfg.CohortFraction = 0.7
+		cfg.CohortMin = 2
+	case SchedBuffered:
+		cfg.Scheduler = SchedBuffered
+		cfg.BufferK = 3
+	}
+	return cfg
+}
+
+// runScenario executes one cell of the matrix under a deadlock watchdog.
+func runScenario(t *testing.T, cfg Config, tr Transport, plan string) (*Result, error) {
+	t.Helper()
+	var inj *faults.Injector
+	if plan != "" {
+		p, err := faults.Parse(plan)
+		if err != nil {
+			t.Fatalf("plan %q: %v", plan, err)
+		}
+		inj, err = faults.NewInjector(p, scenClients, scenFaultSeed)
+		if err != nil {
+			t.Fatalf("injector for %q: %v", plan, err)
+		}
+		if cfg.RoundTimeout == 0 {
+			cfg.RoundTimeout = scenTimeout
+		}
+	}
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := Run(cfg, scenFed(), scenFactory, RunOptions{Transport: tr, Faults: inj})
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(scenWatchdog):
+		t.Fatalf("deadlock: scenario %s/%s plan=%q did not finish within %v", cfg.Scheduler, tr, plan, scenWatchdog)
+		return nil, nil
+	}
+}
+
+// baselineLoss caches the fault-free MPI trajectory endpoint per
+// (scheduler, pipeline) for the convergence-tolerance invariant.
+var (
+	baselineMu sync.Mutex
+	baselines  = map[string]float64{}
+)
+
+func baselineLoss(t *testing.T, sched, pipeName, pipe string) float64 {
+	t.Helper()
+	key := sched + "/" + pipeName
+	baselineMu.Lock()
+	defer baselineMu.Unlock()
+	if v, ok := baselines[key]; ok {
+		return v
+	}
+	res, err := runScenario(t, scenConfig(sched, pipe), TransportMPI, "")
+	if err != nil {
+		t.Fatalf("baseline %s: %v", key, err)
+	}
+	baselines[key] = res.FinalLoss
+	return res.FinalLoss
+}
+
+// TestScenarioMatrix runs the cross-product {SyncAll, SampledCohort,
+// Buffered} × {mpi, rpc, pubsub} × {identity, clip+laplace, topk} ×
+// {no faults, 20% crash, 30% drop, rejoin} and asserts the invariants of
+// a fault-tolerant run: no deadlock (watchdog), monotone round
+// progression, finite losses, fault accounting consistent with the plan,
+// and convergence within a tolerance of the fault-free trajectory.
+// -short keeps a reduced grid (mpi × identity, all schedulers × plans)
+// for smoke jobs.
+func TestScenarioMatrix(t *testing.T) {
+	for _, sched := range scenSchedulers {
+		for _, tr := range scenTransports {
+			if testing.Short() && tr != TransportMPI {
+				continue
+			}
+			for pipeName, pipe := range scenPipelines {
+				if testing.Short() && pipeName != "identity" {
+					continue
+				}
+				for planName, plan := range scenPlans {
+					sched, tr, pipeName, pipe, planName, plan := sched, tr, pipeName, pipe, planName, plan
+					t.Run(sched+"/"+string(tr)+"/"+pipeName+"/"+planName, func(t *testing.T) {
+						t.Parallel()
+						res, err := runScenario(t, scenConfig(sched, pipe), tr, plan)
+						if err != nil {
+							t.Fatalf("run: %v", err)
+						}
+						// Monotone round progression, finite losses.
+						if len(res.Rounds) != scenRounds {
+							t.Fatalf("recorded %d rounds, want %d", len(res.Rounds), scenRounds)
+						}
+						for i, rs := range res.Rounds {
+							if rs.Round != i+1 {
+								t.Fatalf("round %d recorded as %d: progression not monotone", i+1, rs.Round)
+							}
+							if math.IsNaN(rs.TestLoss) || math.IsInf(rs.TestLoss, 0) {
+								t.Fatalf("round %d loss %v", rs.Round, rs.TestLoss)
+							}
+						}
+						barrier := sched != SchedBuffered
+						switch planName {
+						case "none":
+							if res.TimedOut != 0 || res.Crashed != 0 || res.Rejoined != 0 {
+								t.Fatalf("fault-free run reported faults: %+v", res)
+							}
+						case "crash":
+							if barrier {
+								if res.TimedOut == 0 {
+									t.Fatal("crashed clients never timed a round out")
+								}
+								if res.Crashed == 0 {
+									t.Fatal("crashed clients not presumed dead")
+								}
+							}
+						case "rejoin":
+							if barrier {
+								if res.Rejoined != 1 {
+									t.Fatalf("rejoined %d, want 1", res.Rejoined)
+								}
+								if res.Crashed != 0 {
+									t.Fatalf("a rejoined client is not crashed: %+v", res)
+								}
+							} else if res.Rejoined > 1 {
+								t.Fatalf("rejoined %d, want at most 1", res.Rejoined)
+							}
+						}
+						// Convergence within a tolerance of the fault-free
+						// trajectory: losing a slice of the federation (or
+						// some of its uploads) must degrade, not destroy,
+						// the run.
+						base := baselineLoss(t, sched, pipeName, pipe)
+						tol := 1.5
+						if sched == SchedBuffered {
+							tol = 2.5 // arrival order adds run-to-run variance
+						}
+						if res.FinalLoss > base+tol {
+							t.Fatalf("final loss %.4f vs fault-free %.4f exceeds tolerance %.1f", res.FinalLoss, base, tol)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestScenarioDeterminism pins the acceptance criterion: same seed + same
+// fault plan ⇒ identical Result trajectories across two runs, for the
+// barrier schedulers on all three transports and every fault flavor.
+// (Buffered releases are arrival-ordered and so timing-dependent even
+// without faults; determinism there is not claimed.)
+func TestScenarioDeterminism(t *testing.T) {
+	plans := []string{"crash", "rejoin", "drop"}
+	for _, sched := range []string{SchedSyncAll, SchedSampled} {
+		for _, tr := range scenTransports {
+			if testing.Short() && tr != TransportMPI {
+				continue
+			}
+			for _, planName := range plans {
+				if planName == "drop" && tr != TransportMPI {
+					continue // drop rounds wait out full timeouts; one transport suffices
+				}
+				sched, tr, plan := sched, tr, scenPlans[planName]
+				t.Run(sched+"/"+string(tr)+"/"+planName, func(t *testing.T) {
+					t.Parallel()
+					a, err := runScenario(t, scenConfig(sched, ""), tr, plan)
+					if err != nil {
+						t.Fatalf("first run: %v", err)
+					}
+					b, err := runScenario(t, scenConfig(sched, ""), tr, plan)
+					if err != nil {
+						t.Fatalf("second run: %v", err)
+					}
+					if len(a.Rounds) != len(b.Rounds) {
+						t.Fatalf("round counts differ: %d vs %d", len(a.Rounds), len(b.Rounds))
+					}
+					for i := range a.Rounds {
+						if a.Rounds[i].TestLoss != b.Rounds[i].TestLoss ||
+							a.Rounds[i].CohortSize != b.Rounds[i].CohortSize {
+							t.Fatalf("round %d differs: loss %v/%v cohort %d/%d",
+								i+1, a.Rounds[i].TestLoss, b.Rounds[i].TestLoss,
+								a.Rounds[i].CohortSize, b.Rounds[i].CohortSize)
+						}
+					}
+					if a.Crashed != b.Crashed || a.Rejoined != b.Rejoined || a.TimedOut != b.TimedOut {
+						t.Fatalf("fault counters differ: %d/%d/%d vs %d/%d/%d",
+							a.Crashed, a.Rejoined, a.TimedOut, b.Crashed, b.Rejoined, b.TimedOut)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestCrashedBarrierCompletesViaQuorum pins the headline fix on every
+// transport: a barrier round whose client crashed completes with the
+// survivors within the round timeout instead of hanging forever.
+func TestCrashedBarrierCompletesViaQuorum(t *testing.T) {
+	for _, tr := range scenTransports {
+		tr := tr
+		t.Run(string(tr), func(t *testing.T) {
+			t.Parallel()
+			cfg := scenConfig(SchedSyncAll, "")
+			cfg.MinCohort = 2
+			start := time.Now()
+			res, err := runScenario(t, cfg, tr, "crash:0@2")
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if res.TimedOut == 0 || res.Crashed != 1 {
+				t.Fatalf("crash not detected: timedOut=%d crashed=%d", res.TimedOut, res.Crashed)
+			}
+			// Round 2 lost client 0; the quorum carried it with 5 of 6.
+			if res.Rounds[1].CohortSize != scenClients-1 {
+				t.Fatalf("crash round aggregated %d clients, want %d", res.Rounds[1].CohortSize, scenClients-1)
+			}
+			// The whole run must cost at most a few timeouts, not hang.
+			if elapsed := time.Since(start); elapsed > 6*scenTimeout+30*time.Second {
+				t.Fatalf("run took %v — quorum did not bound the crash rounds", elapsed)
+			}
+		})
+	}
+}
+
+// TestQuorumAbortsBelowMinCohort: fewer survivors than MinCohort is a
+// typed error, not a silent tiny aggregation.
+func TestQuorumAbortsBelowMinCohort(t *testing.T) {
+	cfg := scenConfig(SchedSyncAll, "")
+	cfg.MinCohort = scenClients // unanimity required
+	_, err := runScenario(t, cfg, TransportMPI, "crash:0@2")
+	if !errors.Is(err, ErrQuorum) {
+		t.Fatalf("want ErrQuorum, got %v", err)
+	}
+}
+
+// TestBufferedSurvivesAllSilentWindow pins the buffered loop's
+// fast-forward: when every upload in a window is lost, the release times
+// out empty, everyone is benched, and the next release re-dispatches at
+// the earliest bench expiry instead of aborting — a lost upload costs a
+// timeout, never the client's membership, even when all are lost at once.
+func TestBufferedSurvivesAllSilentWindow(t *testing.T) {
+	cfg := scenConfig(SchedBuffered, "")
+	cfg.Rounds = 3
+	cfg.RoundTimeout = 150 * time.Millisecond
+	res, err := runScenario(t, cfg, TransportMPI, "drop:100%:1")
+	if err != nil {
+		t.Fatalf("all-drop run aborted: %v", err)
+	}
+	if len(res.Rounds) != 3 {
+		t.Fatalf("recorded %d rounds, want 3", len(res.Rounds))
+	}
+	for i, rs := range res.Rounds {
+		if rs.CohortSize != 0 {
+			t.Fatalf("release %d aggregated %d updates with every upload dropped", i+1, rs.CohortSize)
+		}
+	}
+	if res.TimedOut == 0 {
+		t.Fatal("no timed-out obligations recorded under total upload loss")
+	}
+}
+
+// TestQuorumAggregationConservesWeight pins the renormalization invariant
+// behind quorum rounds: FedAvg over any surviving sub-cohort is a convex
+// combination — the survivors' weights are renormalized to sum to one, so
+// losing clients never inflates or deflates the model.
+func TestQuorumAggregationConservesWeight(t *testing.T) {
+	s := NewFedAvgServer([]float64{0, 0}, 6)
+	// A partial batch (3 of 6 clients) of constant vectors.
+	partial := []*wire.LocalUpdate{
+		upd(0, 100, []float64{1, 10}, nil),
+		upd(2, 300, []float64{2, 20}, nil),
+		upd(5, 100, []float64{3, 30}, nil),
+	}
+	if err := s.Aggregate(partial); err != nil {
+		t.Fatal(err)
+	}
+	w := s.GlobalWeights()
+	// Weighted mean: (1*100 + 2*300 + 3*100) / 500 = 2.0 exactly.
+	if math.Abs(w[0]-2.0) > 1e-12 || math.Abs(w[1]-20.0) > 1e-12 {
+		t.Fatalf("quorum aggregate %v, want the survivors' weighted mean [2 20]", w)
+	}
+	lo, hi := 1.0, 3.0
+	if w[0] < lo || w[0] > hi {
+		t.Fatalf("aggregate %v escaped the convex hull [%v,%v]", w[0], lo, hi)
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/rng"
+)
+
+// ScenarioOptions tunes the chaos scenario matrix.
+type ScenarioOptions struct {
+	Clients      int           // federation size (default 8)
+	Rounds       int           // rounds per run (default 5)
+	RoundTimeout time.Duration // server deadline per round (default 1.5s)
+	Seed         uint64        // model + fault seed (default 9)
+}
+
+// ScenarioRow is one cell of the chaos matrix.
+type ScenarioRow struct {
+	Scheduler string
+	Transport core.Transport
+	Plan      string
+	FinalAcc  float64
+	FinalLoss float64
+	WallSec   float64
+	Crashed   int
+	Rejoined  int
+	TimedOut  int
+}
+
+// Scenarios runs the fault-tolerance demonstration matrix: every scheduler
+// × transport × fault plan, measuring how the quorum machinery absorbs
+// each failure mode. It is the executable form of the scenario-matrix test
+// suite, producing the table `appfl-bench -only scenarios` publishes.
+func Scenarios(opts ScenarioOptions) ([]ScenarioRow, *metrics.Table, error) {
+	if opts.Clients == 0 {
+		opts.Clients = 8
+	}
+	if opts.Rounds == 0 {
+		opts.Rounds = 5
+	}
+	if opts.RoundTimeout == 0 {
+		opts.RoundTimeout = 1500 * time.Millisecond
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 9
+	}
+
+	tr, te := dataset.MNIST(dataset.SynthConfig{Train: 16 * opts.Clients, Test: 64, Seed: opts.Seed})
+	fed := &dataset.Federated{Clients: dataset.PartitionIID(tr, opts.Clients, rng.New(opts.Seed+1)), Test: te}
+	factory := func() nn.Module { return nn.NewMLP(28*28, []int{8}, 10, rng.New(opts.Seed)) }
+
+	plans := []struct{ name, spec string }{
+		{"none", ""},
+		{"crash-25%@2", "crash:25%@2"},
+		{"drop-30%", "drop:100%:0.3"},
+		{"rejoin", "rejoin:1@2+2"},
+	}
+	var rows []ScenarioRow
+	for _, sched := range []string{core.SchedSyncAll, core.SchedSampled, core.SchedBuffered} {
+		for _, transport := range []core.Transport{core.TransportMPI, core.TransportRPC, core.TransportPubSub} {
+			for _, plan := range plans {
+				cfg := core.Config{
+					Algorithm:  core.AlgoFedAvg,
+					Rounds:     opts.Rounds,
+					LocalSteps: 1,
+					BatchSize:  16,
+					Seed:       opts.Seed,
+					Scheduler:  sched,
+				}
+				switch sched {
+				case core.SchedSampled:
+					cfg.CohortFraction = 0.75
+					cfg.CohortMin = 2
+				case core.SchedBuffered:
+					cfg.BufferK = opts.Clients / 2
+				}
+				var inj *faults.Injector
+				if plan.spec != "" {
+					p, err := faults.Parse(plan.spec)
+					if err != nil {
+						return nil, nil, err
+					}
+					inj, err = faults.NewInjector(p, opts.Clients, opts.Seed)
+					if err != nil {
+						return nil, nil, err
+					}
+					cfg.RoundTimeout = opts.RoundTimeout
+				}
+				start := nowSec()
+				res, err := core.Run(cfg, fed, factory, core.RunOptions{Transport: transport, Faults: inj})
+				if err != nil {
+					return nil, nil, fmt.Errorf("scenario %s/%s/%s: %w", sched, transport, plan.name, err)
+				}
+				rows = append(rows, ScenarioRow{
+					Scheduler: cfg.Scheduler,
+					Transport: transport,
+					Plan:      plan.name,
+					FinalAcc:  res.FinalAcc,
+					FinalLoss: res.FinalLoss,
+					WallSec:   nowSec() - start,
+					Crashed:   res.Crashed,
+					Rejoined:  res.Rejoined,
+					TimedOut:  res.TimedOut,
+				})
+			}
+		}
+	}
+
+	t := metrics.NewTable(
+		"Fault-tolerance scenario matrix: scheduler x transport x fault plan",
+		"scheduler", "transport", "plan", "final acc", "final loss", "wall (s)", "crashed", "rejoined", "timed out",
+	)
+	for _, r := range rows {
+		t.AddRow(r.Scheduler, string(r.Transport), r.Plan,
+			fmt.Sprintf("%.4f", r.FinalAcc), fmt.Sprintf("%.4f", r.FinalLoss),
+			fmt.Sprintf("%.2f", r.WallSec),
+			fmt.Sprintf("%d", r.Crashed), fmt.Sprintf("%d", r.Rejoined), fmt.Sprintf("%d", r.TimedOut))
+	}
+	return rows, t, nil
+}

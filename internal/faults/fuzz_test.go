@@ -1,0 +1,57 @@
+package faults
+
+import (
+	"testing"
+)
+
+// FuzzPlanParse pins the robustness contract of the fault-plan grammar
+// (mirroring the pipeline spec's fuzz discipline): adversarial specs must
+// error — never panic — and every accepted plan must round-trip through
+// String() to an equal plan, so a logged plan can always be replayed.
+func FuzzPlanParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"crash:2@3",
+		"crash:20%@3",
+		"rejoin:1@2+3",
+		"drop:0:0.3",
+		"drop:33.3%:0.25",
+		"delay:4:10:5",
+		"delay:4:0.125",
+		"reorder",
+		"reorder:0.5",
+		"crash:20%@3,drop:0:0.3,delay:1:10:5,rejoin:2@2+3,reorder",
+		"crash:1@9999999999999",
+		"drop:1:1e-300",
+		"delay:1:3600000",
+		"crash:0.0001%@1",
+		"crash:1@3,,drop:1:0.5",
+		"crash:１@3", // full-width digit
+		"delay:0:NaN",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejected is fine; panicking is not
+		}
+		rendered := p.String()
+		p2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("accepted plan %q rendered to unparseable %q: %v", spec, rendered, err)
+		}
+		if !p.Equal(p2) {
+			t.Fatalf("plan %q round-tripped to a different plan:\n  first:  %+v\n  second: %+v", spec, p.Events, p2.Events)
+		}
+		if r2 := p2.String(); r2 != rendered {
+			t.Fatalf("String not canonical: %q then %q", rendered, r2)
+		}
+		// An accepted plan must also resolve over a federation without
+		// panicking (selectors may still reject out-of-range IDs).
+		if _, err := NewInjector(p, 8, 1); err != nil {
+			return
+		}
+	})
+}

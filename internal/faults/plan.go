@@ -1,0 +1,344 @@
+// Package faults is the deterministic fault-injection layer: it wraps any
+// comm.ServerTransport / comm.ClientTransport pair and executes a scripted
+// Plan — per-client crash-at-round, transient upload loss, delay/jitter,
+// disconnect-then-rejoin, and server-side batch reorder. Every random
+// decision (who a percentage picks, whether an upload drops, how much
+// jitter a delay gets, whether a batch is permuted) is drawn from streams
+// derived deterministically from one seed, so a faulted run replays
+// bit-identically: the same seed and the same plan provoke exactly the
+// same failure story, which is what makes chaos scenarios assertable in
+// tests.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ErrPlan tags every plan-spec parse or validation failure.
+var ErrPlan = fmt.Errorf("faults: bad plan")
+
+// Event kinds of a fault plan.
+const (
+	KindCrash   = "crash"   // stop replying on receipt of the round-R model
+	KindRejoin  = "rejoin"  // goodbye at round R, lease a return K rounds later
+	KindDrop    = "drop"    // lose each upload with probability P
+	KindDelay   = "delay"   // delay each upload by MS ms (± uniform jitter)
+	KindReorder = "reorder" // server-side: permute a gathered batch with probability P
+)
+
+// Who selects the clients an event applies to: one explicit ID, or a
+// percentage of the federation resolved deterministically from the seed.
+type Who struct {
+	// Client is the explicit 0-based client ID; -1 when Pct selects.
+	Client int
+	// Pct is the percentage of the federation in (0,100], kept as parsed
+	// so the spec round-trips through String bit for bit; 0 when Client
+	// selects.
+	Pct float64
+}
+
+// String renders the selector back to its spec form.
+func (w Who) String() string {
+	if w.Client >= 0 {
+		return strconv.Itoa(w.Client)
+	}
+	return strconv.FormatFloat(w.Pct, 'g', -1, 64) + "%"
+}
+
+// Event is one parsed element of a fault plan.
+type Event struct {
+	Kind  string
+	Who   Who           // crash/rejoin/drop/delay
+	Round int           // crash/rejoin: 1-based trigger round
+	Gap   int           // rejoin: rounds away before the lease expires
+	Prob  float64       // drop/reorder probability
+	Delay time.Duration // delay: mean upload delay
+	Jit   time.Duration // delay: uniform jitter half-width
+}
+
+// String renders the event back to its canonical spec form.
+func (e Event) String() string {
+	switch e.Kind {
+	case KindCrash:
+		return fmt.Sprintf("crash:%s@%d", e.Who, e.Round)
+	case KindRejoin:
+		return fmt.Sprintf("rejoin:%s@%d+%d", e.Who, e.Round, e.Gap)
+	case KindDrop:
+		return fmt.Sprintf("drop:%s:%s", e.Who, trimFloat(e.Prob))
+	case KindDelay:
+		s := fmt.Sprintf("delay:%s:%s", e.Who, trimFloat(float64(e.Delay)/float64(time.Millisecond)))
+		if e.Jit > 0 {
+			s += ":" + trimFloat(float64(e.Jit)/float64(time.Millisecond))
+		}
+		return s
+	case KindReorder:
+		if e.Prob != 1 {
+			return fmt.Sprintf("reorder:%s", trimFloat(e.Prob))
+		}
+		return "reorder"
+	}
+	return e.Kind
+}
+
+func trimFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Plan is an ordered fault script, parsed from a spec string such as
+//
+//	crash:20%@3,drop:0:0.3,delay:1:10:5,rejoin:2@2+3,reorder
+//
+// See Parse for the grammar.
+type Plan struct {
+	Events []Event
+}
+
+// String renders the plan back to its canonical spec string; the result
+// re-parses to an equal plan.
+func (p *Plan) String() string {
+	if p == nil || len(p.Events) == 0 {
+		return ""
+	}
+	parts := make([]string, len(p.Events))
+	for i, e := range p.Events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// Parse parses a fault-plan spec string. Grammar: comma-separated events,
+// each `kind:args`:
+//
+//	crash:WHO@R        WHO crashes on receiving the round-R model: it
+//	                   never uploads again and drains further models in
+//	                   silence (the ungraceful failure a barrier hangs on)
+//	rejoin:WHO@R+K     WHO announces a goodbye at round R leasing a return
+//	                   at round R+K, then disconnects and resumes (a real
+//	                   reconnect on transports that support one)
+//	drop:WHO:P         each upload from WHO is lost in transit with
+//	                   probability P in (0,1]
+//	delay:WHO:MS[:J]   each upload from WHO is delayed MS milliseconds,
+//	                   plus uniform jitter in [0,J) ms
+//	reorder[:P]        the server permutes each arrival-ordered batch with
+//	                   probability P (default 1)
+//
+// WHO is a 0-based client ID, or `F%` selecting ceil(F/100 · n) clients
+// pseudorandomly (deterministic in the injector seed). An empty string
+// parses to the empty (fault-free) plan. Every failure wraps ErrPlan;
+// adversarial inputs error, never panic.
+func Parse(spec string) (*Plan, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return &Plan{}, nil
+	}
+	p := &Plan{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("%w: empty event in %q", ErrPlan, spec)
+		}
+		ev, err := parseEvent(part)
+		if err != nil {
+			return nil, err
+		}
+		p.Events = append(p.Events, ev)
+	}
+	return p, nil
+}
+
+// parseEvent parses one `kind:args` element.
+func parseEvent(part string) (Event, error) {
+	kind, rest, _ := strings.Cut(part, ":")
+	kind = strings.TrimSpace(kind)
+	switch kind {
+	case KindCrash:
+		who, at, err := parseWhoAt(kind, rest)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindCrash, Who: who, Round: at}, nil
+	case KindRejoin:
+		atSpec, gapSpec, ok := strings.Cut(rest, "+")
+		if !ok {
+			return Event{}, fmt.Errorf("%w: rejoin needs WHO@R+K, got %q", ErrPlan, part)
+		}
+		who, at, err := parseWhoAt(kind, atSpec)
+		if err != nil {
+			return Event{}, err
+		}
+		gap, err := parsePositiveInt(kind, "gap", gapSpec)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindRejoin, Who: who, Round: at, Gap: gap}, nil
+	case KindDrop:
+		whoSpec, pSpec, ok := strings.Cut(rest, ":")
+		if !ok {
+			return Event{}, fmt.Errorf("%w: drop needs WHO:P, got %q", ErrPlan, part)
+		}
+		who, err := parseWho(kind, whoSpec)
+		if err != nil {
+			return Event{}, err
+		}
+		prob, err := parseProb(kind, pSpec)
+		if err != nil {
+			return Event{}, err
+		}
+		return Event{Kind: KindDrop, Who: who, Prob: prob}, nil
+	case KindDelay:
+		fields := strings.Split(rest, ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return Event{}, fmt.Errorf("%w: delay needs WHO:MS[:J], got %q", ErrPlan, part)
+		}
+		who, err := parseWho(kind, fields[0])
+		if err != nil {
+			return Event{}, err
+		}
+		ms, err := parseMillis(kind, "delay", fields[1])
+		if err != nil {
+			return Event{}, err
+		}
+		ev := Event{Kind: KindDelay, Who: who, Delay: ms}
+		if len(fields) == 3 {
+			jit, err := parseMillis(kind, "jitter", fields[2])
+			if err != nil {
+				return Event{}, err
+			}
+			ev.Jit = jit
+		}
+		return ev, nil
+	case KindReorder:
+		prob := 1.0
+		if rest != "" {
+			var err error
+			if prob, err = parseProb(kind, rest); err != nil {
+				return Event{}, err
+			}
+		}
+		return Event{Kind: KindReorder, Prob: prob}, nil
+	default:
+		return Event{}, fmt.Errorf("%w: unknown event %q (want crash, rejoin, drop, delay, or reorder)", ErrPlan, kind)
+	}
+}
+
+// parseWhoAt parses the `WHO@R` form shared by crash and rejoin.
+func parseWhoAt(kind, spec string) (Who, int, error) {
+	whoSpec, atSpec, ok := strings.Cut(spec, "@")
+	if !ok {
+		return Who{}, 0, fmt.Errorf("%w: %s needs WHO@R, got %q", ErrPlan, kind, spec)
+	}
+	who, err := parseWho(kind, whoSpec)
+	if err != nil {
+		return Who{}, 0, err
+	}
+	at, err := parsePositiveInt(kind, "round", atSpec)
+	if err != nil {
+		return Who{}, 0, err
+	}
+	return who, at, nil
+}
+
+// parseWho parses a client selector: an ID or a percentage.
+func parseWho(kind, spec string) (Who, error) {
+	spec = strings.TrimSpace(spec)
+	if pct, ok := strings.CutSuffix(spec, "%"); ok {
+		v, err := strconv.ParseFloat(strings.TrimSpace(pct), 64)
+		if err != nil || math.IsNaN(v) || v <= 0 || v > 100 {
+			return Who{}, fmt.Errorf("%w: %s percentage %q must be in (0,100]", ErrPlan, kind, spec)
+		}
+		return Who{Client: -1, Pct: v}, nil
+	}
+	id, err := strconv.Atoi(spec)
+	if err != nil || id < 0 {
+		return Who{}, fmt.Errorf("%w: %s client %q must be a non-negative ID or a percentage", ErrPlan, kind, spec)
+	}
+	return Who{Client: id}, nil
+}
+
+func parsePositiveInt(kind, what, spec string) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(spec))
+	if err != nil || v <= 0 {
+		return 0, fmt.Errorf("%w: %s %s %q must be a positive integer", ErrPlan, kind, what, spec)
+	}
+	return v, nil
+}
+
+func parseProb(kind, spec string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(spec), 64)
+	if err != nil || math.IsNaN(v) || v <= 0 || v > 1 {
+		return 0, fmt.Errorf("%w: %s probability %q must be in (0,1]", ErrPlan, kind, spec)
+	}
+	return v, nil
+}
+
+func parseMillis(kind, what, spec string) (time.Duration, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(spec), 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 || v > 3.6e6 {
+		return 0, fmt.Errorf("%w: %s %s %q must be milliseconds in [0, 3.6e6]", ErrPlan, kind, what, spec)
+	}
+	// Round, don't truncate: rounding makes the ms⇄Duration conversion a
+	// fixed point, so a parsed plan re-parses from its String identically.
+	return time.Duration(math.Round(v * float64(time.Millisecond))), nil
+}
+
+// Equal reports whether two plans script the same events in the same
+// order — the round-trip invariant FuzzPlanParse pins.
+func (p *Plan) Equal(q *Plan) bool {
+	if len(p.Events) != len(q.Events) {
+		return false
+	}
+	for i := range p.Events {
+		if p.Events[i] != q.Events[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// expand resolves a selector to concrete client IDs over n clients. A
+// percentage picks ceil(frac·n) clients by ranking a per-event hash score,
+// the same style as core.SampledCohort, so the choice is deterministic in
+// (seed, event index). An explicit ID beyond the federation is an error.
+func (w Who) expand(n int, seed uint64, event int) ([]int, error) {
+	if w.Client >= 0 {
+		if w.Client >= n {
+			return nil, fmt.Errorf("%w: client %d out of range [0,%d)", ErrPlan, w.Client, n)
+		}
+		return []int{w.Client}, nil
+	}
+	k := int(math.Ceil(w.Pct / 100 * float64(n)))
+	if k > n {
+		k = n
+	}
+	type scored struct {
+		score uint64
+		id    int
+	}
+	ranked := make([]scored, n)
+	for id := 0; id < n; id++ {
+		ranked[id] = scored{score: faultScore(seed, event, id), id: id}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score < ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	ids := make([]int, k)
+	for i := 0; i < k; i++ {
+		ids[i] = ranked[i].id
+	}
+	sort.Ints(ids)
+	return ids, nil
+}
+
+// faultScore hashes (seed, event, client) with a splitmix64 finalizer.
+func faultScore(seed uint64, event, client int) uint64 {
+	x := seed ^ (uint64(event+1) * 0x9e3779b97f4a7c15) ^ (uint64(client)+1)*0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

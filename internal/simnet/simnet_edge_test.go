@@ -1,0 +1,127 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+)
+
+// TestZeroByteTransferIsLatencyOnly: an empty message pays exactly the
+// per-message cost on every link model — no bandwidth, serialization, or
+// copy terms may leak in at size zero.
+func TestZeroByteTransferIsLatencyOnly(t *testing.T) {
+	for name, l := range map[string]Link{"rdma": RDMALink(), "tcp": TCPLink()} {
+		det := l
+		det.JitterSigma = 0
+		if got := det.TransferTime(0, nil); got != l.LatencySec {
+			t.Fatalf("%s: zero-byte transfer %v, want latency %v", name, got, l.LatencySec)
+		}
+		if got := det.MeanTransferTime(0); l.JitterSigma == 0 && got != l.LatencySec {
+			t.Fatalf("%s: zero-byte mean %v, want latency %v", name, got, l.LatencySec)
+		}
+	}
+	// A jittered zero-byte message still jitters the latency term.
+	l := TCPLink()
+	got := l.TransferTime(0, rng.New(1))
+	if got <= 0 || math.IsNaN(got) {
+		t.Fatalf("jittered zero-byte transfer %v", got)
+	}
+}
+
+// TestGatherSingleRank: one sender is the degenerate tree — exactly one
+// stage — and the closed form must hold for zero and non-zero payloads.
+func TestGatherSingleRank(t *testing.T) {
+	c := DefaultCollective()
+	if got, want := c.Gather(1, 0), c.Alpha+c.Beta; math.Abs(got-want) > 1e-15 {
+		t.Fatalf("1-rank zero-byte gather %v, want alpha+beta = %v", got, want)
+	}
+	const b = 1 << 20
+	if got, want := c.Gather(1, b), c.Alpha+c.Beta+float64(b)/c.BW; math.Abs(got-want)/want > 1e-12 {
+		t.Fatalf("1-rank gather %v, want %v", got, want)
+	}
+}
+
+// TestJitterDeterministicUnderFixedSeed: identical seeds must reproduce
+// the jittered transfer series bit for bit, and distinct seeds must not.
+func TestJitterDeterministicUnderFixedSeed(t *testing.T) {
+	l := TCPLink()
+	series := func(seed uint64) []float64 {
+		r := rng.New(seed)
+		out := make([]float64, 64)
+		for i := range out {
+			out[i] = l.TransferTime(1<<16, r)
+		}
+		return out
+	}
+	a, b, c := series(42), series(42), series(43)
+	differs := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: same seed produced %v then %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 produced identical jitter series")
+	}
+}
+
+// TestCalibrationRatiosTable pins the RDMA/TCP calibration against the
+// paper's two headline relations across the payload range the experiments
+// use, so a recalibration of either link silently breaking Fig. 4 is
+// caught: the cumulative (expected) gRPC/MPI ratio must stay ~10×, and
+// the jittered per-round spread must stay ~30× over a 203-round series.
+func TestCalibrationRatiosTable(t *testing.T) {
+	mpi, grpc := RDMALink(), TCPLink()
+	cases := []struct {
+		name    string
+		bytes   int
+		loRatio float64
+		hiRatio float64
+	}{
+		// Small control messages are latency-bound: the gap is the raw
+		// latency ratio (~10×).
+		{"4KB-control", 4 << 10, 5, 20},
+		// The FEMNIST CNN model (~600k params, 8B each) is the payload the
+		// paper's Fig. 4 measures.
+		{"4.8MB-model", 4_800_000, 5, 20},
+		// Large payloads stay bandwidth+serialization bound.
+		{"38MB-batch", 38 << 20, 5, 20},
+	}
+	cumMPI, cumGRPC := 0.0, 0.0
+	for _, tc := range cases {
+		rm := mpi.MeanTransferTime(tc.bytes)
+		rg := grpc.MeanTransferTime(tc.bytes)
+		cumMPI += rm
+		cumGRPC += rg
+		if ratio := rg / rm; ratio < tc.loRatio || ratio > tc.hiRatio {
+			t.Fatalf("%s: gRPC/MPI mean ratio %.2f outside [%v,%v]", tc.name, ratio, tc.loRatio, tc.hiRatio)
+		}
+	}
+	if cum := cumGRPC / cumMPI; cum < 5 || cum > 20 {
+		t.Fatalf("cumulative gRPC/MPI ratio %.2f, want ~10 (5..20)", cum)
+	}
+
+	// Spread: 203 jittered rounds of the model payload, fixed seed.
+	r := rng.New(11)
+	xs := make([]float64, 203)
+	for i := range xs {
+		xs[i] = grpc.TransferTime(4_800_000, r)
+	}
+	spread := metrics.BoxStats(xs).Spread()
+	if spread < 10 || spread > 300 {
+		t.Fatalf("203-round gRPC spread %.1f×, want ~30× (10..300)", spread)
+	}
+	// The RDMA link is jitter-free by construction: its spread is exactly 1.
+	det := make([]float64, 203)
+	for i := range det {
+		det[i] = mpi.TransferTime(4_800_000, nil)
+	}
+	if s := metrics.BoxStats(det).Spread(); s != 1 {
+		t.Fatalf("RDMA spread %v, want exactly 1", s)
+	}
+}

@@ -33,16 +33,24 @@ func (k Kind) String() string {
 	}
 }
 
-// Join is the registration message a client sends on connect.
+// Join is the registration message a client sends on connect. Resume marks
+// a reconnect: the client held a session before (it crashed, or its
+// connection blipped) and asks the server to splice this connection into
+// the existing session instead of treating it as a fresh participant —
+// the session-resumption half of the ClientGoodbye/rejoin handshake.
 type Join struct {
 	ClientID uint32
 	Name     string
+	Resume   bool
 }
 
 // Marshal encodes m.
 func (m *Join) Marshal(e *Encoder) {
 	e.Uint64(1, uint64(m.ClientID))
 	e.String(2, m.Name)
+	if m.Resume {
+		e.Bool(3, m.Resume)
+	}
 }
 
 // Unmarshal decodes m, ignoring unknown fields.
@@ -65,6 +73,12 @@ func (m *Join) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.Name = s
+		case 3:
+			v, err := d.Bool()
+			if err != nil {
+				return err
+			}
+			m.Resume = v
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -255,6 +269,34 @@ type LocalUpdate struct {
 	// pipeline's compression stages. The server inverts it back to a dense
 	// Primal before the update reaches an Aggregator.
 	PrimalP *Payload
+	// Control marks this message as a lifecycle signal riding the update
+	// channel rather than training data. ControlGoodbye announces a
+	// departure; it satisfies the client's update obligation for the round
+	// so the server releases the barrier without waiting out a timeout.
+	Control uint8
+	// RejoinRound, on a goodbye, leases a return slot: the client promises
+	// to be reachable again from that round on (0 = gone for good). The
+	// scheduler excludes the client until the lease expires.
+	RejoinRound uint32
+}
+
+// Control values carried by LocalUpdate.Control.
+const (
+	ControlNone    uint8 = 0 // ordinary training update
+	ControlGoodbye uint8 = 1 // departure announcement (ClientGoodbye)
+)
+
+// Goodbye builds the ClientGoodbye message for the given client and round.
+// rejoinRound > 0 leases a return at that round; 0 announces a permanent
+// departure. The message carries no model payload and zero weight, so an
+// aggregator that sees one by mistake folds nothing.
+func Goodbye(client, round uint32, rejoinRound uint32) *LocalUpdate {
+	return &LocalUpdate{
+		ClientID:    client,
+		Round:       round,
+		Control:     ControlGoodbye,
+		RejoinRound: rejoinRound,
+	}
 }
 
 // Marshal encodes m. An empty Dual is omitted entirely, and a compressed
@@ -280,6 +322,12 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 	}
 	if m.PrimalP != nil {
 		e.Message(10, m.PrimalP)
+	}
+	if m.Control != ControlNone {
+		e.Uint64(11, uint64(m.Control))
+	}
+	if m.RejoinRound > 0 {
+		e.Uint64(12, uint64(m.RejoinRound))
 	}
 }
 
@@ -355,6 +403,21 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.PrimalP = &p
+		case 11:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			if v > 255 {
+				return fmt.Errorf("wire: control value %d out of range", v)
+			}
+			m.Control = uint8(v)
+		case 12:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.RejoinRound = uint32(v)
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
