@@ -17,6 +17,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/rng"
+	"repro/internal/wire"
 )
 
 // BenchmarkTable1Matrix regenerates Table I (framework capabilities).
@@ -249,6 +251,77 @@ func BenchmarkSchedulerStragglerCohort(b *testing.B) {
 	b.ReportMetric(syncSec/n, "sync-sec/op")
 	b.ReportMetric(bufSec/n, "buffered-sec/op")
 	b.ReportMetric(syncSec/bufSec, "speedup-x")
+}
+
+// BenchmarkShardedAggregate measures the sharded aggregation hot path on
+// a 1M-dimension model: the staleness-weighted fold (BufferedAggregator)
+// at 1 worker versus 8 workers, reporting element throughput and the
+// parallel-vs-serial "speedup-x" headline. Both paths produce
+// bit-identical weights (TestShardedAggregationBitIdentical), so the
+// speedup is free of precision caveats. On a single-core machine the
+// speedup degenerates to ~1x by construction — the deterministic chunking
+// never changes results, only wall time.
+func BenchmarkShardedAggregate(b *testing.B) {
+	const dim = 1 << 20
+	w0 := make([]float64, dim)
+	z := make([]float64, dim)
+	rng.New(3).FillNormal(z, 0, 1)
+	batch := []*wire.LocalUpdate{{NumSamples: 64, Primal: z}}
+	fold := func(workers, n int) float64 {
+		agg, err := core.NewBufferedAggregator(w0, 0.5, 0.5, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg.Workers = workers
+		agg.Aggregate(batch) // warm-up: starts pool workers
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			if err := agg.Aggregate(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var serialSec, parallelSec float64
+	for i := 0; i < b.N; i++ {
+		serialSec += fold(1, 4)
+		parallelSec += fold(8, 4)
+	}
+	n := float64(4 * b.N)
+	b.ReportMetric(dim*n/serialSec/1e6, "serial-Melem/s")
+	b.ReportMetric(dim*n/parallelSec/1e6, "parallel-Melem/s")
+	b.ReportMetric(serialSec/parallelSec, "speedup-x")
+}
+
+// BenchmarkCodecRoundTrip measures the buffer-reusing wire codec on a 1M-
+// dimension dense update — the steady-state path that the wire package's
+// alloc tests pin at zero allocations per round-trip.
+func BenchmarkCodecRoundTrip(b *testing.B) {
+	const dim = 1 << 20
+	u := &wire.LocalUpdate{ClientID: 1, Round: 1, NumSamples: 64, Primal: make([]float64, dim)}
+	rng.New(5).FillNormal(u.Primal, 0, 1)
+	e := wire.NewEncoder(make([]byte, 0, 8*dim+64))
+	var out wire.LocalUpdate
+	var d wire.Decoder
+	e.Reset()
+	u.Marshal(e)
+	d.Reset(e.Bytes())
+	if err := out.Unmarshal(&d); err != nil {
+		b.Fatal(err) // warm-up sizes out's reused buffers
+	}
+	b.SetBytes(int64(2 * e.Len())) // one encode + one decode pass per op
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Reset()
+		u.Marshal(e)
+		d.Reset(e.Bytes())
+		if err := out.Unmarshal(&d); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkRoundIIADMM measures one full IIADMM round (4 clients, CNN) —

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|all]
-//	            [-out results] [-scale small|medium|paper]
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|all]
+//	            [-out results] [-scale small|medium|paper] [-json]
 //
 // The -scale flag trades fidelity for time in the training-based Figure 2
 // sweep: "small" finishes in about a minute on a laptop, "paper" uses the
 // full geometry (203 FEMNIST writers, 50 rounds) and runs for hours.
+//
+// The "perf" artifact runs the machine-readable performance harness
+// (internal/bench): sharded-aggregation throughput and parallel speedup,
+// wire-codec MB/s, pipeline stage cost and compression ratios, and round
+// latency under a straggler. With -json the report is also written to
+// <out>/BENCH.json — the document CI diffs against BENCH_baseline.json.
 package main
 
 import (
@@ -18,14 +24,18 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
 func main() {
-	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|scenarios|all")
+	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|all")
 	out := flag.String("out", "results", "output directory")
 	scale := flag.String("scale", "small", "fig2 scale: small|medium|paper")
+	jsonOut := flag.Bool("json", false, "write the perf report to <out>/BENCH.json")
+	dim := flag.Int("dim", 1<<20, "model dimension of the perf probes")
+	workers := flag.Int("workers", 8, "sharded width of the parallel perf probes")
 	flag.Parse()
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
@@ -33,6 +43,30 @@ func main() {
 	}
 	run := func(name string) bool { return *only == "all" || *only == name }
 
+	if run("perf") {
+		rep, err := bench.NewSuite(bench.Options{Dim: *dim, Workers: *workers}).Run()
+		if err != nil {
+			fatal(err)
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("Performance harness (dim=%d, workers=%d, GOMAXPROCS=%d)", *dim, *workers, rep.GoMaxProcs),
+			"metric", "value", "unit", "direction", "gated")
+		for _, m := range rep.Metrics {
+			dir := "higher"
+			if !m.HigherIsBetter {
+				dir = "lower"
+			}
+			t.AddRowf(m.Name, fmt.Sprintf("%.3f", m.Value), m.Unit, dir, m.Gated)
+		}
+		emit(*out, "perf", t)
+		if *jsonOut {
+			path := filepath.Join(*out, "BENCH.json")
+			if err := rep.WriteJSON(path); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("perf: wrote %s (%d metrics)\n", path, len(rep.Metrics))
+		}
+	}
 	if run("table1") {
 		emit(*out, "table1", experiments.Table1())
 	}

@@ -1,0 +1,57 @@
+// Command appfl-benchdiff is the CI regression gate over the performance
+// harness: it diffs a freshly measured BENCH.json against the committed
+// BENCH_baseline.json and exits non-zero when any gated metric moved in
+// its worse direction by more than the tolerance (or disappeared). The
+// comparison is printed as a GitHub-flavored markdown table, so CI can
+// tee the output straight into $GITHUB_STEP_SUMMARY.
+//
+// Usage:
+//
+//	appfl-benchdiff [-baseline BENCH_baseline.json] [-current results/BENCH.json]
+//	                [-tolerance 0.2] [-all]
+//
+// By default only metrics marked "gated" in the baseline participate:
+// machine-independent ratios, byte reductions, and sleep-dominated
+// latencies. -all gates every metric, including absolute throughputs —
+// useful when baseline and current were measured on the same machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "results/BENCH.json", "freshly measured report")
+	tolerance := flag.Float64("tolerance", 0.2, "fractional regression tolerance for gated metrics")
+	all := flag.Bool("all", false, "gate every metric, not just those marked gated")
+	flag.Parse()
+
+	base, err := bench.ReadReport(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := bench.ReadReport(*current)
+	if err != nil {
+		fatal(err)
+	}
+	deltas, regressions := bench.Compare(base, cur, *tolerance, *all)
+	fmt.Println("### Performance vs baseline")
+	fmt.Println()
+	fmt.Print(bench.Markdown(deltas))
+	fmt.Println()
+	if regressions > 0 {
+		fmt.Printf("\n❌ %d gated metric(s) regressed more than %.0f%% vs %s\n", regressions, *tolerance*100, *baseline)
+		os.Exit(1)
+	}
+	fmt.Printf("✅ no gated metric regressed more than %.0f%% vs %s\n", *tolerance*100, *baseline)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "appfl-benchdiff:", err)
+	os.Exit(1)
+}

@@ -38,9 +38,10 @@ func main() {
 	pipe := flag.String("pipeline", "", "update-pipeline spec (must match the clients)")
 	downF16 := flag.Bool("downlink-f16", false, "broadcast the global model as float16 (~4x downlink cut)")
 	timeout := flag.Duration("accept-timeout", 2*time.Minute, "join deadline")
+	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
-	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe}.WithDefaults()
+	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe, AggWorkers: *aggWorkers}.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -90,7 +91,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if err := core.DecodeUpdates(updates, serverPipe, len(w0)); err != nil {
+		if err := core.DecodeUpdates(updates, serverPipe, len(w0), cfg.AggWorkers); err != nil {
 			fatal(err)
 		}
 		if err := server.Update(updates); err != nil {

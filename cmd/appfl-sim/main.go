@@ -42,6 +42,7 @@ func main() {
 	faultSeed := flag.Uint64("fault-seed", 42, "seed driving the fault plan's random choices")
 	roundTimeout := flag.Duration("round-timeout", 0, "server deadline per round (0 = wait forever; required to survive crash faults)")
 	minCohort := flag.Int("min-cohort", 0, "quorum: minimum survivors a deadline-cut round may aggregate (0 = 1)")
+	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial; bit-identical results at any width)")
 	flag.Parse()
 
 	// Same rule Config.Validate enforces, surfaced before any dataset is
@@ -98,6 +99,7 @@ func main() {
 		AsyncGamma:     *gamma,
 		RoundTimeout:   *roundTimeout,
 		MinCohort:      *minCohort,
+		AggWorkers:     *aggWorkers,
 	}
 	if *scheduler != appfl.SchedSampled {
 		cfg.CohortFraction = 0

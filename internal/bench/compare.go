@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Delta is the comparison of one metric between a baseline report and a
+// current report.
+type Delta struct {
+	Name    string
+	Unit    string
+	Base    float64
+	Current float64
+	// Pct is the signed relative change in the metric's "better"
+	// direction: positive means improved, negative means worse.
+	Pct float64
+	// Gated reports whether the metric participates in the gate.
+	Gated bool
+	// Missing marks a baseline metric absent from the current report —
+	// always a gate failure, so a refactor cannot silently drop a probe.
+	Missing bool
+	// Regressed marks a gate failure: a gated metric moved in its worse
+	// direction by more than the tolerance, or went missing.
+	Regressed bool
+}
+
+// Compare diffs cur against base. tol is the fractional regression
+// tolerance (0.2 = a gated metric may move up to 20% in its worse
+// direction). When all is true every metric gates regardless of its
+// Gated flag. The returned count is the number of regressions.
+func Compare(base, cur *Report, tol float64, all bool) ([]Delta, int) {
+	deltas := make([]Delta, 0, len(base.Metrics))
+	regressions := 0
+	seen := map[string]bool{}
+	for _, bm := range base.Metrics {
+		seen[bm.Name] = true
+		d := Delta{Name: bm.Name, Unit: bm.Unit, Base: bm.Value, Gated: bm.Gated || all}
+		cm, ok := cur.Lookup(bm.Name)
+		if !ok {
+			d.Missing = true
+			d.Regressed = true
+			regressions++
+			deltas = append(deltas, d)
+			continue
+		}
+		d.Current = cm.Value
+		if bm.Value != 0 {
+			d.Pct = (cm.Value - bm.Value) / bm.Value
+			if !bm.HigherIsBetter {
+				d.Pct = -d.Pct
+			}
+		}
+		if d.Gated && d.Pct < -tol {
+			d.Regressed = true
+			regressions++
+		}
+		deltas = append(deltas, d)
+	}
+	// New metrics are reported (so the table is complete) but never gate.
+	for _, cm := range cur.Metrics {
+		if !seen[cm.Name] {
+			deltas = append(deltas, Delta{Name: cm.Name, Unit: cm.Unit, Current: cm.Value, Gated: cm.Gated || all})
+		}
+	}
+	return deltas, regressions
+}
+
+// Markdown renders the deltas as a GitHub-flavored table, suitable for
+// $GITHUB_STEP_SUMMARY.
+func Markdown(deltas []Delta) string {
+	var b strings.Builder
+	b.WriteString("| metric | unit | baseline | current | change | gate |\n")
+	b.WriteString("|---|---|---:|---:|---:|---|\n")
+	for _, d := range deltas {
+		status := "—"
+		switch {
+		case d.Missing:
+			status = "❌ missing"
+		case d.Regressed:
+			status = "❌ regressed"
+		case d.Gated:
+			status = "✅"
+		}
+		baseCell, curCell, pctCell := fmtVal(d.Base), fmtVal(d.Current), fmt.Sprintf("%+.1f%%", d.Pct*100)
+		if d.Base == 0 {
+			baseCell, pctCell = "new", "—"
+		}
+		if d.Missing {
+			curCell, pctCell = "missing", "—"
+		}
+		fmt.Fprintf(&b, "| %s | %s | %s | %s | %s | %s |\n", d.Name, d.Unit, baseCell, curCell, pctCell, status)
+	}
+	return b.String()
+}
+
+// fmtVal renders a metric value compactly.
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}

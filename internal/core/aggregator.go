@@ -45,7 +45,12 @@ func NewAggregator(cfg Config, w0 []float64, numClients int) (Aggregator, error)
 	if cfg.Scheduler == SchedBuffered {
 		// Alpha/gamma defaults come from Config.WithDefaults — the single
 		// defaulting source; a zero alpha here is a caller error.
-		return NewBufferedAggregator(w0, cfg.AsyncAlpha, cfg.AsyncGamma, cfg.MaxStaleness)
+		b, err := NewBufferedAggregator(w0, cfg.AsyncAlpha, cfg.AsyncGamma, cfg.MaxStaleness)
+		if err != nil {
+			return nil, err
+		}
+		b.Workers = cfg.AggWorkers
+		return b, nil
 	}
 	srv, err := NewServer(cfg, w0, numClients)
 	if err != nil {
@@ -65,7 +70,8 @@ func StalenessWeight(alpha, gamma, staleness float64) float64 {
 	return alpha * math.Pow(1+staleness, -gamma)
 }
 
-// foldScaled applies w ← (1−a)·w + a·z.
+// foldScaled applies w ← (1−a)·w + a·z. It is the serial kernel of the
+// staleness-weighted rule; the sharded path runs it per chunk.
 func foldScaled(w, z []float64, a float64) {
 	for i, v := range z {
 		w[i] = (1-a)*w[i] + a*v
@@ -87,9 +93,19 @@ type BufferedAggregator struct {
 	// MaxStaleness drops updates whose base model is more than this many
 	// releases old (0 = keep everything, however stale).
 	MaxStaleness int
+	// Workers is the sharded-fold width (0 = GOMAXPROCS, 1 = serial).
+	// Results are bit-identical across widths; see parallel.go.
+	Workers int
 	// Applied and Dropped count folded and discarded updates;
 	// StaleApplied counts the folded updates that had staleness > 0.
 	Applied, Dropped, StaleApplied int
+
+	// Pre-bound fold operation and its operands: binding the method value
+	// once at construction keeps the sharded fold allocation-free in
+	// steady state (no per-call closure).
+	foldZ  []float64
+	foldA  float64
+	foldOp func(lo, hi int)
 }
 
 // NewBufferedAggregator builds the aggregator. alpha in (0,1] is the base
@@ -104,12 +120,19 @@ func NewBufferedAggregator(w0 []float64, alpha, gamma float64, maxStaleness int)
 	if maxStaleness < 0 {
 		return nil, fmt.Errorf("core: MaxStaleness must be >= 0, got %d", maxStaleness)
 	}
-	return &BufferedAggregator{
+	b := &BufferedAggregator{
 		w:            append([]float64(nil), w0...),
 		alpha:        alpha,
 		gamma:        gamma,
 		MaxStaleness: maxStaleness,
-	}, nil
+	}
+	b.foldOp = b.foldChunk
+	return b, nil
+}
+
+// foldChunk folds one chunk of the pre-bound update (foldZ, foldA).
+func (b *BufferedAggregator) foldChunk(lo, hi int) {
+	foldScaled(b.w[lo:hi], b.foldZ[lo:hi], b.foldA)
 }
 
 // Dim returns the model dimension.
@@ -152,7 +175,9 @@ func (b *BufferedAggregator) Aggregate(batch []*wire.LocalUpdate) error {
 			// Zero-weight echo from a non-participant: nothing to fold.
 			continue
 		}
-		foldScaled(b.w, u.Primal, StalenessWeight(b.alpha, b.gamma, float64(staleness)))
+		b.foldZ, b.foldA = u.Primal, StalenessWeight(b.alpha, b.gamma, float64(staleness))
+		shardRun(len(b.w), b.Workers, b.foldOp)
+		b.foldZ = nil
 		b.Applied++
 		if staleness > 0 {
 			b.StaleApplied++

@@ -128,6 +128,15 @@ type Config struct {
 	// such as 1e-12).
 	AsyncGamma float64
 
+	// AggWorkers is the width of the sharded aggregation hot path: the
+	// server splits the weight vector into deterministic contiguous chunks
+	// and folds them on a worker pool, and the round decode
+	// (DecodeUpdates) fans out per update across the same pool. 0 (the
+	// default) selects GOMAXPROCS; 1 forces the serial path. Every
+	// aggregation rule is element-wise with a fixed per-element fold
+	// order, so results are bit-identical across widths.
+	AggWorkers int
+
 	// RoundTimeout bounds how long the server waits on a round's gather.
 	// Zero (the default) waits forever — the pre-fault-tolerance behavior,
 	// under which a client that never reports hangs the round. With a
@@ -242,6 +251,9 @@ func (c Config) Validate() error {
 		if _, err := pipeline.Parse(c.Pipeline); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	if c.AggWorkers < 0 {
+		return fmt.Errorf("core: AggWorkers must be >= 0 (0 selects GOMAXPROCS), got %d", c.AggWorkers)
 	}
 	if c.RoundTimeout < 0 {
 		return fmt.Errorf("core: RoundTimeout must be >= 0, got %v", c.RoundTimeout)

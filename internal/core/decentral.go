@@ -195,7 +195,9 @@ func RunDecentralized(cfg Config, fed *dataset.Federated, factory nn.Factory, to
 				}
 				// Each peer applies the server half of the pipeline to what
 				// it receives (Invert is stateless, so sharing one is safe).
-				if derr := DecodeUpdates([]*wire.LocalUpdate{up}, invPipe, dim); derr != nil {
+				// Workers=1: the peers already decode concurrently, one
+				// goroutine each; nested fan-out would only contend.
+				if derr := DecodeUpdates([]*wire.LocalUpdate{up}, invPipe, dim, 1); derr != nil {
 					errs[p] = derr
 					return
 				}

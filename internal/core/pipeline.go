@@ -56,14 +56,24 @@ func NewServerPipeline(cfg Config) (*pipeline.Pipeline, error) {
 // the Config.DownlinkF16 broadcast compression. The dense slice is left
 // untouched (the caller may be reusing it); gm carries only the payload.
 func EncodeDownlinkF16(gm *wire.GlobalModel) error {
-	u := pipeline.NewDense(gm.Weights)
-	var cast pipeline.Float16Cast
-	if err := cast.Apply(u, 0); err != nil {
-		return err
+	_, err := EncodeDownlinkF16Into(gm, nil)
+	return err
+}
+
+// EncodeDownlinkF16Into is EncodeDownlinkF16 with a caller-owned code
+// buffer: codes is reused when its capacity suffices and the (possibly
+// grown) buffer is returned, so a steady-state broadcast loop encodes the
+// downlink without an O(dim) allocation per round. The returned buffer is
+// aliased by gm.WeightsP — the caller may recycle it only once the
+// transport has serialized gm (every transport serializes inside SendTo).
+func EncodeDownlinkF16Into(gm *wire.GlobalModel, codes []byte) ([]byte, error) {
+	codes, err := pipeline.EncodeFloat16(gm.Weights, codes)
+	if err != nil {
+		return codes, err
 	}
-	gm.WeightsP = u
+	gm.WeightsP = &wire.Payload{Enc: wire.EncFloat16, Dim: uint32(len(gm.Weights)), Codes: codes}
 	gm.Weights = nil
-	return nil
+	return codes, nil
 }
 
 // DecodeGlobal is the client half of the downlink path: when a received
@@ -72,16 +82,26 @@ func EncodeDownlinkF16(gm *wire.GlobalModel) error {
 // the simulator's client loop and the standalone appfl-client — must call
 // this before training on gm.Weights.
 func DecodeGlobal(gm *wire.GlobalModel) error {
+	_, err := DecodeGlobalInto(gm, nil)
+	return err
+}
+
+// DecodeGlobalInto is DecodeGlobal with a caller-owned scratch buffer:
+// the payload densifies into scratch when its capacity suffices, and the
+// (possibly grown) buffer — which gm.Weights aliases afterwards — is
+// returned for reuse. Callers that drop gm after each round (the client
+// loops) amortize the O(dim) densify allocation to zero.
+func DecodeGlobalInto(gm *wire.GlobalModel, scratch []float64) ([]float64, error) {
 	if gm.WeightsP == nil {
-		return nil
+		return scratch, nil
 	}
-	w, err := gm.WeightsP.Densify(nil)
+	w, err := gm.WeightsP.Densify(scratch)
 	if err != nil {
-		return err
+		return scratch, err
 	}
 	gm.Weights = w
 	gm.WeightsP = nil
-	return nil
+	return w, nil
 }
 
 // DecodeUpdates runs the server half of the pipeline over a gathered
@@ -95,7 +115,15 @@ func DecodeGlobal(gm *wire.GlobalModel) error {
 // inversion: densifying is an O(Dim) allocation, so an adversarial payload
 // declaring a huge Dim must be rejected up front, not after the server has
 // tried to materialize it.
-func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim int) error {
+//
+// workers is the fan-out width (0 = GOMAXPROCS, 1 = serial): each update's
+// inversion is independent O(dim) work, so the batch decodes in parallel
+// on the shared aggregation pool. Stage Invert implementations are
+// stateless, and the reported error is always the lowest-index failure,
+// so the result and the error are identical at every width.
+func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim, workers int) error {
+	// Dimension screening stays serial and up front: it is O(batch) and
+	// must reject adversarial payloads before any O(dim) work begins.
 	for _, u := range batch {
 		if u == nil || u.PrimalP == nil {
 			continue
@@ -104,11 +132,36 @@ func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim int) e
 			return fmt.Errorf("core: client %d payload dimension %d, model is %d: %w",
 				u.ClientID, u.PrimalP.Dim, dim, wire.ErrBadPayload)
 		}
+	}
+	decode := func(u *wire.LocalUpdate) error {
+		if u == nil || u.PrimalP == nil {
+			return nil
+		}
 		if err := inv.Invert(u.PrimalP); err != nil {
 			return fmt.Errorf("core: client %d update: %w", u.ClientID, err)
 		}
 		u.Primal = u.PrimalP.Dense
 		u.PrimalP = nil
+		return nil
+	}
+	if w := resolveWorkers(workers); w > 1 && len(batch) > 1 {
+		errs := make([]error, len(batch))
+		eachRun(len(batch), w, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				errs[i] = decode(batch[i])
+			}
+		})
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, u := range batch {
+		if err := decode(u); err != nil {
+			return err
+		}
 	}
 	return nil
 }

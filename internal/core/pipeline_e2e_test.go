@@ -170,7 +170,7 @@ func TestDecodeUpdatesRejectsOversizedPayloadDim(t *testing.T) {
 			Indices: []uint32{0}, Values: []float64{1},
 		},
 	}
-	err = DecodeUpdates([]*wire.LocalUpdate{hostile}, inv, 100)
+	err = DecodeUpdates([]*wire.LocalUpdate{hostile}, inv, 100, 1)
 	if err == nil {
 		t.Fatal("oversized payload dimension accepted")
 	}

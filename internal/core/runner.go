@@ -17,6 +17,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -234,6 +235,13 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 			defer wg.Done()
 			ct := cts[i]
 			defer ct.Close()
+			// wscratch recycles the downlink densify buffer across rounds
+			// (gm is dropped at the end of each iteration, so the weights
+			// it aliases are dead by the next receive) and across runs via
+			// the shared scratch pool — clients copy w before returning
+			// from LocalUpdate, so nothing aliases it at goroutine exit.
+			wscratch := tensor.GetF64(0)
+			defer func() { tensor.PutF64(wscratch) }()
 			for {
 				gm, err := ct.RecvGlobal()
 				if err != nil {
@@ -243,7 +251,8 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 				if gm.Final {
 					return
 				}
-				if derr := DecodeGlobal(gm); derr != nil {
+				var derr error
+				if wscratch, derr = DecodeGlobalInto(gm, wscratch); derr != nil {
 					clientErrs[i] = derr
 					return
 				}
@@ -348,6 +357,13 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		minCohort = 1
 	}
 	var wbuf []float64
+	var f16buf []byte
+	if cfg.DownlinkF16 {
+		// Pooled downlink scratch: every transport serializes inside
+		// SendTo, so one code buffer serves all rounds.
+		f16buf = tensor.GetBytes(2 * agg.Dim())
+		defer func() { tensor.PutBytes(f16buf) }()
+	}
 	for t := 1; t <= cfg.Rounds; t++ {
 		roundStart := time.Now()
 		cohort := mem.filter(sched.Cohort(t), t)
@@ -369,7 +385,8 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			gm.Rho = rhoReporter.CurrentRho()
 		}
 		if cfg.DownlinkF16 {
-			if err := EncodeDownlinkF16(gm); err != nil {
+			var err error
+			if f16buf, err = EncodeDownlinkF16Into(gm, f16buf); err != nil {
 				return fmt.Errorf("core: downlink round %d: %w", t, err)
 			}
 		}
@@ -404,7 +421,7 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			return fmt.Errorf("core: round %d completed with %d of %d clients, quorum is %d: %w",
 				t, len(data), len(cohort), minCohort, ErrQuorum)
 		}
-		if err := DecodeUpdates(data, serverPipe, agg.Dim()); err != nil {
+		if err := DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers); err != nil {
 			return fmt.Errorf("core: decode round %d: %w", t, err)
 		}
 		maxCompute := 0.0
@@ -483,6 +500,11 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
 	quorum := sched.Quorum()
 	var wbuf []float64
+	var f16buf []byte
+	if cfg.DownlinkF16 {
+		f16buf = tensor.GetBytes(2 * agg.Dim())
+		defer func() { tensor.PutBytes(f16buf) }()
+	}
 	dispatch := func(ids []int, round int) error {
 		wbuf = agg.WeightsInto(wbuf)
 		gm := &wire.GlobalModel{
@@ -492,7 +514,8 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 			CohortSize: uint32(len(ids)),
 		}
 		if cfg.DownlinkF16 {
-			if err := EncodeDownlinkF16(gm); err != nil {
+			var err error
+			if f16buf, err = EncodeDownlinkF16Into(gm, f16buf); err != nil {
 				return fmt.Errorf("core: downlink release %d: %w", round, err)
 			}
 		}
@@ -565,7 +588,7 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		outstanding -= len(batch)
 		data := splitControl(batch, mem)
-		if err := DecodeUpdates(data, serverPipe, agg.Dim()); err != nil {
+		if err := DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers); err != nil {
 			return fmt.Errorf("core: decode release %d: %w", rel, err)
 		}
 		maxCompute := 0.0

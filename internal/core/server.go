@@ -25,6 +25,11 @@ type ServerAlgorithm interface {
 type BaseServer struct {
 	W          []float64 // global model parameters
 	NumClients int
+	// Workers is the sharded-aggregation width (0 = GOMAXPROCS, 1 =
+	// serial). Every server rule here is element-wise with a fixed
+	// per-element fold order, so results are bit-identical across widths;
+	// see parallel.go.
+	Workers int
 
 	version int // aggregations applied so far
 }
@@ -92,12 +97,40 @@ func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual bool) error 
 // w ← Σ_p (I_p/I) z_p, following Eq. (1)'s weighting.
 type FedAvgServer struct {
 	BaseServer
+
+	// Pre-bound chunk operation and operands of the sharded average (no
+	// per-call closure; see BufferedAggregator for the same pattern).
+	aggBatch []*wire.LocalUpdate
+	aggTotal float64
+	aggOp    func(lo, hi int)
 }
 
 // NewFedAvgServer builds the server with initial weights w0.
 func NewFedAvgServer(w0 []float64, numClients int) *FedAvgServer {
 	w := append([]float64(nil), w0...)
-	return &FedAvgServer{BaseServer{W: w, NumClients: numClients}}
+	s := &FedAvgServer{BaseServer: BaseServer{W: w, NumClients: numClients}}
+	s.aggOp = s.aggChunk
+	return s
+}
+
+// aggChunk computes the sample-weighted average over one chunk of the
+// index space. Per element the fold order (zero, then += in batch order)
+// matches the serial loop exactly, so chunking cannot change a single bit.
+func (s *FedAvgServer) aggChunk(lo, hi int) {
+	w := s.W[lo:hi]
+	for i := range w {
+		w[i] = 0
+	}
+	for _, u := range s.aggBatch {
+		if u.NumSamples == 0 {
+			continue
+		}
+		wgt := float64(u.NumSamples) / s.aggTotal
+		z := u.Primal[lo:hi]
+		for i, v := range z {
+			w[i] += wgt * v
+		}
+	}
 }
 
 // Update averages the client primal vectors weighted by sample counts.
@@ -128,18 +161,9 @@ func (s *FedAvgServer) Aggregate(batch []*wire.LocalUpdate) error {
 	if total == 0 {
 		return nil
 	}
-	for i := range s.W {
-		s.W[i] = 0
-	}
-	for _, u := range batch {
-		if u.NumSamples == 0 {
-			continue
-		}
-		wgt := float64(u.NumSamples) / total
-		for i, v := range u.Primal {
-			s.W[i] += wgt * v
-		}
-	}
+	s.aggBatch, s.aggTotal = batch, total
+	shardRun(len(s.W), s.Workers, s.aggOp)
+	s.aggBatch = nil
 	return nil
 }
 
@@ -154,12 +178,34 @@ type ICEADMMServer struct {
 	Adaptive *AdaptiveRho
 
 	wPrev []float64
+
+	aggUpdates []*wire.LocalUpdate
+	aggOp      func(lo, hi int)
 }
 
 // NewICEADMMServer builds the server with initial weights w0.
 func NewICEADMMServer(w0 []float64, numClients int, rho float64) *ICEADMMServer {
 	w := append([]float64(nil), w0...)
-	return &ICEADMMServer{BaseServer: BaseServer{W: w, NumClients: numClients}, Rho: rho}
+	s := &ICEADMMServer{BaseServer: BaseServer{W: w, NumClients: numClients}, Rho: rho}
+	s.aggOp = s.aggChunk
+	return s
+}
+
+// aggChunk computes w ← (1/P) Σ_p (z_p − λ_p/ρ) over one index chunk,
+// folding clients in batch order per element exactly like the serial loop.
+func (s *ICEADMMServer) aggChunk(lo, hi int) {
+	w := s.W[lo:hi]
+	invP := 1.0 / float64(s.NumClients)
+	for i := range w {
+		w[i] = 0
+	}
+	for _, u := range s.aggUpdates {
+		z := u.Primal[lo:hi]
+		d := u.Dual[lo:hi]
+		for i := range w {
+			w[i] += invP * (z[i] - d[i]/s.Rho)
+		}
+	}
 }
 
 // CurrentRho reports the penalty the next round must use.
@@ -173,15 +219,9 @@ func (s *ICEADMMServer) Update(updates []*wire.LocalUpdate) error {
 	}
 	s.version++
 	s.wPrev = append(s.wPrev[:0], s.W...)
-	invP := 1.0 / float64(s.NumClients)
-	for i := range s.W {
-		s.W[i] = 0
-	}
-	for _, u := range updates {
-		for i := range s.W {
-			s.W[i] += invP * (u.Primal[i] - u.Dual[i]/s.Rho)
-		}
-	}
+	s.aggUpdates = updates
+	shardRun(len(s.W), s.Workers, s.aggOp)
+	s.aggUpdates = nil
 	if s.Adaptive != nil {
 		primals := make([][]float64, len(updates))
 		for i, u := range updates {
@@ -209,6 +249,9 @@ type IIADMMServer struct {
 
 	duals [][]float64 // mirror λ_p per client
 	wPrev []float64
+
+	aggUpdates []*wire.LocalUpdate
+	aggOp      func(lo, hi int)
 }
 
 // NewIIADMMServer builds the server; duals start at zero, the shared
@@ -219,10 +262,39 @@ func NewIIADMMServer(w0 []float64, numClients int, rho float64) *IIADMMServer {
 	for i := range duals {
 		duals[i] = make([]float64, len(w0))
 	}
-	return &IIADMMServer{
+	s := &IIADMMServer{
 		BaseServer: BaseServer{W: w, NumClients: numClients},
 		Rho:        rho,
 		duals:      duals,
+	}
+	s.aggOp = s.aggChunk
+	return s
+}
+
+// aggChunk runs lines 6 and 3 of Algorithm 1 over one index chunk. The
+// dual update reads the pre-zeroing w of its own chunk only, so running
+// chunks concurrently is exactly the serial element order.
+func (s *IIADMMServer) aggChunk(lo, hi int) {
+	w := s.W[lo:hi]
+	if !s.FreezeDual {
+		for p, u := range s.aggUpdates {
+			d := s.duals[p][lo:hi]
+			z := u.Primal[lo:hi]
+			for i := range d {
+				d[i] += s.Rho * (w[i] - z[i])
+			}
+		}
+	}
+	invP := 1.0 / float64(s.NumClients)
+	for i := range w {
+		w[i] = 0
+	}
+	for p, u := range s.aggUpdates {
+		d := s.duals[p][lo:hi]
+		z := u.Primal[lo:hi]
+		for i := range w {
+			w[i] += invP * (z[i] - d[i]/s.Rho)
+		}
 	}
 }
 
@@ -244,25 +316,11 @@ func (s *IIADMMServer) Update(updates []*wire.LocalUpdate) error {
 	s.wPrev = append(s.wPrev[:0], s.W...)
 	// Line 6: λ_p ← λ_p + ρ(w^{t+1} − z_p^{t+1}); w is still the model that
 	// was broadcast this round, and ρ is the value that rode with it.
-	if !s.FreezeDual {
-		for p, u := range updates {
-			d := s.duals[p]
-			for i := range d {
-				d[i] += s.Rho * (s.W[i] - u.Primal[i])
-			}
-		}
-	}
 	// Line 3 (for the next round): w ← (1/P) Σ (z_p − λ_p/ρ).
-	invP := 1.0 / float64(s.NumClients)
-	for i := range s.W {
-		s.W[i] = 0
-	}
-	for p, u := range updates {
-		d := s.duals[p]
-		for i := range s.W {
-			s.W[i] += invP * (u.Primal[i] - d[i]/s.Rho)
-		}
-	}
+	// Both are element-wise, so they run sharded in one chunk pass.
+	s.aggUpdates = updates
+	shardRun(len(s.W), s.Workers, s.aggOp)
+	s.aggUpdates = nil
 	if s.Adaptive != nil {
 		primals := make([][]float64, len(updates))
 		for i, u := range updates {
@@ -298,15 +356,19 @@ func NewServer(cfg Config, w0 []float64, numClients int) (ServerAlgorithm, error
 	}
 	switch cfg.Algorithm {
 	case AlgoFedAvg:
-		return NewFedAvgServer(w0, numClients), nil
+		s := NewFedAvgServer(w0, numClients)
+		s.Workers = cfg.AggWorkers
+		return s, nil
 	case AlgoICEADMM:
 		s := NewICEADMMServer(w0, numClients, cfg.Rho)
+		s.Workers = cfg.AggWorkers
 		if cfg.AdaptiveRho {
 			s.Adaptive = NewAdaptiveRho(cfg.Rho)
 		}
 		return s, nil
 	case AlgoIIADMM:
 		s := NewIIADMMServer(w0, numClients, cfg.Rho)
+		s.Workers = cfg.AggWorkers
 		s.FreezeDual = cfg.FreezeDual
 		if cfg.AdaptiveRho {
 			s.Adaptive = NewAdaptiveRho(cfg.Rho)

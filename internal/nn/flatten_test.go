@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestFlattenReusesCapacity: FlattenParams/FlattenGrads must reuse a
+// destination whose capacity suffices even when its length differs —
+// the old length-equality test silently reallocated on every call whose
+// caller had trimmed or grown the buffer, an O(dim) garbage source in
+// the per-step gradient path.
+func TestFlattenReusesCapacity(t *testing.T) {
+	m := NewMLP(4, []int{3}, 2, rng.New(1))
+	n := NumParams(m)
+	for _, length := range []int{0, 1, n} {
+		dst := make([]float64, length, n)
+		got := FlattenParams(m, dst)
+		if len(got) != n {
+			t.Fatalf("FlattenParams returned length %d, want %d", len(got), n)
+		}
+		if &got[0] != &dst[:1][0] {
+			t.Fatalf("FlattenParams reallocated for dst len=%d cap=%d", length, n)
+		}
+		grads := FlattenGrads(m, dst)
+		if len(grads) != n || &grads[0] != &dst[:1][0] {
+			t.Fatalf("FlattenGrads reallocated for dst len=%d cap=%d", length, n)
+		}
+	}
+	// Insufficient capacity still allocates correctly.
+	if got := FlattenParams(m, make([]float64, 0, n-1)); len(got) != n {
+		t.Fatalf("undersized dst: got length %d, want %d", len(got), n)
+	}
+}

@@ -49,13 +49,10 @@ func NumParams(m Module) int {
 	return n
 }
 
-// FlattenParams copies all parameter values of m into dst (allocating when
-// dst is nil or mis-sized) in Params() order and returns it.
+// FlattenParams copies all parameter values of m into dst (allocating only
+// when dst's capacity is insufficient) in Params() order and returns it.
 func FlattenParams(m Module, dst []float64) []float64 {
-	n := NumParams(m)
-	if len(dst) != n {
-		dst = make([]float64, n)
-	}
+	dst = sizeFor(dst, NumParams(m))
 	off := 0
 	for _, p := range m.Params() {
 		off += copy(dst[off:], p.Value.Data())
@@ -64,17 +61,25 @@ func FlattenParams(m Module, dst []float64) []float64 {
 }
 
 // FlattenGrads copies all parameter gradients of m into dst in Params()
-// order and returns it.
+// order and returns it, reusing dst's capacity like FlattenParams.
 func FlattenGrads(m Module, dst []float64) []float64 {
-	n := NumParams(m)
-	if len(dst) != n {
-		dst = make([]float64, n)
-	}
+	dst = sizeFor(dst, NumParams(m))
 	off := 0
 	for _, p := range m.Params() {
 		off += copy(dst[off:], p.Grad.Data())
 	}
 	return dst
+}
+
+// sizeFor resizes dst to length n, allocating only when the capacity is
+// insufficient. A dst whose length differs but whose capacity suffices is
+// reused — the length-equality test this replaces silently reallocated a
+// perfectly good buffer on every call whose caller trimmed or grew it.
+func sizeFor(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // SetParams loads the flat vector src into the parameters of m. It panics if

@@ -165,6 +165,11 @@ func (s *GaussianNoise) Invert(u *Update) error { return nil }
 // Selection is deterministic; ties break toward the lower index.
 type TopKSparsify struct {
 	Frac float64
+
+	// order is the selection scratch, reused across rounds. It never
+	// escapes Apply, unlike the produced Indices/Values, which ride the
+	// wire and must be fresh per release.
+	order []int
 }
 
 // NewTopKSparsify builds the stage; frac must be in (0,1].
@@ -194,7 +199,10 @@ func (s *TopKSparsify) Apply(u *Update, sens float64) error {
 	if k > n {
 		k = n
 	}
-	order := make([]int, n)
+	if cap(s.order) < n {
+		s.order = make([]int, n)
+	}
+	order := s.order[:n]
 	for i := range order {
 		order[i] = i
 	}
@@ -374,23 +382,38 @@ func (s *Float16Cast) Spec() string { return "f16" }
 // maxFloat16 is the largest finite binary16 value.
 const maxFloat16 = 65504
 
-// Apply converts a dense update to packed half floats. Values binary16
-// cannot represent finitely — NaN, Inf, or magnitude above 65504 — are
-// rejected rather than saturated: like the quantize stage, shipping a
-// diverged update as plausible-looking (or infinite) codes would launder
-// the failure into the aggregate instead of surfacing it.
-func (s *Float16Cast) Apply(u *Update, sens float64) error {
-	if u.Enc != wire.EncDense {
-		return fmt.Errorf("%w: f16 requires a dense update, got %s", ErrSpec, u.Enc)
+// EncodeFloat16 packs v as little-endian half floats into codes, reusing
+// its capacity when it suffices, and returns the (possibly grown) buffer.
+// Values binary16 cannot represent finitely — NaN, Inf, or magnitude
+// above 65504 — are rejected rather than saturated: shipping a diverged
+// vector as plausible-looking (or infinite) codes would launder the
+// failure into the aggregate instead of surfacing it.
+func EncodeFloat16(v []float64, codes []byte) ([]byte, error) {
+	need := 2 * len(v)
+	if cap(codes) < need {
+		codes = make([]byte, need)
 	}
-	codes := make([]byte, 2*len(u.Dense))
-	for i, x := range u.Dense {
+	codes = codes[:need]
+	for i, x := range v {
 		if math.IsNaN(x) || math.Abs(x) > maxFloat16 {
-			return fmt.Errorf("%w: f16 cannot represent coordinate %d = %v (max magnitude %v)", ErrSpec, i, x, float64(maxFloat16))
+			return codes, fmt.Errorf("%w: f16 cannot represent coordinate %d = %v (max magnitude %v)", ErrSpec, i, x, float64(maxFloat16))
 		}
 		h := wire.Float16FromFloat64(x)
 		codes[2*i] = byte(h)
 		codes[2*i+1] = byte(h >> 8)
+	}
+	return codes, nil
+}
+
+// Apply converts a dense update to packed half floats; see EncodeFloat16
+// for the rejection rule on unrepresentable values.
+func (s *Float16Cast) Apply(u *Update, sens float64) error {
+	if u.Enc != wire.EncDense {
+		return fmt.Errorf("%w: f16 requires a dense update, got %s", ErrSpec, u.Enc)
+	}
+	codes, err := EncodeFloat16(u.Dense, nil)
+	if err != nil {
+		return err
 	}
 	u.Enc = wire.EncFloat16
 	u.Codes = codes

@@ -1,6 +1,61 @@
 package tensor
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// ---------------------------------------------------------------------------
+// Pooled scratch buffers.
+//
+// The federated hot path moves O(dim) vectors every round — encode/decode
+// scratch, downlink code buffers, densified payloads. These free-list
+// pools let steady-state rounds recycle those buffers instead of
+// re-allocating them per message. Contents of a Get buffer are undefined;
+// callers must fully overwrite the range they use. Putting a buffer while
+// any reference to it is still live is a correctness bug on the caller.
+
+var (
+	f64Pool  sync.Pool // of *[]float64
+	bytePool sync.Pool // of *[]byte
+)
+
+// GetF64 returns a scratch []float64 of length n with undefined contents.
+func GetF64(n int) []float64 {
+	if v := f64Pool.Get(); v != nil {
+		if s := *v.(*[]float64); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+// PutF64 recycles a buffer obtained from GetF64 (or anywhere else — the
+// pool only cares about capacity). The caller must not use s afterwards.
+func PutF64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	f64Pool.Put(&s)
+}
+
+// GetBytes returns a scratch []byte of length n with undefined contents.
+func GetBytes(n int) []byte {
+	if v := bytePool.Get(); v != nil {
+		if s := *v.(*[]byte); cap(s) >= n {
+			return s[:n]
+		}
+	}
+	return make([]byte, n)
+}
+
+// PutBytes recycles a buffer obtained from GetBytes.
+func PutBytes(s []byte) {
+	if cap(s) == 0 {
+		return
+	}
+	bytePool.Put(&s)
+}
 
 // MaxPool2DForward applies max pooling with a square kernel and stride to a
 // batch x [N, C, H, W]. It returns the pooled output [N, C, OH, OW] and the

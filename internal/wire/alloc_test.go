@@ -1,0 +1,199 @@
+package wire
+
+import (
+	"testing"
+)
+
+// Steady-state allocation regression tests: once encoder, decoder, and
+// destination structs exist, repeated encode/decode round-trips of the
+// hot-path messages must not allocate at all. These pin the buffer-reuse
+// contract of Encoder.Reset, Decoder.Reset, DoublesInto/Uint32sInto,
+// Payload.EncodeInto, and the capacity-reusing Unmarshal paths.
+
+// roundTripAllocs measures allocations of one encode+decode cycle with
+// fully reused state.
+func roundTripAllocs(t *testing.T, marshal func(*Encoder), unmarshal func(*Decoder) error) float64 {
+	t.Helper()
+	e := NewEncoder(nil)
+	var d Decoder
+	cycle := func() {
+		e.Reset()
+		marshal(e)
+		d.Reset(e.Bytes())
+		if err := unmarshal(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cycle() // warm-up sizes every reused buffer
+	return testing.AllocsPerRun(50, cycle)
+}
+
+// TestLocalUpdateRoundTripZeroAlloc: the dense model-upload message — the
+// dominant payload of every round — encodes and decodes without garbage.
+func TestLocalUpdateRoundTripZeroAlloc(t *testing.T) {
+	in := &LocalUpdate{ClientID: 3, Round: 7, NumSamples: 64, Primal: make([]float64, 4096), Epsilon: 1}
+	for i := range in.Primal {
+		in.Primal[i] = float64(i) * 0.25
+	}
+	var out LocalUpdate
+	if avg := roundTripAllocs(t,
+		func(e *Encoder) { in.Marshal(e) },
+		func(d *Decoder) error { return out.Unmarshal(d) },
+	); avg != 0 {
+		t.Fatalf("dense LocalUpdate round-trip allocates %.1f objects/op, want 0", avg)
+	}
+	if len(out.Primal) != len(in.Primal) || out.Primal[17] != in.Primal[17] {
+		t.Fatal("round-trip corrupted the primal")
+	}
+}
+
+// TestPayloadRoundTripZeroAlloc sweeps every payload encoding through a
+// reused Payload: EncodeInto writes the nested frame without a scratch
+// encoder and Unmarshal reuses the destination buffers.
+func TestPayloadRoundTripZeroAlloc(t *testing.T) {
+	const dim = 2048
+	dense := make([]float64, dim)
+	for i := range dense {
+		dense[i] = float64(i%97) / 97
+	}
+	sparseIdx := make([]uint32, dim/10)
+	sparseVal := make([]float64, dim/10)
+	for i := range sparseIdx {
+		sparseIdx[i] = uint32(i * 10)
+		sparseVal[i] = float64(i)
+	}
+	payloads := map[string]*Payload{
+		"dense":   {Enc: EncDense, Dim: dim, Dense: dense},
+		"sparse":  {Enc: EncSparse, Dim: dim, Indices: sparseIdx, Values: sparseVal},
+		"quant":   {Enc: EncQuant, Dim: dim, Bits: 8, Scale: 0.5, Codes: make([]byte, dim)},
+		"float16": {Enc: EncFloat16, Dim: dim, Codes: make([]byte, 2*dim)},
+	}
+	for name, in := range payloads {
+		t.Run(name, func(t *testing.T) {
+			if err := in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			var out Payload
+			avg := roundTripAllocs(t,
+				func(e *Encoder) { in.EncodeInto(e, 10) },
+				func(d *Decoder) error {
+					f, _, err := d.Tag()
+					if err != nil || f != 10 {
+						t.Fatalf("tag %d err %v", f, err)
+					}
+					b, err := d.BytesField()
+					if err != nil {
+						return err
+					}
+					out.Reset()
+					sub := NewDecoder(b)
+					return out.Unmarshal(sub)
+				},
+			)
+			// The nested sub-decoder is the single tolerated allocation.
+			if avg > 1 {
+				t.Fatalf("%s payload round-trip allocates %.1f objects/op, want <= 1", name, avg)
+			}
+			if out.Enc != in.Enc || out.Dim != in.Dim {
+				t.Fatalf("round-trip changed header: %v/%d vs %v/%d", out.Enc, out.Dim, in.Enc, in.Dim)
+			}
+		})
+	}
+}
+
+// TestEncodeIntoMatchesMessage: the direct length-prefixed encode must be
+// byte-identical to the generic scratch-encoder path, for every encoding.
+func TestEncodeIntoMatchesMessage(t *testing.T) {
+	payloads := []*Payload{
+		{Enc: EncDense, Dim: 3, Dense: []float64{1, -2, 3.5}},
+		{Enc: EncSparse, Dim: 10, Indices: []uint32{1, 5, 9}, Values: []float64{0.1, -0.5, 4}},
+		{Enc: EncQuant, Dim: 4, Bits: 12, Scale: 0.25, Offset: -1, Codes: []byte{1, 2, 3, 4, 5, 6, 7, 8}},
+		{Enc: EncFloat16, Dim: 2, Codes: []byte{0, 60, 0, 188}},
+	}
+	for _, p := range payloads {
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		viaMessage := NewEncoder(nil)
+		viaMessage.Message(9, p)
+		direct := NewEncoder(nil)
+		p.EncodeInto(direct, 9)
+		if string(viaMessage.Bytes()) != string(direct.Bytes()) {
+			t.Fatalf("%s: EncodeInto differs from Message:\n  %x\n  %x", p.Enc, direct.Bytes(), viaMessage.Bytes())
+		}
+		if want := p.EncodedLen(); want != p.WireBytes() {
+			t.Fatalf("%s: EncodedLen %d != WireBytes %d", p.Enc, want, p.WireBytes())
+		}
+	}
+}
+
+// TestReusedMessageDropsAbsentFields: decoding into a reused struct must
+// not leak fields the new message omits — an ADMM update's dual must not
+// survive into a FedAvg update, and a float16 broadcast's payload must
+// not survive into the next dense broadcast (where a stale WeightsP
+// would densify last round's weights over the fresh ones).
+func TestReusedMessageDropsAbsentFields(t *testing.T) {
+	e := NewEncoder(nil)
+
+	var u LocalUpdate
+	admm := &LocalUpdate{ClientID: 1, NumSamples: 8, Primal: []float64{1, 2}, Dual: []float64{3, 4}, Control: ControlGoodbye, RejoinRound: 9}
+	admm.Marshal(e)
+	if err := u.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	fedavg := &LocalUpdate{ClientID: 2, NumSamples: 8, Primal: []float64{5, 6}}
+	fedavg.Marshal(e)
+	if err := u.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Dual) != 0 || u.Control != ControlNone || u.RejoinRound != 0 {
+		t.Fatalf("reused LocalUpdate kept absent fields: dual=%v control=%d rejoin=%d", u.Dual, u.Control, u.RejoinRound)
+	}
+	if u.Primal[0] != 5 || u.ClientID != 2 {
+		t.Fatalf("reused LocalUpdate decoded wrong: %+v", u)
+	}
+
+	var gm GlobalModel
+	e.Reset()
+	f16 := &GlobalModel{Round: 1, Rho: 2, WeightsP: &Payload{Enc: EncFloat16, Dim: 1, Codes: []byte{0, 60}}}
+	f16.Marshal(e)
+	if err := gm.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	dense := &GlobalModel{Round: 2, Weights: []float64{7, 8}}
+	dense.Marshal(e)
+	if err := gm.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if gm.WeightsP != nil || gm.Rho != 0 {
+		t.Fatalf("reused GlobalModel kept absent fields: weightsP=%v rho=%v", gm.WeightsP, gm.Rho)
+	}
+	if len(gm.Weights) != 2 || gm.Weights[0] != 7 {
+		t.Fatalf("reused GlobalModel decoded wrong weights: %v", gm.Weights)
+	}
+}
+
+// TestDoublesIntoReusesCapacity: a destination whose length differs but
+// whose capacity suffices must be reused, not reallocated.
+func TestDoublesIntoReusesCapacity(t *testing.T) {
+	e := NewEncoder(nil)
+	vals := []float64{1, 2, 3, 4, 5}
+	e.Doubles(1, vals)
+	d := NewDecoder(e.Bytes())
+	if _, _, err := d.Tag(); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 2, 16)
+	got, err := d.DoublesInto(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(vals) || got[4] != 5 {
+		t.Fatalf("decoded %v", got)
+	}
+	if &got[0] != &dst[:1][0] {
+		t.Fatal("DoublesInto reallocated despite sufficient capacity")
+	}
+}

@@ -42,6 +42,20 @@ func (e *Encoder) Bytes() []byte { return e.buf }
 // Len returns the number of encoded bytes so far.
 func (e *Encoder) Len() int { return len(e.buf) }
 
+// Reset truncates the encoder for reuse, keeping its capacity — the
+// steady-state form of NewEncoder(e.Bytes()) without a new Encoder value.
+func (e *Encoder) Reset() { e.buf = e.buf[:0] }
+
+// varintLen returns the encoded size of v, for length-prefix computation.
+func varintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 func (e *Encoder) varint(v uint64) {
 	for v >= 0x80 {
 		e.buf = append(e.buf, byte(v)|0x80)
@@ -115,6 +129,10 @@ type Decoder struct {
 
 // NewDecoder wraps buf for reading.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Reset points the decoder at a new buffer, for callers that amortize the
+// Decoder value itself across messages.
+func (d *Decoder) Reset(buf []byte) { d.buf, d.pos = buf, 0 }
 
 // More reports whether any bytes remain.
 func (d *Decoder) More() bool { return d.pos < len(d.buf) }
@@ -204,8 +222,13 @@ func (d *Decoder) String() (string, error) {
 	return string(b), err
 }
 
-// Doubles reads a packed repeated double payload.
-func (d *Decoder) Doubles() ([]float64, error) {
+// Doubles reads a packed repeated double payload into a fresh slice.
+func (d *Decoder) Doubles() ([]float64, error) { return d.DoublesInto(nil) }
+
+// DoublesInto reads a packed repeated double payload into dst, allocating
+// only when dst's capacity is insufficient — the steady-state decode path
+// of every model exchange reuses one buffer across rounds.
+func (d *Decoder) DoublesInto(dst []float64) ([]float64, error) {
 	b, err := d.BytesField()
 	if err != nil {
 		return nil, err
@@ -213,11 +236,15 @@ func (d *Decoder) Doubles() ([]float64, error) {
 	if len(b)%8 != 0 {
 		return nil, fmt.Errorf("wire: packed doubles length %d not a multiple of 8", len(b))
 	}
-	out := make([]float64, len(b)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	n := len(b) / 8
+	if cap(dst) < n || dst == nil {
+		dst = make([]float64, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return dst, nil
 }
 
 // Skip discards a payload of the given wire type, allowing decoders to

@@ -158,6 +158,13 @@ type GlobalModel struct {
 	WeightsP *Payload
 }
 
+// Reset clears m for reuse, keeping the weight buffer's capacity. The
+// payload pointer is dropped (not recycled): a stale payload surviving
+// into a message that omits field 7 would densify last round's weights.
+func (m *GlobalModel) Reset() {
+	*m = GlobalModel{Weights: m.Weights[:0]}
+}
+
 // Marshal encodes m. When WeightsP is set it replaces the dense Weights
 // block on the wire, so byte accounting reflects the compressed size.
 func (m *GlobalModel) Marshal(e *Encoder) {
@@ -176,12 +183,15 @@ func (m *GlobalModel) Marshal(e *Encoder) {
 		e.Uint64(6, uint64(m.CohortSize))
 	}
 	if m.WeightsP != nil {
-		e.Message(7, m.WeightsP)
+		m.WeightsP.EncodeInto(e, 7)
 	}
 }
 
-// Unmarshal decodes m, ignoring unknown fields.
+// Unmarshal decodes m, ignoring unknown fields. m is Reset first, so a
+// struct reused across messages cannot carry a field the new message
+// omits; buffers present in both messages reuse their capacity.
 func (m *GlobalModel) Unmarshal(d *Decoder) error {
+	m.Reset()
 	for d.More() {
 		f, w, err := d.Tag()
 		if err != nil {
@@ -195,7 +205,7 @@ func (m *GlobalModel) Unmarshal(d *Decoder) error {
 			}
 			m.Round = uint32(v)
 		case 2:
-			v, err := d.Doubles()
+			v, err := d.DoublesInto(m.Weights)
 			if err != nil {
 				return err
 			}
@@ -229,11 +239,10 @@ func (m *GlobalModel) Unmarshal(d *Decoder) error {
 			if err != nil {
 				return err
 			}
-			var p Payload
-			if err := p.Unmarshal(NewDecoder(b)); err != nil {
+			m.WeightsP = &Payload{}
+			if err := m.WeightsP.Unmarshal(NewDecoder(b)); err != nil {
 				return err
 			}
-			m.WeightsP = &p
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -299,6 +308,14 @@ func Goodbye(client, round uint32, rejoinRound uint32) *LocalUpdate {
 	}
 }
 
+// Reset clears m for reuse, keeping the primal and dual buffers'
+// capacity. The payload pointer is dropped for the same reason as
+// GlobalModel.Reset: absent-field staleness is a correctness bug, and
+// the dense vectors are the hot path worth recycling.
+func (m *LocalUpdate) Reset() {
+	*m = LocalUpdate{Primal: m.Primal[:0], Dual: m.Dual[:0]}
+}
+
 // Marshal encodes m. An empty Dual is omitted entirely, and a compressed
 // PrimalP replaces the dense Primal block, so the byte size reflects the
 // algorithm's (and pipeline's) true communication volume.
@@ -321,7 +338,7 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 		e.Bool(9, m.InCohort)
 	}
 	if m.PrimalP != nil {
-		e.Message(10, m.PrimalP)
+		m.PrimalP.EncodeInto(e, 10)
 	}
 	if m.Control != ControlNone {
 		e.Uint64(11, uint64(m.Control))
@@ -331,8 +348,11 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 	}
 }
 
-// Unmarshal decodes m, ignoring unknown fields.
+// Unmarshal decodes m, ignoring unknown fields. m is Reset first (see
+// GlobalModel.Unmarshal): reused structs reuse buffer capacity but can
+// never leak a previous message's fields.
 func (m *LocalUpdate) Unmarshal(d *Decoder) error {
+	m.Reset()
 	for d.More() {
 		f, w, err := d.Tag()
 		if err != nil {
@@ -358,13 +378,13 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 			}
 			m.NumSamples = v
 		case 4:
-			v, err := d.Doubles()
+			v, err := d.DoublesInto(m.Primal)
 			if err != nil {
 				return err
 			}
 			m.Primal = v
 		case 5:
-			v, err := d.Doubles()
+			v, err := d.DoublesInto(m.Dual)
 			if err != nil {
 				return err
 			}
@@ -398,11 +418,10 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 			if err != nil {
 				return err
 			}
-			var p Payload
-			if err := p.Unmarshal(NewDecoder(b)); err != nil {
+			m.PrimalP = &Payload{}
+			if err := m.PrimalP.Unmarshal(NewDecoder(b)); err != nil {
 				return err
 			}
-			m.PrimalP = &p
 		case 11:
 			v, err := d.Uint64()
 			if err != nil {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Encoding discriminates the vector representations a Payload can carry.
@@ -63,6 +64,56 @@ type Payload struct {
 	Codes   []byte
 }
 
+// Reset clears p for reuse, keeping every allocated buffer's capacity.
+// Callers decoding into a recycled Payload should Reset it first so
+// fields of a previous encoding cannot leak into the new one.
+func (p *Payload) Reset() {
+	p.Enc, p.Dim, p.Scale, p.Offset, p.Bits = EncDense, 0, 0, 0, 0
+	p.Dense = p.Dense[:0]
+	p.Indices = p.Indices[:0]
+	p.Values = p.Values[:0]
+	p.Codes = p.Codes[:0]
+}
+
+// EncodedLen returns the exact size of the body Marshal produces, so a
+// container can write the length prefix first and encode in place.
+func (p *Payload) EncodedLen() int {
+	// Field tags here are all < 16, hence one byte each.
+	n := 1 + varintLen(uint64(p.Enc))
+	n += 1 + varintLen(uint64(p.Dim))
+	switch p.Enc {
+	case EncDense:
+		n += 1 + varintLen(uint64(8*len(p.Dense))) + 8*len(p.Dense)
+	case EncSparse:
+		n += 1 + varintLen(uint64(4*len(p.Indices))) + 4*len(p.Indices)
+		n += 1 + varintLen(uint64(8*len(p.Values))) + 8*len(p.Values)
+	case EncQuant:
+		n += 2 * (1 + 8) // scale, offset: fixed64
+		n += 1 + varintLen(uint64(p.Bits))
+		n += 1 + varintLen(uint64(len(p.Codes))) + len(p.Codes)
+	case EncFloat16:
+		n += 1 + varintLen(uint64(len(p.Codes))) + len(p.Codes)
+	}
+	return n
+}
+
+// EncodeInto appends p to e as the length-delimited nested message of
+// field, without the scratch encoder (and its O(size) copy + allocation)
+// Encoder.Message needs: the body size is computed up front by EncodedLen
+// and the length prefix written directly.
+func (p *Payload) EncodeInto(e *Encoder, field int) {
+	size := p.EncodedLen()
+	e.tag(field, typeBytes)
+	e.varint(uint64(size))
+	start := e.Len()
+	p.Marshal(e)
+	if e.Len()-start != size {
+		// A mismatch would corrupt every following field of the stream;
+		// fail loudly rather than emit an undecodable message.
+		panic(fmt.Sprintf("wire: payload encoded %d bytes, EncodedLen said %d", e.Len()-start, size))
+	}
+}
+
 // Marshal encodes p as a nested message body.
 func (p *Payload) Marshal(e *Encoder) {
 	e.Uint64(1, uint64(p.Enc))
@@ -86,7 +137,8 @@ func (p *Payload) Marshal(e *Encoder) {
 // Unmarshal decodes and structurally validates p. Any malformed input —
 // truncated, adversarial, or merely inconsistent — returns a typed error
 // (the codec sentinels or ErrBadPayload); no input can panic the decoder
-// or produce a payload that later panics Densify.
+// or produce a payload that later panics Densify. Decoding into a reused
+// Payload reuses its buffers' capacity (Reset first).
 func (p *Payload) Unmarshal(d *Decoder) error {
 	for d.More() {
 		f, w, err := d.Tag()
@@ -110,19 +162,19 @@ func (p *Payload) Unmarshal(d *Decoder) error {
 			}
 			p.Dim = uint32(v)
 		case 3:
-			v, err := d.Doubles()
+			v, err := d.DoublesInto(p.Dense)
 			if err != nil {
 				return err
 			}
 			p.Dense = v
 		case 4:
-			v, err := d.Uint32s()
+			v, err := d.Uint32sInto(p.Indices)
 			if err != nil {
 				return err
 			}
 			p.Indices = v
 		case 5:
-			v, err := d.Doubles()
+			v, err := d.DoublesInto(p.Values)
 			if err != nil {
 				return err
 			}
@@ -153,7 +205,7 @@ func (p *Payload) Unmarshal(d *Decoder) error {
 			if err != nil {
 				return err
 			}
-			p.Codes = append([]byte(nil), v...)
+			p.Codes = append(p.Codes[:0], v...)
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -260,12 +312,9 @@ func (p *Payload) Densify(dst []float64) ([]float64, error) {
 }
 
 // WireBytes returns the exact encoded size of the payload body, used by
-// the communication-volume accounting.
-func (p *Payload) WireBytes() int {
-	e := NewEncoder(nil)
-	p.Marshal(e)
-	return e.Len()
-}
+// the communication-volume accounting. It is EncodedLen, computed without
+// encoding anything.
+func (p *Payload) WireBytes() int { return p.EncodedLen() }
 
 // Float16FromFloat64 converts v to IEEE-754 binary16 bits with
 // round-to-nearest-even, saturating overflow to ±Inf and preserving NaN.
@@ -340,7 +389,11 @@ func (e *Encoder) Uint32s(field int, v []uint32) {
 }
 
 // Uint32s reads a packed block of little-endian fixed32 values.
-func (d *Decoder) Uint32s() ([]uint32, error) {
+func (d *Decoder) Uint32s() ([]uint32, error) { return d.Uint32sInto(nil) }
+
+// Uint32sInto reads a packed block of little-endian fixed32 values into
+// dst, allocating only when its capacity is insufficient.
+func (d *Decoder) Uint32sInto(dst []uint32) ([]uint32, error) {
 	b, err := d.BytesField()
 	if err != nil {
 		return nil, err
@@ -348,16 +401,28 @@ func (d *Decoder) Uint32s() ([]uint32, error) {
 	if len(b)%4 != 0 {
 		return nil, fmt.Errorf("wire: packed uint32 length %d not a multiple of 4", len(b))
 	}
-	out := make([]uint32, len(b)/4)
-	for i := range out {
-		out[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	n := len(b) / 4
+	if cap(dst) < n || dst == nil {
+		dst = make([]uint32, n)
 	}
-	return out, nil
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = uint32(b[4*i]) | uint32(b[4*i+1])<<8 | uint32(b[4*i+2])<<16 | uint32(b[4*i+3])<<24
+	}
+	return dst, nil
 }
 
-// Message encodes m as a length-delimited nested message.
+// subEncoders recycles the scratch encoders behind Encoder.Message so
+// nesting a message costs a copy, not an O(size) allocation per call.
+var subEncoders = sync.Pool{New: func() any { return new(Encoder) }}
+
+// Message encodes m as a length-delimited nested message. Types that know
+// their encoded size ahead of time (Payload) should prefer EncodeInto,
+// which writes the length prefix directly and skips the copy too.
 func (e *Encoder) Message(field int, m interface{ Marshal(*Encoder) }) {
-	sub := NewEncoder(nil)
+	sub := subEncoders.Get().(*Encoder)
+	sub.Reset()
 	m.Marshal(sub)
 	e.BytesField(field, sub.Bytes())
+	subEncoders.Put(sub)
 }
