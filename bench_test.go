@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/rng"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -159,6 +160,80 @@ func BenchmarkPipeline(b *testing.B) {
 	b.ReportMetric(f16, "f16-B/round")
 	b.ReportMetric(dense/topk, "topk-reduction-x")
 	b.ReportMetric(dense/quant, "quant-reduction-x")
+}
+
+// BenchmarkKWayFold measures the batched aggregation kernel against the
+// per-update two-sweep fold it replaced, at the cohort size (K=8) and
+// model scale (1M parameters) of the perf suite. Sub-benchmarks:
+//
+//	TwoSweep — the pre-kernel path: zero sweep + one accumulator sweep
+//	           per update (K+1 passes over the accumulator);
+//	FoldK    — the cache-blocked batched kernel (one pass);
+//	Fused    — FoldKSrc folding still-encoded float16 payloads, versus
+//	           which TwoSweep would additionally pay a densify pass.
+//
+// Each reports Melem/s (K·dim elements per fold). The acceptance bar is
+// FoldK ≥ 1.5× TwoSweep on the CI bench machine; CI runs this with
+// -cpu 1,4 so both serial and parallel numbers land in the artifact.
+func BenchmarkKWayFold(b *testing.B) {
+	const (
+		dim = 1 << 20
+		k   = 8
+	)
+	srcs := make([][]float64, k)
+	weights := make([]float64, k)
+	for j := range srcs {
+		r := rng.New(uint64(300 + j))
+		v := make([]float64, dim)
+		for i := range v {
+			v[i] = r.Float64() - 0.5
+		}
+		srcs[j] = v
+		weights[j] = 1.0 / k
+	}
+	dst := make([]float64, dim)
+	elems := float64(k * dim)
+
+	b.Run("TwoSweep", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for j := range dst {
+				dst[j] = 0
+			}
+			for kk, src := range srcs {
+				w := weights[kk]
+				for j, v := range src {
+					dst[j] += w * v
+				}
+			}
+		}
+		b.ReportMetric(elems*float64(b.N)/time.Since(start).Seconds()/1e6, "Melem/s")
+	})
+	b.Run("FoldK", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			tensor.FoldK(dst, 0, dim, srcs, weights)
+		}
+		b.ReportMetric(elems*float64(b.N)/time.Since(start).Seconds()/1e6, "Melem/s")
+	})
+
+	fsrcs := make([]tensor.FoldSrc, k)
+	for j, v := range srcs {
+		codes := make([]byte, 2*dim)
+		for i, x := range v {
+			h := wire.Float16FromFloat64(x)
+			codes[2*i] = byte(h)
+			codes[2*i+1] = byte(h >> 8)
+		}
+		fsrcs[j] = tensor.FoldSrc{Kind: tensor.SrcF16, Codes: codes, W: weights[j]}
+	}
+	b.Run("Fused", func(b *testing.B) {
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			tensor.FoldKSrc(dst, 0, dim, fsrcs)
+		}
+		b.ReportMetric(elems*float64(b.N)/time.Since(start).Seconds()/1e6, "Melem/s")
+	})
 }
 
 // BenchmarkAblationFreezeDual isolates the value of dual information: the

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
@@ -36,8 +37,13 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write the perf report to <out>/BENCH.json")
 	dim := flag.Int("dim", 1<<20, "model dimension of the perf probes")
 	workers := flag.Int("workers", 8, "sharded width of the parallel perf probes")
+	printProcs := flag.Bool("print-gomaxprocs", false, "print the effective GOMAXPROCS and exit (CI records it next to the bench artifact)")
 	flag.Parse()
 
+	if *printProcs {
+		fmt.Println(runtime.GOMAXPROCS(0))
+		return
+	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

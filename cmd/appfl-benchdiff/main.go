@@ -14,6 +14,12 @@
 // machine-independent ratios, byte reductions, and sleep-dominated
 // latencies. -all gates every metric, including absolute throughputs —
 // useful when baseline and current were measured on the same machine.
+//
+// When the baseline and current reports record different GOMAXPROCS,
+// metrics marked parallel-dependent (parallel speedups and multi-worker
+// throughputs) are shown in the table but skipped by the gate — a
+// core-count mismatch is not a performance regression. The table
+// annotates each skipped row and a warning line states both values.
 package main
 
 import (
@@ -42,6 +48,10 @@ func main() {
 	deltas, regressions := bench.Compare(base, cur, *tolerance, *all)
 	fmt.Println("### Performance vs baseline")
 	fmt.Println()
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Printf("⚠ baseline measured at GOMAXPROCS=%d, current at GOMAXPROCS=%d — parallel-dependent metrics are reported below but skipped by the gate.\n\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
 	fmt.Print(bench.Markdown(deltas))
 	fmt.Println()
 	if regressions > 0 {

@@ -43,6 +43,7 @@ func main() {
 	roundTimeout := flag.Duration("round-timeout", 0, "server deadline per round (0 = wait forever; required to survive crash faults)")
 	minCohort := flag.Int("min-cohort", 0, "quorum: minimum survivors a deadline-cut round may aggregate (0 = 1)")
 	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial; bit-identical results at any width)")
+	aggPrecision := flag.String("agg-precision", appfl.AggF64, "aggregation accumulator precision: f64 (bit-identical default) or f32 (FedAvg family only)")
 	flag.Parse()
 
 	// Same rule Config.Validate enforces, surfaced before any dataset is
@@ -100,6 +101,7 @@ func main() {
 		RoundTimeout:   *roundTimeout,
 		MinCohort:      *minCohort,
 		AggWorkers:     *aggWorkers,
+		AggPrecision:   *aggPrecision,
 	}
 	if *scheduler != appfl.SchedSampled {
 		cfg.CohortFraction = 0

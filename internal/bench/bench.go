@@ -19,11 +19,13 @@ import (
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
 // ReportVersion is bumped whenever the JSON schema changes shape.
-const ReportVersion = 1
+// Version 2 added Metric.ParallelDependent.
+const ReportVersion = 2
 
 // Metric is one named measurement of the suite.
 type Metric struct {
@@ -39,6 +41,13 @@ type Metric struct {
 	// byte counts, and sleep-dominated latencies are stable across
 	// machines and gate by default.
 	Gated bool `json:"gated"`
+	// ParallelDependent marks metrics whose value is a function of the
+	// core count (parallel speedups, multi-worker throughputs). The diff
+	// tool skips — reports but does not gate — these when the baseline
+	// and current reports were measured at different GOMAXPROCS, so a
+	// single-core laptop run against a multi-core CI baseline does not
+	// produce spurious failures.
+	ParallelDependent bool `json:"parallel_dependent,omitempty"`
 }
 
 // Report is the BENCH.json document.
@@ -144,6 +153,7 @@ func NewSuite(opts Options) *Suite {
 		Opts: opts.withDefaults(),
 		Probes: []Probe{
 			{Name: "agg", Run: probeAggregation},
+			{Name: "kernel", Run: probeKernel},
 			{Name: "codec", Run: probeCodec},
 			{Name: "pipeline", Run: probePipeline},
 			{Name: "round", Run: probeRoundLatency},
@@ -232,8 +242,8 @@ func probeAggregation(o Options, r *Report) error {
 		return err
 	}
 	r.Add(Metric{Name: "agg_fold_serial", Value: float64(o.Dim) / serial / 1e6, Unit: "Melem/s", HigherIsBetter: true})
-	r.Add(Metric{Name: fmt.Sprintf("agg_fold_parallel_%dw", o.Workers), Value: float64(o.Dim) / parallel / 1e6, Unit: "Melem/s", HigherIsBetter: true})
-	r.Add(Metric{Name: "agg_fold_speedup", Value: serial / parallel, Unit: "x", HigherIsBetter: true, Gated: true})
+	r.Add(Metric{Name: fmt.Sprintf("agg_fold_parallel_%dw", o.Workers), Value: float64(o.Dim) / parallel / 1e6, Unit: "Melem/s", HigherIsBetter: true, ParallelDependent: true})
+	r.Add(Metric{Name: "agg_fold_speedup", Value: serial / parallel, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true})
 
 	// FedAvg over an 8-client batch: the barrier-round hot path.
 	const clients = 8
@@ -253,8 +263,98 @@ func probeAggregation(o Options, r *Report) error {
 	aserial := avgSec(1)
 	aparallel := avgSec(o.Workers)
 	r.Add(Metric{Name: "fedavg_agg_serial", Value: float64(o.Dim*clients) / aserial / 1e6, Unit: "Melem/s", HigherIsBetter: true})
-	r.Add(Metric{Name: fmt.Sprintf("fedavg_agg_parallel_%dw", o.Workers), Value: float64(o.Dim*clients) / aparallel / 1e6, Unit: "Melem/s", HigherIsBetter: true})
-	r.Add(Metric{Name: "fedavg_agg_speedup", Value: aserial / aparallel, Unit: "x", HigherIsBetter: true, Gated: true})
+	r.Add(Metric{Name: fmt.Sprintf("fedavg_agg_parallel_%dw", o.Workers), Value: float64(o.Dim*clients) / aparallel / 1e6, Unit: "Melem/s", HigherIsBetter: true, ParallelDependent: true})
+	r.Add(Metric{Name: "fedavg_agg_speedup", Value: aserial / aparallel, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true})
+	return nil
+}
+
+// twoSweepFold is the pre-kernel fold: a zero sweep of the accumulator
+// followed by one full accumulator sweep per source — (K+1) passes over
+// dst where tensor.FoldK makes one. It is kept here as the reference the
+// kernel probes measure against.
+func twoSweepFold(dst []float64, srcs [][]float64, weights []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for k, src := range srcs {
+		w := weights[k]
+		for i, v := range src {
+			dst[i] += w * v
+		}
+	}
+}
+
+// probeKernel measures the cache-blocked aggregation kernels in
+// isolation, single-threaded — throughput of the batched K-way fold at
+// several widths, the blocked-vs-two-sweep speedup, the fused
+// invert+fold versus the two-pass densify-then-fold on float16 payloads,
+// and the single- versus double-precision accumulator. The two speedups
+// are same-machine ratios and gate; they are not parallel-dependent, so
+// they gate at any GOMAXPROCS. The f32 ratio is reported ungated: on
+// machines where the f64 fold already saturates memory bandwidth it
+// hovers near 1, elsewhere it reflects the halved traffic.
+func probeKernel(o Options, r *Report) error {
+	dst := make([]float64, o.Dim)
+
+	// Batched fold throughput at K ∈ {2, 8, 32}.
+	const refK = 8
+	var refSrcs [][]float64
+	var refWeights []float64
+	for _, k := range []int{2, 8, 32} {
+		srcs := make([][]float64, k)
+		weights := make([]float64, k)
+		for j := range srcs {
+			srcs[j] = randVec(o.Dim, uint64(100+j))
+			weights[j] = 1 / float64(k)
+		}
+		if k == refK {
+			refSrcs, refWeights = srcs, weights
+		}
+		sec := measure(o.MinProbeTime, func() { tensor.FoldK(dst, 0, o.Dim, srcs, weights) })
+		r.Add(Metric{Name: fmt.Sprintf("kernel_foldk_k%d", k), Value: float64(k*o.Dim) / sec / 1e6, Unit: "Melem/s", HigherIsBetter: true})
+	}
+
+	// Blocked kernel vs the two-sweep fold it replaced, at K=8.
+	blockedSec := measure(o.MinProbeTime, func() { tensor.FoldK(dst, 0, o.Dim, refSrcs, refWeights) })
+	twoSweepSec := measure(o.MinProbeTime, func() { twoSweepFold(dst, refSrcs, refWeights) })
+	r.Add(Metric{Name: "kernel_foldk_speedup", Value: twoSweepSec / blockedSec, Unit: "x", HigherIsBetter: true, Gated: true})
+
+	// Fused invert+fold vs two-pass densify-then-fold on f16 payloads.
+	payloads := make([]*wire.Payload, refK)
+	fsrcs := make([]tensor.FoldSrc, refK)
+	for j := range payloads {
+		v := refSrcs[j]
+		codes := make([]byte, 2*len(v))
+		for i, x := range v {
+			h := wire.Float16FromFloat64(x)
+			codes[2*i] = byte(h)
+			codes[2*i+1] = byte(h >> 8)
+		}
+		payloads[j] = &wire.Payload{Enc: wire.EncFloat16, Dim: uint32(len(v)), Codes: codes}
+		fsrcs[j] = tensor.FoldSrc{Kind: tensor.SrcF16, Codes: codes, W: refWeights[j]}
+	}
+	scratch := make([][]float64, refK)
+	for j := range scratch {
+		scratch[j] = make([]float64, o.Dim)
+	}
+	twoPassSec := measure(o.MinProbeTime, func() {
+		for j, p := range payloads {
+			d, err := p.Densify(scratch[j])
+			if err != nil {
+				panic(err)
+			}
+			scratch[j] = d
+		}
+		tensor.FoldK(dst, 0, o.Dim, scratch, refWeights)
+	})
+	fusedSec := measure(o.MinProbeTime, func() { tensor.FoldKSrc(dst, 0, o.Dim, fsrcs) })
+	r.Add(Metric{Name: "kernel_fused_speedup", Value: twoPassSec / fusedSec, Unit: "x", HigherIsBetter: true, Gated: true})
+
+	// f32 vs f64 accumulator on the same fused sources.
+	dst32 := make([]float32, o.Dim)
+	f64Sec := fusedSec
+	f32Sec := measure(o.MinProbeTime, func() { tensor.FoldKSrc32(dst32, 0, o.Dim, fsrcs) })
+	r.Add(Metric{Name: "kernel_f32_speedup", Value: f64Sec / f32Sec, Unit: "x", HigherIsBetter: true})
 	return nil
 }
 

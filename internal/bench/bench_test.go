@@ -43,9 +43,23 @@ func TestSuiteEmitsNamedMetrics(t *testing.T) {
 	if gated == 0 {
 		t.Fatal("no gated metrics: the CI gate would be vacuous")
 	}
-	for _, name := range []string{"agg_fold_speedup", "fedavg_agg_speedup", "codec_encode", "codec_decode", "round_latency_sync"} {
+	for _, name := range []string{
+		"agg_fold_speedup", "fedavg_agg_speedup", "codec_encode", "codec_decode", "round_latency_sync",
+		"kernel_foldk_k2", "kernel_foldk_k8", "kernel_foldk_k32",
+		"kernel_foldk_speedup", "kernel_fused_speedup", "kernel_f32_speedup",
+	} {
 		if _, ok := rep.Lookup(name); !ok {
 			t.Errorf("suite is missing headline metric %q", name)
+		}
+	}
+	for _, name := range []string{"agg_fold_speedup", "fedavg_agg_speedup"} {
+		if m, ok := rep.Lookup(name); ok && !m.ParallelDependent {
+			t.Errorf("%s not marked parallel-dependent: a gomaxprocs mismatch would gate it", name)
+		}
+	}
+	for _, name := range []string{"kernel_foldk_speedup", "kernel_fused_speedup"} {
+		if m, ok := rep.Lookup(name); ok && m.ParallelDependent {
+			t.Errorf("%s marked parallel-dependent: single-threaded ratios gate at any core count", name)
 		}
 	}
 
@@ -114,5 +128,48 @@ func TestCompareGate(t *testing.T) {
 	lines := strings.Split(strings.TrimSuffix(md, "\n"), "\n")
 	if len(lines) != len(deltas)+2 {
 		t.Fatalf("markdown has %d lines, want %d", len(lines), len(deltas)+2)
+	}
+}
+
+// TestCompareSkipsParallelDependentOnProcsMismatch: a parallel-dependent
+// gated metric must not gate when baseline and current were measured at
+// different GOMAXPROCS — but it must still gate on a matching machine,
+// still fail if the probe vanishes, and machine-independent gated
+// metrics must keep gating either way.
+func TestCompareSkipsParallelDependentOnProcsMismatch(t *testing.T) {
+	base := &Report{Version: ReportVersion, GoMaxProcs: 4, Metrics: []Metric{
+		{Name: "agg_fold_speedup", Value: 2.0, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true},
+		{Name: "pipe_f16_reduction", Value: 4.0, Unit: "x", HigherIsBetter: true, Gated: true},
+		{Name: "gone_speedup", Value: 1.5, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true},
+	}}
+	cur := &Report{Version: ReportVersion, GoMaxProcs: 1, Metrics: []Metric{
+		{Name: "agg_fold_speedup", Value: 0.9, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true}, // -55% but skipped
+		{Name: "pipe_f16_reduction", Value: 2.0, Unit: "x", HigherIsBetter: true, Gated: true},                        // -50%: still gates
+	}}
+	deltas, n := Compare(base, cur, 0.2, false)
+	if n != 2 {
+		t.Fatalf("want 2 regressions (pipe_f16_reduction, gone_speedup), got %d: %+v", n, deltas)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if d := byName["agg_fold_speedup"]; !d.Skipped || d.Regressed || d.Gated {
+		t.Errorf("parallel-dependent metric not skipped under procs mismatch: %+v", d)
+	}
+	if d := byName["pipe_f16_reduction"]; d.Skipped || !d.Regressed {
+		t.Errorf("machine-independent metric mishandled under procs mismatch: %+v", d)
+	}
+	if d := byName["gone_speedup"]; !d.Missing || !d.Regressed {
+		t.Errorf("missing probe must fail even when skipped: %+v", d)
+	}
+	if !strings.Contains(Markdown(deltas), "⚠ skipped (gomaxprocs mismatch)") {
+		t.Error("markdown does not annotate the skipped row")
+	}
+
+	// Same GOMAXPROCS: the -55% drop gates again.
+	cur.GoMaxProcs = 4
+	if _, n := Compare(base, cur, 0.2, false); n != 3 {
+		t.Fatalf("want 3 regressions at matching procs, got %d", n)
 	}
 }

@@ -20,6 +20,11 @@ type Delta struct {
 	// Missing marks a baseline metric absent from the current report —
 	// always a gate failure, so a refactor cannot silently drop a probe.
 	Missing bool
+	// Skipped marks a parallel-dependent metric excluded from the gate
+	// because the two reports were measured at different GOMAXPROCS: the
+	// comparison is still shown, but a core-count mismatch is not a
+	// performance regression.
+	Skipped bool
 	// Regressed marks a gate failure: a gated metric moved in its worse
 	// direction by more than the tolerance, or went missing.
 	Regressed bool
@@ -29,15 +34,29 @@ type Delta struct {
 // tolerance (0.2 = a gated metric may move up to 20% in its worse
 // direction). When all is true every metric gates regardless of its
 // Gated flag. The returned count is the number of regressions.
+//
+// When the two reports were measured at different GOMAXPROCS, metrics
+// marked ParallelDependent in the baseline are skipped rather than
+// gated: a 1-core laptop cannot reproduce a 4-core CI speedup, and
+// failing the gate on a core-count mismatch would make every local run
+// of the diff tool cry wolf. Skipped metrics still appear in the table,
+// annotated, so the mismatch is visible rather than silent.
 func Compare(base, cur *Report, tol float64, all bool) ([]Delta, int) {
+	procsMismatch := base.GoMaxProcs != cur.GoMaxProcs
 	deltas := make([]Delta, 0, len(base.Metrics))
 	regressions := 0
 	seen := map[string]bool{}
 	for _, bm := range base.Metrics {
 		seen[bm.Name] = true
 		d := Delta{Name: bm.Name, Unit: bm.Unit, Base: bm.Value, Gated: bm.Gated || all}
+		if procsMismatch && bm.ParallelDependent {
+			d.Skipped = true
+			d.Gated = false
+		}
 		cm, ok := cur.Lookup(bm.Name)
 		if !ok {
+			// A vanished probe is a harness regression regardless of the
+			// machine, so missing still fails even when skipped.
 			d.Missing = true
 			d.Regressed = true
 			regressions++
@@ -79,6 +98,8 @@ func Markdown(deltas []Delta) string {
 			status = "❌ missing"
 		case d.Regressed:
 			status = "❌ regressed"
+		case d.Skipped:
+			status = "⚠ skipped (gomaxprocs mismatch)"
 		case d.Gated:
 			status = "✅"
 		}

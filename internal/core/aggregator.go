@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -50,6 +52,9 @@ func NewAggregator(cfg Config, w0 []float64, numClients int) (Aggregator, error)
 			return nil, err
 		}
 		b.Workers = cfg.AggWorkers
+		if cfg.AggPrecision == AggF32 {
+			b.usePrecision32()
+		}
 		return b, nil
 	}
 	srv, err := NewServer(cfg, w0, numClients)
@@ -61,6 +66,17 @@ func NewAggregator(cfg Config, w0 []float64, numClients int) (Aggregator, error)
 		return nil, fmt.Errorf("core: server for %q does not implement Aggregator", cfg.Algorithm)
 	}
 	return agg, nil
+}
+
+// Weights32Provider is implemented by aggregators that maintain a live
+// single-precision model (Config.AggPrecision = f32). The f16 downlink
+// encoder uses it to feed the half-float rounding directly from the f32
+// accumulator, skipping the widening sweep; the bits are identical either
+// way (Float16FromFloat64 rounds through float32).
+type Weights32Provider interface {
+	// Weights32 returns the live float32 model, or nil when the
+	// aggregator runs in float64. Callers must not mutate it.
+	Weights32() []float32
 }
 
 // StalenessWeight is the FedAsync mixing rate α_s = α·(1+staleness)^(−γ):
@@ -100,12 +116,22 @@ type BufferedAggregator struct {
 	// StaleApplied counts the folded updates that had staleness > 0.
 	Applied, Dropped, StaleApplied int
 
-	// Pre-bound fold operation and its operands: binding the method value
-	// once at construction keeps the sharded fold allocation-free in
-	// steady state (no per-call closure).
-	foldZ  []float64
-	foldA  float64
-	foldOp func(lo, hi int)
+	// fused, when set, folds still-encoded payloads directly; see
+	// EnableFusedFold.
+	fused pipeline.FusedStage
+
+	// prec32 selects the single-precision accumulator: w32 is then the
+	// authoritative model and w a lazily refreshed float64 mirror.
+	prec32   bool
+	w32      []float32
+	w32stale bool
+
+	// Pre-bound fold operation and fold-source scratch: binding the
+	// method value once at construction keeps the sharded batched fold
+	// allocation-free in steady state (no per-call closure).
+	srcs     []tensor.FoldSrc
+	foldOp   func(lo, hi int)
+	foldOp32 func(lo, hi int)
 }
 
 // NewBufferedAggregator builds the aggregator. alpha in (0,1] is the base
@@ -127,12 +153,35 @@ func NewBufferedAggregator(w0 []float64, alpha, gamma float64, maxStaleness int)
 		MaxStaleness: maxStaleness,
 	}
 	b.foldOp = b.foldChunk
+	b.foldOp32 = b.foldChunk32
 	return b, nil
 }
 
-// foldChunk folds one chunk of the pre-bound update (foldZ, foldA).
-func (b *BufferedAggregator) foldChunk(lo, hi int) {
-	foldScaled(b.w[lo:hi], b.foldZ[lo:hi], b.foldA)
+// usePrecision32 switches the aggregator to the single-precision
+// accumulator. Must be called before any aggregation.
+func (b *BufferedAggregator) usePrecision32() {
+	b.prec32 = true
+	b.w32 = tensor.Narrow(nil, b.w)
+}
+
+// setFusedStage wires the fused invert+fold fast path (EnableFusedFold).
+func (b *BufferedAggregator) setFusedStage(fs pipeline.FusedStage) { b.fused = fs }
+
+// foldChunk folds the whole release over one chunk with the cache-blocked
+// sequential-convex kernel: within a block, update k fully folds before
+// update k+1, so per element the operation sequence is exactly the
+// pre-kernel one-update-at-a-time sweeps.
+func (b *BufferedAggregator) foldChunk(lo, hi int) { tensor.FoldKScaledSrc(b.w, lo, hi, b.srcs) }
+
+// foldChunk32 is foldChunk on the single-precision accumulator.
+func (b *BufferedAggregator) foldChunk32(lo, hi int) { tensor.FoldKScaledSrc32(b.w32, lo, hi, b.srcs) }
+
+// syncMirror refreshes the float64 mirror from the f32 accumulator.
+func (b *BufferedAggregator) syncMirror() {
+	if b.w32stale {
+		b.w = tensor.Widen(b.w, b.w32)
+		b.w32stale = false
+	}
 }
 
 // Dim returns the model dimension.
@@ -146,12 +195,27 @@ func (b *BufferedAggregator) Weights() []float64 { return b.WeightsInto(nil) }
 
 // WeightsInto copies the current global model into dst.
 func (b *BufferedAggregator) WeightsInto(dst []float64) []float64 {
+	b.syncMirror()
 	dst = append(dst[:0], b.w...)
 	return dst
 }
 
+// Weights32 exposes the live single-precision model, or nil in f64 mode;
+// see FedAvgServer.Weights32.
+func (b *BufferedAggregator) Weights32() []float32 {
+	if !b.prec32 {
+		return nil
+	}
+	return b.w32
+}
+
 // Aggregate folds one released batch, down-weighting each update by its
 // staleness relative to the current version, and advances the version.
+// The whole batch is validated first — an invalid update rejects the
+// release before anything folds — then every kept update folds in one
+// batched sharded pass (tensor.FoldKScaledSrc). Staleness is measured
+// against the pre-release version for every update, exactly as the
+// per-update path did (the version advances once per release, at the end).
 func (b *BufferedAggregator) Aggregate(batch []*wire.LocalUpdate) error {
 	if len(batch) == 0 {
 		return fmt.Errorf("core: buffered aggregate on an empty batch")
@@ -160,29 +224,52 @@ func (b *BufferedAggregator) Aggregate(batch []*wire.LocalUpdate) error {
 		if u == nil {
 			return fmt.Errorf("core: nil update in buffered batch")
 		}
-		if len(u.Primal) != len(b.w) {
+		if b.fused != nil && len(u.Primal) == 0 && u.PrimalP != nil {
+			if int(u.PrimalP.Dim) != len(b.w) {
+				return fmt.Errorf("core: client %d payload dimension %d, model is %d", u.ClientID, u.PrimalP.Dim, len(b.w))
+			}
+		} else if len(u.Primal) != len(b.w) {
 			return fmt.Errorf("core: client %d primal dimension %d, model is %d", u.ClientID, len(u.Primal), len(b.w))
 		}
 		if u.BaseVersion > uint64(b.version) {
 			return fmt.Errorf("core: client %d update from future version %d, server at %d", u.ClientID, u.BaseVersion, b.version)
 		}
+	}
+	srcs := b.srcs[:0]
+	applied, staleApplied, dropped := 0, 0, 0
+	for _, u := range batch {
 		staleness := b.version - int(u.BaseVersion)
 		if b.MaxStaleness > 0 && staleness > b.MaxStaleness {
-			b.Dropped++
+			dropped++
 			continue
 		}
 		if u.NumSamples == 0 {
 			// Zero-weight echo from a non-participant: nothing to fold.
 			continue
 		}
-		b.foldZ, b.foldA = u.Primal, StalenessWeight(b.alpha, b.gamma, float64(staleness))
-		shardRun(len(b.w), b.Workers, b.foldOp)
-		b.foldZ = nil
-		b.Applied++
+		src, err := foldSrcFor(u, b.fused, StalenessWeight(b.alpha, b.gamma, float64(staleness)))
+		if err != nil {
+			return err
+		}
+		srcs = append(srcs, src)
+		applied++
 		if staleness > 0 {
-			b.StaleApplied++
+			staleApplied++
 		}
 	}
+	b.srcs = srcs
+	if len(srcs) > 0 {
+		if b.prec32 {
+			shardRun(len(b.w32), b.Workers, b.foldOp32)
+			b.w32stale = true
+		} else {
+			shardRun(len(b.w), b.Workers, b.foldOp)
+		}
+		clearSrcs(b.srcs)
+	}
+	b.Applied += applied
+	b.StaleApplied += staleApplied
+	b.Dropped += dropped
 	b.version++
 	return nil
 }

@@ -28,6 +28,12 @@ const (
 	DPModeObjective = "objective" // perturb the local objective instead
 )
 
+// Aggregation precisions accepted in Config.AggPrecision.
+const (
+	AggF64 = "f64" // double-precision accumulator (default; bit-exact path)
+	AggF32 = "f32" // single-precision accumulator (half the memory traffic)
+)
+
 // Config describes one federated run. Zero values select the documented
 // defaults, which are calibrated so the three algorithms take comparable
 // effective step sizes (and hence comparable DP noise scales, as in the
@@ -128,6 +134,15 @@ type Config struct {
 	// such as 1e-12).
 	AsyncGamma float64
 
+	// AggPrecision selects the arithmetic of the aggregation fold: "f64"
+	// (the default) keeps the double-precision accumulator whose results
+	// are bit-identical across worker widths; "f32" accumulates in single
+	// precision, halving the fold's memory footprint and traffic at the
+	// cost of ~1e-7 relative error per fold (see the error-bound test in
+	// internal/core). FedAvg-family rules only: the ADMM servers carry
+	// dual state whose consistency argument is defined in float64.
+	AggPrecision string
+
 	// AggWorkers is the width of the sharded aggregation hot path: the
 	// server splits the weight vector into deterministic contiguous chunks
 	// and folds them on a worker pool, and the round decode
@@ -192,6 +207,9 @@ func (c Config) WithDefaults() Config {
 	if c.Scheduler == "" {
 		c.Scheduler = SchedSyncAll
 	}
+	if c.AggPrecision == "" {
+		c.AggPrecision = AggF64
+	}
 	if c.Scheduler == SchedBuffered {
 		if c.AsyncAlpha == 0 {
 			c.AsyncAlpha = DefaultAsyncAlpha
@@ -254,6 +272,15 @@ func (c Config) Validate() error {
 	}
 	if c.AggWorkers < 0 {
 		return fmt.Errorf("core: AggWorkers must be >= 0 (0 selects GOMAXPROCS), got %d", c.AggWorkers)
+	}
+	switch c.AggPrecision {
+	case "", AggF64:
+	case AggF32:
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: AggPrecision=f32 requires FedAvg (the ADMM dual-consistency argument is defined in float64)")
+		}
+	default:
+		return fmt.Errorf("core: unknown AggPrecision %q (want %q or %q)", c.AggPrecision, AggF64, AggF32)
 	}
 	if c.RoundTimeout < 0 {
 		return fmt.Errorf("core: RoundTimeout must be >= 0, got %v", c.RoundTimeout)

@@ -76,6 +76,21 @@ func EncodeDownlinkF16Into(gm *wire.GlobalModel, codes []byte) ([]byte, error) {
 	return codes, nil
 }
 
+// EncodeDownlinkF16From32 is EncodeDownlinkF16Into fed directly from a
+// single-precision model (the Config.AggPrecision=f32 accumulator): the
+// f16 rounding of a float32 equals the f16 rounding of its exact float64
+// widening, so the encoded downlink is bit-identical to widening first —
+// without the O(dim) widening sweep.
+func EncodeDownlinkF16From32(gm *wire.GlobalModel, w32 []float32, codes []byte) ([]byte, error) {
+	codes, err := pipeline.EncodeFloat16From32(w32, codes)
+	if err != nil {
+		return codes, err
+	}
+	gm.WeightsP = &wire.Payload{Enc: wire.EncFloat16, Dim: uint32(len(w32)), Codes: codes}
+	gm.Weights = nil
+	return codes, nil
+}
+
 // DecodeGlobal is the client half of the downlink path: when a received
 // GlobalModel carries a compressed weights payload, it is densified back
 // into Weights. Dense broadcasts pass through untouched. Every receiver —
@@ -161,6 +176,54 @@ func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim, worke
 	for _, u := range batch {
 		if err := decode(u); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// EnableFusedFold wires the fused invert+fold fast path: when the
+// server-side pipeline's whole inverse reduces to a per-coordinate decode
+// (pipeline.Fused) and the aggregator supports folding encoded sources
+// (FedAvgServer, BufferedAggregator), the aggregator is handed the fused
+// stage and the caller should screen batches with DecodeUpdatesFused
+// instead of densifying them through DecodeUpdates. Returns false when
+// either side cannot fuse — the two-pass path remains the fallback, and
+// both paths produce bit-identical models.
+func EnableFusedFold(agg Aggregator, inv *pipeline.Pipeline) (pipeline.FusedStage, bool) {
+	fs, ok := inv.Fused()
+	if !ok {
+		return nil, false
+	}
+	f, ok := agg.(interface{ setFusedStage(pipeline.FusedStage) })
+	if !ok {
+		return nil, false
+	}
+	f.setFusedStage(fs)
+	return fs, true
+}
+
+// DecodeUpdatesFused is the fused-path counterpart of DecodeUpdates: it
+// validates every compressed payload — declared dimension, the exact
+// encoding the configured stack produces, and structural integrity — but
+// leaves the payloads encoded for the aggregator's fused fold. The same
+// anti-smuggling and anti-DoS screens apply (dimension before any O(dim)
+// work, encoding pinned to the stack); the O(dim) decode itself moves
+// into the fold kernels, where it costs no extra sweep.
+func DecodeUpdatesFused(batch []*wire.LocalUpdate, fs pipeline.FusedStage, dim int) error {
+	for _, u := range batch {
+		if u == nil || u.PrimalP == nil {
+			continue
+		}
+		if int(u.PrimalP.Dim) != dim {
+			return fmt.Errorf("core: client %d payload dimension %d, model is %d: %w",
+				u.ClientID, u.PrimalP.Dim, dim, wire.ErrBadPayload)
+		}
+		if u.PrimalP.Enc != fs.FusedEnc() {
+			return fmt.Errorf("core: client %d update arrived %s-encoded but the configured stack produces %s: %w",
+				u.ClientID, u.PrimalP.Enc, fs.FusedEnc(), pipeline.ErrSpec)
+		}
+		if err := u.PrimalP.Validate(); err != nil {
+			return fmt.Errorf("core: client %d update: %w", u.ClientID, err)
 		}
 	}
 	return nil

@@ -352,6 +352,12 @@ func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module
 func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
 	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
+	// Fast paths of the kernel layer: fold still-encoded payloads when the
+	// stack's inverse fuses, and feed the f16 downlink straight from the
+	// f32 accumulator when one exists. Both are bit-identical to the
+	// two-pass/widening paths they replace.
+	fusedStage, fused := EnableFusedFold(agg, serverPipe)
+	w32agg, _ := agg.(Weights32Provider)
 	minCohort := cfg.MinCohort
 	if minCohort <= 0 {
 		minCohort = 1
@@ -374,19 +380,30 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			return fmt.Errorf("core: round %d cohort has %d schedulable clients, quorum is %d: %w",
 				t, len(cohort), minCohort, ErrQuorum)
 		}
-		wbuf = agg.WeightsInto(wbuf)
+		var w32 []float32
+		if cfg.DownlinkF16 && w32agg != nil {
+			w32 = w32agg.Weights32()
+		}
 		gm := &wire.GlobalModel{
 			Round:      uint32(t),
-			Weights:    wbuf,
 			Version:    uint64(agg.Version()),
 			CohortSize: uint32(len(cohort)),
+		}
+		if w32 == nil {
+			wbuf = agg.WeightsInto(wbuf)
+			gm.Weights = wbuf
 		}
 		if cfg.AdaptiveRho && rhoReporter != nil {
 			gm.Rho = rhoReporter.CurrentRho()
 		}
 		if cfg.DownlinkF16 {
 			var err error
-			if f16buf, err = EncodeDownlinkF16Into(gm, f16buf); err != nil {
+			if w32 != nil {
+				f16buf, err = EncodeDownlinkF16From32(gm, w32, f16buf)
+			} else {
+				f16buf, err = EncodeDownlinkF16Into(gm, f16buf)
+			}
+			if err != nil {
 				return fmt.Errorf("core: downlink round %d: %w", t, err)
 			}
 		}
@@ -421,7 +438,12 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			return fmt.Errorf("core: round %d completed with %d of %d clients, quorum is %d: %w",
 				t, len(data), len(cohort), minCohort, ErrQuorum)
 		}
-		if err := DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers); err != nil {
+		if fused {
+			err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
+		} else {
+			err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
+		}
+		if err != nil {
 			return fmt.Errorf("core: decode round %d: %w", t, err)
 		}
 		maxCompute := 0.0
@@ -499,6 +521,8 @@ func splitControl(updates []*wire.LocalUpdate, mem *membership) []*wire.LocalUpd
 func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
 	quorum := sched.Quorum()
+	fusedStage, fused := EnableFusedFold(agg, serverPipe)
+	w32agg, _ := agg.(Weights32Provider)
 	var wbuf []float64
 	var f16buf []byte
 	if cfg.DownlinkF16 {
@@ -506,16 +530,27 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		defer func() { tensor.PutBytes(f16buf) }()
 	}
 	dispatch := func(ids []int, round int) error {
-		wbuf = agg.WeightsInto(wbuf)
+		var w32 []float32
+		if cfg.DownlinkF16 && w32agg != nil {
+			w32 = w32agg.Weights32()
+		}
 		gm := &wire.GlobalModel{
 			Round:      uint32(round),
-			Weights:    wbuf,
 			Version:    uint64(agg.Version()),
 			CohortSize: uint32(len(ids)),
 		}
+		if w32 == nil {
+			wbuf = agg.WeightsInto(wbuf)
+			gm.Weights = wbuf
+		}
 		if cfg.DownlinkF16 {
 			var err error
-			if f16buf, err = EncodeDownlinkF16Into(gm, f16buf); err != nil {
+			if w32 != nil {
+				f16buf, err = EncodeDownlinkF16From32(gm, w32, f16buf)
+			} else {
+				f16buf, err = EncodeDownlinkF16Into(gm, f16buf)
+			}
+			if err != nil {
 				return fmt.Errorf("core: downlink release %d: %w", round, err)
 			}
 		}
@@ -588,7 +623,12 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		outstanding -= len(batch)
 		data := splitControl(batch, mem)
-		if err := DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers); err != nil {
+		if fused {
+			err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
+		} else {
+			err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
+		}
+		if err != nil {
 			return fmt.Errorf("core: decode release %d: %w", rel, err)
 		}
 		maxCompute := 0.0

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/pipeline"
+	"repro/internal/tensor"
 	"repro/internal/wire"
 )
 
@@ -69,12 +71,14 @@ func (b *BaseServer) checkUpdates(updates []*wire.LocalUpdate, needDual bool) er
 	if err := b.checkCount(len(updates)); err != nil {
 		return err
 	}
-	return b.checkBatch(updates, needDual)
+	return b.checkBatch(updates, needDual, false)
 }
 
 // checkBatch validates a released batch of any size (the cohort form used
-// by the Scheduler × Aggregator path).
-func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual bool) error {
+// by the Scheduler × Aggregator path). With allowEnc, an update may carry
+// its primal as a still-encoded payload (the fused invert+fold path); the
+// payload's declared dimension is checked in Primal's stead.
+func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual, allowEnc bool) error {
 	if len(batch) == 0 {
 		return fmt.Errorf("core: aggregate on an empty batch")
 	}
@@ -82,7 +86,11 @@ func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual bool) error 
 		if u == nil {
 			return fmt.Errorf("core: missing update from client %d", i)
 		}
-		if len(u.Primal) != len(b.W) {
+		if allowEnc && len(u.Primal) == 0 && u.PrimalP != nil {
+			if int(u.PrimalP.Dim) != len(b.W) {
+				return fmt.Errorf("core: client %d payload dimension %d, model is %d", i, u.PrimalP.Dim, len(b.W))
+			}
+		} else if len(u.Primal) != len(b.W) {
 			return fmt.Errorf("core: client %d primal dimension %d, model is %d", i, len(u.Primal), len(b.W))
 		}
 		if needDual && len(u.Dual) != len(b.W) {
@@ -92,17 +100,51 @@ func (b *BaseServer) checkBatch(batch []*wire.LocalUpdate, needDual bool) error 
 	return nil
 }
 
+// foldSrcFor views one update as a fold source for the batched kernels:
+// the dense primal when it was decoded (or arrived legacy-dense), or the
+// still-encoded payload via the fused stage. w is the fold coefficient.
+func foldSrcFor(u *wire.LocalUpdate, fused pipeline.FusedStage, w float64) (tensor.FoldSrc, error) {
+	if len(u.Primal) > 0 || fused == nil || u.PrimalP == nil {
+		return tensor.FoldSrc{Kind: tensor.SrcDense, Dense: u.Primal, W: w}, nil
+	}
+	src, err := fused.FoldSrc(u.PrimalP)
+	if err != nil {
+		return src, fmt.Errorf("core: client %d update: %w", u.ClientID, err)
+	}
+	src.W = w
+	return src, nil
+}
+
+// clearSrcs drops the batch aliases so recycled scratch does not pin
+// payload buffers past the aggregation that used them.
+func clearSrcs(srcs []tensor.FoldSrc) {
+	for i := range srcs {
+		srcs[i] = tensor.FoldSrc{}
+	}
+}
+
 // FedAvgServer implements federated averaging (McMahan et al., 2017):
 // the global model is the sample-weighted average of client models,
 // w ← Σ_p (I_p/I) z_p, following Eq. (1)'s weighting.
 type FedAvgServer struct {
 	BaseServer
 
-	// Pre-bound chunk operation and operands of the sharded average (no
-	// per-call closure; see BufferedAggregator for the same pattern).
-	aggBatch []*wire.LocalUpdate
-	aggTotal float64
-	aggOp    func(lo, hi int)
+	// fused, when set, lets Aggregate fold still-encoded payloads (f16 or
+	// quantized) straight into the accumulator; see EnableFusedFold.
+	fused pipeline.FusedStage
+
+	// prec32 selects the single-precision accumulator: w32 is then the
+	// authoritative model and W a lazily refreshed float64 mirror.
+	prec32   bool
+	w32      []float32
+	w32stale bool // w32 has advanced past the W mirror
+
+	// Pre-bound chunk operation and fold-source scratch of the sharded
+	// batched fold (no per-call closure or slice allocation; see
+	// BufferedAggregator for the same pattern).
+	srcs    []tensor.FoldSrc
+	aggOp   func(lo, hi int)
+	aggOp32 func(lo, hi int)
 }
 
 // NewFedAvgServer builds the server with initial weights w0.
@@ -110,28 +152,62 @@ func NewFedAvgServer(w0 []float64, numClients int) *FedAvgServer {
 	w := append([]float64(nil), w0...)
 	s := &FedAvgServer{BaseServer: BaseServer{W: w, NumClients: numClients}}
 	s.aggOp = s.aggChunk
+	s.aggOp32 = s.aggChunk32
 	return s
 }
 
-// aggChunk computes the sample-weighted average over one chunk of the
-// index space. Per element the fold order (zero, then += in batch order)
-// matches the serial loop exactly, so chunking cannot change a single bit.
-func (s *FedAvgServer) aggChunk(lo, hi int) {
-	w := s.W[lo:hi]
-	for i := range w {
-		w[i] = 0
-	}
-	for _, u := range s.aggBatch {
-		if u.NumSamples == 0 {
-			continue
-		}
-		wgt := float64(u.NumSamples) / s.aggTotal
-		z := u.Primal[lo:hi]
-		for i, v := range z {
-			w[i] += wgt * v
-		}
+// usePrecision32 switches the server to the single-precision accumulator.
+// Must be called before any aggregation.
+func (s *FedAvgServer) usePrecision32() {
+	s.prec32 = true
+	s.w32 = tensor.Narrow(nil, s.W)
+}
+
+// setFusedStage wires the fused invert+fold fast path (EnableFusedFold).
+func (s *FedAvgServer) setFusedStage(fs pipeline.FusedStage) { s.fused = fs }
+
+// syncMirror refreshes the float64 mirror from the f32 accumulator.
+func (s *FedAvgServer) syncMirror() {
+	if s.w32stale {
+		s.W = tensor.Widen(s.W, s.w32)
+		s.w32stale = false
 	}
 }
+
+// GlobalWeights returns the current global model (not a copy).
+func (s *FedAvgServer) GlobalWeights() []float64 {
+	s.syncMirror()
+	return s.W
+}
+
+// Weights returns a defensive copy of the global parameter vector.
+func (s *FedAvgServer) Weights() []float64 { return s.WeightsInto(nil) }
+
+// WeightsInto copies the global parameter vector into dst.
+func (s *FedAvgServer) WeightsInto(dst []float64) []float64 {
+	s.syncMirror()
+	return append(dst[:0], s.W...)
+}
+
+// Weights32 exposes the live single-precision model, or nil when the
+// server aggregates in float64. The f16 downlink encoder uses it to skip
+// the widening sweep (the f16 rounding of a float32 and of its exact
+// float64 widening are the same bits).
+func (s *FedAvgServer) Weights32() []float32 {
+	if !s.prec32 {
+		return nil
+	}
+	return s.w32
+}
+
+// aggChunk folds the batch over one chunk of the index space with the
+// cache-blocked K-way kernel. Per element the fold order (zero, then +=
+// in batch order) matches the pre-kernel serial loop exactly, so neither
+// chunking nor blocking can change a single bit.
+func (s *FedAvgServer) aggChunk(lo, hi int) { tensor.FoldKSrc(s.W, lo, hi, s.srcs) }
+
+// aggChunk32 is aggChunk on the single-precision accumulator.
+func (s *FedAvgServer) aggChunk32(lo, hi int) { tensor.FoldKSrc32(s.w32, lo, hi, s.srcs) }
 
 // Update averages the client primal vectors weighted by sample counts.
 // Updates with NumSamples == 0 (non-participants under partial
@@ -148,22 +224,44 @@ func (s *FedAvgServer) Update(updates []*wire.LocalUpdate) error {
 // Aggregate averages a released batch of any size — the cohort form: a
 // sampled cohort's updates carry full weight, and the math over a full
 // cohort is identical to Update's, so the SyncAll schedule reproduces the
-// pre-refactor trajectory exactly.
+// pre-refactor trajectory exactly. All contributing updates fold in one
+// batched K-way pass per chunk (tensor.FoldKSrc) instead of K separate
+// accumulator sweeps.
 func (s *FedAvgServer) Aggregate(batch []*wire.LocalUpdate) error {
-	if err := s.checkBatch(batch, false); err != nil {
+	if err := s.checkBatch(batch, false, s.fused != nil); err != nil {
 		return err
 	}
-	s.version++
 	total := 0.0
 	for _, u := range batch {
 		total += float64(u.NumSamples)
 	}
+	srcs := s.srcs[:0]
+	if total > 0 {
+		for _, u := range batch {
+			if u.NumSamples == 0 {
+				continue
+			}
+			// The division (not a hoisted reciprocal) keeps the weight the
+			// exact bits of the pre-kernel path.
+			src, err := foldSrcFor(u, s.fused, float64(u.NumSamples)/total)
+			if err != nil {
+				return err
+			}
+			srcs = append(srcs, src)
+		}
+	}
+	s.version++
 	if total == 0 {
 		return nil
 	}
-	s.aggBatch, s.aggTotal = batch, total
-	shardRun(len(s.W), s.Workers, s.aggOp)
-	s.aggBatch = nil
+	s.srcs = srcs
+	if s.prec32 {
+		shardRun(len(s.w32), s.Workers, s.aggOp32)
+		s.w32stale = true
+	} else {
+		shardRun(len(s.W), s.Workers, s.aggOp)
+	}
+	clearSrcs(s.srcs)
 	return nil
 }
 
@@ -179,8 +277,11 @@ type ICEADMMServer struct {
 
 	wPrev []float64
 
-	aggUpdates []*wire.LocalUpdate
-	aggOp      func(lo, hi int)
+	// Per-batch primal/dual views and the pre-bound chunk op of the
+	// sharded consensus fold (reused scratch; no per-call allocation).
+	aggZ  [][]float64
+	aggD  [][]float64
+	aggOp func(lo, hi int)
 }
 
 // NewICEADMMServer builds the server with initial weights w0.
@@ -191,21 +292,11 @@ func NewICEADMMServer(w0 []float64, numClients int, rho float64) *ICEADMMServer 
 	return s
 }
 
-// aggChunk computes w ← (1/P) Σ_p (z_p − λ_p/ρ) over one index chunk,
-// folding clients in batch order per element exactly like the serial loop.
+// aggChunk computes w ← (1/P) Σ_p (z_p − λ_p/ρ) over one index chunk with
+// the cache-blocked K-way kernel, folding clients in batch order per
+// element exactly like the pre-kernel serial loop.
 func (s *ICEADMMServer) aggChunk(lo, hi int) {
-	w := s.W[lo:hi]
-	invP := 1.0 / float64(s.NumClients)
-	for i := range w {
-		w[i] = 0
-	}
-	for _, u := range s.aggUpdates {
-		z := u.Primal[lo:hi]
-		d := u.Dual[lo:hi]
-		for i := range w {
-			w[i] += invP * (z[i] - d[i]/s.Rho)
-		}
-	}
+	tensor.FoldKDual(s.W, lo, hi, s.aggZ, s.aggD, 1.0/float64(s.NumClients), s.Rho)
 }
 
 // CurrentRho reports the penalty the next round must use.
@@ -219,18 +310,26 @@ func (s *ICEADMMServer) Update(updates []*wire.LocalUpdate) error {
 	}
 	s.version++
 	s.wPrev = append(s.wPrev[:0], s.W...)
-	s.aggUpdates = updates
+	s.aggZ, s.aggD = s.aggZ[:0], s.aggD[:0]
+	for _, u := range updates {
+		s.aggZ = append(s.aggZ, u.Primal)
+		s.aggD = append(s.aggD, u.Dual)
+	}
 	shardRun(len(s.W), s.Workers, s.aggOp)
-	s.aggUpdates = nil
 	if s.Adaptive != nil {
-		primals := make([][]float64, len(updates))
-		for i, u := range updates {
-			primals[i] = u.Primal
-		}
-		p, d := Residuals(s.W, s.wPrev, primals, s.Rho)
+		p, d := Residuals(s.W, s.wPrev, s.aggZ, s.Rho)
 		s.Rho = s.Adaptive.Step(p, d)
 	}
+	clearVecs(s.aggZ)
+	clearVecs(s.aggD)
 	return nil
+}
+
+// clearVecs drops batch aliases from recycled [][]float64 scratch.
+func clearVecs(vs [][]float64) {
+	for i := range vs {
+		vs[i] = nil
+	}
 }
 
 // IIADMMServer implements the server of the paper's Algorithm 1. The
@@ -250,8 +349,8 @@ type IIADMMServer struct {
 	duals [][]float64 // mirror λ_p per client
 	wPrev []float64
 
-	aggUpdates []*wire.LocalUpdate
-	aggOp      func(lo, hi int)
+	aggZ  [][]float64 // per-batch primal views (reused scratch)
+	aggOp func(lo, hi int)
 }
 
 // NewIIADMMServer builds the server; duals start at zero, the shared
@@ -271,31 +370,16 @@ func NewIIADMMServer(w0 []float64, numClients int, rho float64) *IIADMMServer {
 	return s
 }
 
-// aggChunk runs lines 6 and 3 of Algorithm 1 over one index chunk. The
-// dual update reads the pre-zeroing w of its own chunk only, so running
-// chunks concurrently is exactly the serial element order.
+// aggChunk runs lines 6 and 3 of Algorithm 1 over one index chunk with
+// the cache-blocked kernels. The dual update reads the pre-zeroing w of
+// its own chunk only, so running chunks concurrently is exactly the
+// serial element order; the batch covers every client ordered by ID
+// (checkCount), so batch index p addresses mirror dual s.duals[p].
 func (s *IIADMMServer) aggChunk(lo, hi int) {
-	w := s.W[lo:hi]
 	if !s.FreezeDual {
-		for p, u := range s.aggUpdates {
-			d := s.duals[p][lo:hi]
-			z := u.Primal[lo:hi]
-			for i := range d {
-				d[i] += s.Rho * (w[i] - z[i])
-			}
-		}
+		tensor.DualStepK(s.duals, s.W, lo, hi, s.aggZ, s.Rho)
 	}
-	invP := 1.0 / float64(s.NumClients)
-	for i := range w {
-		w[i] = 0
-	}
-	for p, u := range s.aggUpdates {
-		d := s.duals[p][lo:hi]
-		z := u.Primal[lo:hi]
-		for i := range w {
-			w[i] += invP * (z[i] - d[i]/s.Rho)
-		}
-	}
+	tensor.FoldKDual(s.W, lo, hi, s.aggZ, s.duals, 1.0/float64(s.NumClients), s.Rho)
 }
 
 // Dual exposes the mirror dual of one client for consistency testing.
@@ -318,17 +402,16 @@ func (s *IIADMMServer) Update(updates []*wire.LocalUpdate) error {
 	// was broadcast this round, and ρ is the value that rode with it.
 	// Line 3 (for the next round): w ← (1/P) Σ (z_p − λ_p/ρ).
 	// Both are element-wise, so they run sharded in one chunk pass.
-	s.aggUpdates = updates
+	s.aggZ = s.aggZ[:0]
+	for _, u := range updates {
+		s.aggZ = append(s.aggZ, u.Primal)
+	}
 	shardRun(len(s.W), s.Workers, s.aggOp)
-	s.aggUpdates = nil
 	if s.Adaptive != nil {
-		primals := make([][]float64, len(updates))
-		for i, u := range updates {
-			primals[i] = u.Primal
-		}
-		p, d := Residuals(s.W, s.wPrev, primals, s.Rho)
+		p, d := Residuals(s.W, s.wPrev, s.aggZ, s.Rho)
 		s.Rho = s.Adaptive.Step(p, d)
 	}
+	clearVecs(s.aggZ)
 	return nil
 }
 
@@ -358,6 +441,9 @@ func NewServer(cfg Config, w0 []float64, numClients int) (ServerAlgorithm, error
 	case AlgoFedAvg:
 		s := NewFedAvgServer(w0, numClients)
 		s.Workers = cfg.AggWorkers
+		if cfg.AggPrecision == AggF32 {
+			s.usePrecision32()
+		}
 		return s, nil
 	case AlgoICEADMM:
 		s := NewICEADMMServer(w0, numClients, cfg.Rho)

@@ -322,7 +322,15 @@ func Float16FromFloat64(v float64) uint16 {
 	// The double → single conversion already rounds to nearest even and is
 	// exact for every value binary16 can represent, so the two-step
 	// conversion equals a direct double → half rounding.
-	b := math.Float32bits(float32(v))
+	return Float16FromFloat32(float32(v))
+}
+
+// Float16FromFloat32 converts v to IEEE-754 binary16 bits with
+// round-to-nearest-even, saturating overflow to ±Inf and preserving NaN.
+// Float16FromFloat64 is exactly this applied to float32(v), so the f32
+// aggregation path's downlink encode is bit-equivalent to widening first.
+func Float16FromFloat32(v float32) uint16 {
+	b := math.Float32bits(v)
 	sign := uint16(b>>16) & 0x8000
 	exp := int32(b>>23&0xff) - 127 + 15
 	mant := b & 0x7fffff
