@@ -4,8 +4,11 @@
 //
 // Usage:
 //
-//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|all]
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|scale|all]
 //	            [-out results] [-scale small|medium|paper] [-json]
+//
+// An unknown -only value is rejected with the list of valid artifacts
+// (it used to match nothing and exit green without producing anything).
 //
 // The -scale flag trades fidelity for time in the training-based Figure 2
 // sweep: "small" finishes in about a minute on a laptop, "paper" uses the
@@ -16,6 +19,12 @@
 // wire-codec MB/s, pipeline stage cost and compression ratios, and round
 // latency under a straggler. With -json the report is also written to
 // <out>/BENCH.json — the document CI diffs against BENCH_baseline.json.
+//
+// The "scale" artifact runs the hierarchical-tier load harness
+// (bench.RunScale) at the -scale-clients/-scale-cohort/-scale-shards/
+// -scale-admit/-scale-rounds geometry: measured shard fold+reduce
+// throughput plus simnet-modelled round-latency percentiles for a
+// 100k–1M-client federation.
 package main
 
 import (
@@ -24,25 +33,49 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 
 	"repro/internal/bench"
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 )
 
+// artifacts is the closed set of -only values; "all" runs every one.
+var artifacts = []string{"table1", "fig2", "fig3", "fig4", "hetero", "commvol", "scenarios", "perf", "scale"}
+
+// slicesContains reports whether xs contains x.
+func slicesContains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
 func main() {
-	only := flag.String("only", "all", "artifact to regenerate: table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|all")
+	only := flag.String("only", "all", "artifact to regenerate: "+strings.Join(artifacts, "|")+"|all")
 	out := flag.String("out", "results", "output directory")
 	scale := flag.String("scale", "small", "fig2 scale: small|medium|paper")
 	jsonOut := flag.Bool("json", false, "write the perf report to <out>/BENCH.json")
 	dim := flag.Int("dim", 1<<20, "model dimension of the perf probes")
 	workers := flag.Int("workers", 8, "sharded width of the parallel perf probes")
+	scaleClients := flag.Int("scale-clients", 100_000, "federation roster size of the scale harness")
+	scaleCohort := flag.Int("scale-cohort", 256, "sampled cohort size per round of the scale harness")
+	scaleShards := flag.Int("scale-shards", 8, "aggregation tier width of the scale harness")
+	scaleAdmit := flag.Int("scale-admit", 0, "per-round admission cap of the scale harness (0 = unlimited)")
+	scaleRounds := flag.Int("scale-rounds", 200, "virtual rounds the scale harness simulates")
 	printProcs := flag.Bool("print-gomaxprocs", false, "print the effective GOMAXPROCS and exit (CI records it next to the bench artifact)")
 	flag.Parse()
 
 	if *printProcs {
 		fmt.Println(runtime.GOMAXPROCS(0))
 		return
+	}
+	// An unknown -only used to match nothing and exit successfully having
+	// produced no artifact — a silently green no-op. Reject it instead.
+	if *only != "all" && !slicesContains(artifacts, *only) {
+		fatal(fmt.Errorf("unknown -only artifact %q; valid: %s, all", *only, strings.Join(artifacts, ", ")))
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
@@ -72,6 +105,19 @@ func main() {
 			}
 			fmt.Printf("perf: wrote %s (%d metrics)\n", path, len(rep.Metrics))
 		}
+	}
+	if run("scale") {
+		res, err := bench.RunScale(bench.ScaleOptions{
+			Clients:       *scaleClients,
+			Cohort:        *scaleCohort,
+			Shards:        *scaleShards,
+			AdmitPerRound: *scaleAdmit,
+			Rounds:        *scaleRounds,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "scale", res.Table())
 	}
 	if run("table1") {
 		emit(*out, "table1", experiments.Table1())

@@ -20,6 +20,7 @@
 // throughputs) are shown in the table but skipped by the gate — a
 // core-count mismatch is not a performance regression. The table
 // annotates each skipped row and a warning line states both values.
+// The rendering lives in bench.RenderDiff, where it is unit-tested.
 package main
 
 import (
@@ -45,20 +46,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	deltas, regressions := bench.Compare(base, cur, *tolerance, *all)
-	fmt.Println("### Performance vs baseline")
-	fmt.Println()
-	if base.GoMaxProcs != cur.GoMaxProcs {
-		fmt.Printf("⚠ baseline measured at GOMAXPROCS=%d, current at GOMAXPROCS=%d — parallel-dependent metrics are reported below but skipped by the gate.\n\n",
-			base.GoMaxProcs, cur.GoMaxProcs)
-	}
-	fmt.Print(bench.Markdown(deltas))
-	fmt.Println()
+	out, regressions := bench.RenderDiff(base, cur, *tolerance, *all, *baseline)
+	fmt.Print(out)
 	if regressions > 0 {
-		fmt.Printf("\n❌ %d gated metric(s) regressed more than %.0f%% vs %s\n", regressions, *tolerance*100, *baseline)
 		os.Exit(1)
 	}
-	fmt.Printf("✅ no gated metric regressed more than %.0f%% vs %s\n", *tolerance*100, *baseline)
 }
 
 func fatal(err error) {

@@ -44,6 +44,7 @@ func main() {
 	minCohort := flag.Int("min-cohort", 0, "quorum: minimum survivors a deadline-cut round may aggregate (0 = 1)")
 	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial; bit-identical results at any width)")
 	aggPrecision := flag.String("agg-precision", appfl.AggF64, "aggregation accumulator precision: f64 (bit-identical default) or f32 (FedAvg family only)")
+	aggShards := flag.Int("shards", 0, "hierarchical aggregation tier width (0/1 = single aggregator; FedAvg family only, bit-identical at any width)")
 	flag.Parse()
 
 	// Same rule Config.Validate enforces, surfaced before any dataset is
@@ -102,6 +103,7 @@ func main() {
 		MinCohort:      *minCohort,
 		AggWorkers:     *aggWorkers,
 		AggPrecision:   *aggPrecision,
+		AggShards:      *aggShards,
 	}
 	if *scheduler != appfl.SchedSampled {
 		cfg.CohortFraction = 0

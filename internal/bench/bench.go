@@ -157,6 +157,7 @@ func NewSuite(opts Options) *Suite {
 			{Name: "codec", Run: probeCodec},
 			{Name: "pipeline", Run: probePipeline},
 			{Name: "round", Run: probeRoundLatency},
+			{Name: "scale", Run: probeScale},
 		},
 	}
 }

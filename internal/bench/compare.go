@@ -115,6 +115,30 @@ func Markdown(deltas []Delta) string {
 	return b.String()
 }
 
+// RenderDiff produces the complete human/CI-facing comparison document —
+// header, GOMAXPROCS-mismatch warning, markdown delta table, and
+// verdict — plus the regression count. cmd/appfl-benchdiff prints this
+// verbatim and exits non-zero on regressions; keeping the rendering here
+// makes the warning and verdict paths unit-testable without spawning the
+// binary. baselineName labels the verdict line.
+func RenderDiff(base, cur *Report, tol float64, all bool, baselineName string) (string, int) {
+	deltas, regressions := Compare(base, cur, tol, all)
+	var b strings.Builder
+	b.WriteString("### Performance vs baseline\n\n")
+	if base.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintf(&b, "⚠ baseline measured at GOMAXPROCS=%d, current at GOMAXPROCS=%d — parallel-dependent metrics are reported below but skipped by the gate.\n\n",
+			base.GoMaxProcs, cur.GoMaxProcs)
+	}
+	b.WriteString(Markdown(deltas))
+	b.WriteByte('\n')
+	if regressions > 0 {
+		fmt.Fprintf(&b, "\n❌ %d gated metric(s) regressed more than %.0f%% vs %s\n", regressions, tol*100, baselineName)
+	} else {
+		fmt.Fprintf(&b, "✅ no gated metric regressed more than %.0f%% vs %s\n", tol*100, baselineName)
+	}
+	return b.String(), regressions
+}
+
 // fmtVal renders a metric value compactly.
 func fmtVal(v float64) string {
 	switch {

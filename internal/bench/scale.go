@@ -1,0 +1,221 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// ScaleOptions tunes the cross-device scale harness. Zero values select
+// the defaults used by the committed baseline: a 100k-client federation
+// sampled 256 clients per round into an 8-shard aggregation tier.
+type ScaleOptions struct {
+	// Clients is the federation roster size (default 100_000; the
+	// harness is O(cohort), so 1M is just as cheap).
+	Clients int
+	// Cohort is the sampled cohort size per round (default 256).
+	Cohort int
+	// Shards is the aggregation tier width (default 8).
+	Shards int
+	// AdmitPerRound caps updates admitted per round (default 0 =
+	// unlimited; the router still routes, it just never rejects).
+	AdmitPerRound int
+	// Rounds is the number of virtual rounds the latency model simulates
+	// (default 200).
+	Rounds int
+	// Dim is the model dimension of the fold-timing phase (default
+	// 1<<16; also sets the modelled update size, 8·Dim bytes).
+	Dim int
+	// MinProbeTime is the minimum cumulative measurement time of the
+	// fold-timing phase (default 100ms).
+	MinProbeTime time.Duration
+	// Seed drives cohort sampling and network jitter (default 7). The
+	// virtual-latency phase is deterministic in (options, Seed).
+	Seed uint64
+}
+
+func (o ScaleOptions) withDefaults() ScaleOptions {
+	if o.Clients == 0 {
+		o.Clients = 100_000
+	}
+	if o.Cohort == 0 {
+		o.Cohort = 256
+	}
+	if o.Shards == 0 {
+		o.Shards = 8
+	}
+	if o.Rounds == 0 {
+		o.Rounds = 200
+	}
+	if o.Dim == 0 {
+		o.Dim = 1 << 16
+	}
+	if o.MinProbeTime == 0 {
+		o.MinProbeTime = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 7
+	}
+	return o
+}
+
+// ScaleResult is one scale-harness run: measured fold throughput of the
+// sharded tier against the single aggregator, plus the modelled
+// round-latency distribution of the full client→shard→reduce path.
+type ScaleResult struct {
+	Opts ScaleOptions
+
+	// RoundsPerSecSharded is the measured sharded-tier fold+reduce rate
+	// (cohort-sized batches per second, machine-dependent).
+	RoundsPerSecSharded float64
+	// RoundsPerSecSerial is the single-aggregator rate on the same batch.
+	RoundsPerSecSerial float64
+	// ShardSpeedup is RoundsPerSecSharded / RoundsPerSecSerial.
+	ShardSpeedup float64
+
+	// P50, P95, P99 are modelled round-latency percentiles in seconds
+	// (virtual time: deterministic in the options and seed).
+	P50, P95, P99 float64
+	// Admitted and Rejected count the router's decisions over all rounds.
+	Admitted, Rejected uint64
+	// VirtualSec is the total modelled time of the simulated rounds.
+	VirtualSec float64
+}
+
+// RunScale runs the scale harness. The two phases answer different
+// questions with the cheapest faithful instrument each:
+//
+//   - Fold timing is *measured*: a cohort-sized batch folds through a real
+//     sharded tier (core.Config.AggShards) and through a real serial
+//     aggregator — same kernels, same bit-identical trajectory, wall
+//     clock. This is the shard_reduce_speedup the CI gate watches.
+//
+//   - Round latency at 100k–1M clients is *modelled*: per round, the
+//     O(cohort) sampler draws a cohort from the roster, the ShardRouter
+//     admits and routes it, and simnet.ShardNet prices the upload queues
+//     and the tree-reduce. Virtual time is deterministic in the seed, so
+//     the published percentiles are machine-independent — and simulating
+//     a 1M-client federation costs microseconds per round, which is the
+//     point of a simnet-backed harness.
+func RunScale(o ScaleOptions) (*ScaleResult, error) {
+	o = o.withDefaults()
+	res := &ScaleResult{Opts: o}
+
+	// Phase 1: measured fold + tree-reduce throughput. The batch aliases a
+	// few base vectors so a big cohort does not need cohort×dim memory.
+	w0 := randVec(o.Dim, o.Seed)
+	const baseVecs = 8
+	bases := make([][]float64, baseVecs)
+	for i := range bases {
+		bases[i] = randVec(o.Dim, o.Seed+1+uint64(i))
+	}
+	batch := make([]*wire.LocalUpdate, o.Cohort)
+	for i := range batch {
+		batch[i] = &wire.LocalUpdate{
+			ClientID:   uint32(i),
+			NumSamples: uint64(16 + i%31),
+			Primal:     bases[i%baseVecs],
+		}
+	}
+	foldSec := func(shards int) (float64, error) {
+		cfg := core.Config{Algorithm: core.AlgoFedAvg, AggWorkers: 1, AggShards: shards}.WithDefaults()
+		agg, err := core.NewAggregator(cfg, w0, o.Cohort)
+		if err != nil {
+			return 0, err
+		}
+		if c, ok := agg.(interface{ Close() error }); ok {
+			defer c.Close()
+		}
+		return measure(o.MinProbeTime, func() {
+			if err := agg.Aggregate(batch); err != nil {
+				panic(err)
+			}
+		}), nil
+	}
+	serialSec, err := foldSec(0) // AggShards 0 = flat single aggregator
+	if err != nil {
+		return nil, err
+	}
+	shardedSec, err := foldSec(o.Shards)
+	if err != nil {
+		return nil, err
+	}
+	res.RoundsPerSecSerial = 1 / serialSec
+	res.RoundsPerSecSharded = 1 / shardedSec
+	res.ShardSpeedup = serialSec / shardedSec
+
+	// Phase 2: modelled round latency over the full federation.
+	sampler := core.SampledCohort{NumClients: o.Clients, MinClients: o.Cohort, Seed: o.Seed}
+	router, err := core.NewShardRouter(o.Shards, o.AdmitPerRound)
+	if err != nil {
+		return nil, err
+	}
+	net, err := simnet.DefaultShardNet(o.Shards)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := metrics.NewHistogram(1e-4, 1e4, 512)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(o.Seed)
+	updateBytes := 8 * o.Dim
+	partialBytes := 8 * ((o.Dim + o.Shards - 1) / o.Shards)
+	admitted := make([]uint32, 0, o.Cohort)
+	for round := 1; round <= o.Rounds; round++ {
+		admitted = admitted[:0]
+		for _, id := range sampler.Cohort(round) {
+			if _, ok := router.Admit(round, uint32(id)); ok {
+				admitted = append(admitted, uint32(id))
+			}
+		}
+		total, _, _ := net.RoundTime(admitted, updateBytes, partialBytes, r)
+		hist.Add(total)
+		res.VirtualSec += total
+	}
+	res.P50, res.P95, res.P99 = hist.Summary()
+	res.Admitted, res.Rejected = router.Admitted, router.Rejected
+	return res, nil
+}
+
+// Table renders the result for terminal output and CI summaries.
+func (res *ScaleResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("scale: %d clients, cohort %d, %d shards, %d virtual rounds",
+			res.Opts.Clients, res.Opts.Cohort, res.Opts.Shards, res.Opts.Rounds),
+		"metric", "value", "unit")
+	t.AddRowf("rounds/sec sharded", res.RoundsPerSecSharded, "rounds/s")
+	t.AddRowf("rounds/sec serial", res.RoundsPerSecSerial, "rounds/s")
+	t.AddRowf("shard speedup", res.ShardSpeedup, "x")
+	t.AddRowf("round latency p50", res.P50*1e3, "ms")
+	t.AddRowf("round latency p95", res.P95*1e3, "ms")
+	t.AddRowf("round latency p99", res.P99*1e3, "ms")
+	t.AddRowf("admitted", fmt.Sprintf("%d", res.Admitted), "clients")
+	t.AddRowf("rejected", fmt.Sprintf("%d", res.Rejected), "clients")
+	t.AddRowf("virtual time", res.VirtualSec, "s")
+	return t
+}
+
+// probeScale is the suite hook: it runs the scale harness at *fixed*
+// parameters — not Options.Dim — so the gated virtual-latency
+// percentiles are a pure function of the model and seed, reproducible on
+// any machine. Only MinProbeTime passes through (it scales the measured
+// fold phase, which publishes machine-dependent values and a
+// parallel-dependent ratio).
+func probeScale(o Options, r *Report) error {
+	res, err := RunScale(ScaleOptions{MinProbeTime: o.MinProbeTime})
+	if err != nil {
+		return err
+	}
+	r.Add(Metric{Name: "rounds_per_sec_sharded", Value: res.RoundsPerSecSharded, Unit: "rounds/s", HigherIsBetter: true, ParallelDependent: true})
+	r.Add(Metric{Name: "shard_reduce_speedup", Value: res.ShardSpeedup, Unit: "x", HigherIsBetter: true, Gated: true, ParallelDependent: true})
+	r.Add(Metric{Name: "scale_round_latency_p50", Value: res.P50 * 1e3, Unit: "ms", HigherIsBetter: false, Gated: true})
+	r.Add(Metric{Name: "scale_round_latency_p95", Value: res.P95 * 1e3, Unit: "ms", HigherIsBetter: false, Gated: true})
+	r.Add(Metric{Name: "scale_round_latency_p99", Value: res.P99 * 1e3, Unit: "ms", HigherIsBetter: false, Gated: true})
+	return nil
+}

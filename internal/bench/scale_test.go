@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastScale keeps the measured fold phase inside the unit-test budget;
+// the modelled phase is cheap at any roster size.
+func fastScale(clients, shards int) ScaleOptions {
+	return ScaleOptions{
+		Clients:      clients,
+		Cohort:       128,
+		Shards:       shards,
+		Rounds:       50,
+		Dim:          1 << 12,
+		MinProbeTime: time.Millisecond,
+	}
+}
+
+// TestRunScaleHundredThousandClients: the harness completes rounds over
+// a 100k-client federation and publishes a sane latency distribution —
+// the acceptance criterion of the scale tier.
+func TestRunScaleHundredThousandClients(t *testing.T) {
+	res, err := RunScale(fastScale(100_000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RoundsPerSecSharded <= 0 || res.RoundsPerSecSerial <= 0 || res.ShardSpeedup <= 0 {
+		t.Fatalf("degenerate fold rates: %+v", res)
+	}
+	if !(res.P50 > 0 && res.P50 <= res.P95 && res.P95 <= res.P99) {
+		t.Fatalf("latency percentiles not monotone: p50 %v p95 %v p99 %v", res.P50, res.P95, res.P99)
+	}
+	if want := uint64(50 * 128); res.Admitted != want {
+		t.Fatalf("admitted %d clients, want %d (unlimited admission)", res.Admitted, want)
+	}
+	if res.Rejected != 0 {
+		t.Fatalf("unlimited admission rejected %d", res.Rejected)
+	}
+	table := res.Table().String()
+	for _, want := range []string{"round latency p99", "shard speedup", "100000 clients"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRunScaleMillionClientsIsCheap: a 1M-client federation must cost no
+// more than the cohort does — the sampler and router never enumerate the
+// roster.
+func TestRunScaleMillionClientsIsCheap(t *testing.T) {
+	opts := fastScale(1_000_000, 8)
+	start := time.Now()
+	res, err := RunScale(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("1M-client harness took %v — not O(cohort)", el)
+	}
+	if res.VirtualSec <= 0 {
+		t.Fatal("no virtual time accumulated")
+	}
+}
+
+// TestRunScaleLatencyDeterministic: the modelled percentiles are a pure
+// function of (options, seed) — the property that lets them gate in CI
+// across machines.
+func TestRunScaleLatencyDeterministic(t *testing.T) {
+	a, err := RunScale(fastScale(100_000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScale(fastScale(100_000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]float64{{a.P50, b.P50}, {a.P95, b.P95}, {a.P99, b.P99}, {a.VirtualSec, b.VirtualSec}} {
+		if math.Float64bits(pair[0]) != math.Float64bits(pair[1]) {
+			t.Fatalf("virtual latencies diverged across identical runs: %v vs %v", pair[0], pair[1])
+		}
+	}
+}
+
+// TestRunScaleAdmissionCap: a per-round cap rejects the cohort overflow
+// and shrinks the admitted upload load.
+func TestRunScaleAdmissionCap(t *testing.T) {
+	opts := fastScale(100_000, 8)
+	opts.AdmitPerRound = 32
+	res, err := RunScale(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := uint64(50 * 32); res.Admitted != want {
+		t.Fatalf("admitted %d, want %d under cap 32", res.Admitted, want)
+	}
+	if want := uint64(50 * (128 - 32)); res.Rejected != want {
+		t.Fatalf("rejected %d, want %d under cap 32", res.Rejected, want)
+	}
+	uncapped, err := RunScale(fastScale(100_000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P50 >= uncapped.P50 {
+		t.Fatalf("capped round p50 %v not faster than uncapped %v", res.P50, uncapped.P50)
+	}
+}

@@ -1,0 +1,54 @@
+package comm
+
+// This file holds the topology of the hierarchical aggregation tier: how
+// clients are routed to ingress shards, how the model's index space is
+// partitioned across shards, and how deep the partial-aggregate reduce
+// tree is. The core tier and the simnet load harness share these
+// functions, so the modelled fan-out/gather geometry is the executed one.
+
+// ShardOf maps a client id to its ingress shard with a splitmix64
+// finalizer: assignment is stable under roster growth, uniform across
+// shards, and independent of the order clients joined — the properties a
+// routing tier needs so one hot shard cannot form by id locality.
+func ShardOf(client uint32, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	x := (uint64(client) + 1) * 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// ShardRange returns the contiguous index range [lo, hi) of an n-element
+// space owned by shard s of `shards`. Ranges tile [0, n) in shard order
+// with ceil(n/shards)-sized chunks; trailing shards may be empty when
+// n < shards. The partition is a pure function of (n, shards) — never of
+// core count or scheduling — which is what keeps shard state stable
+// across rounds and the reduce order fixed.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	if shards <= 0 || s < 0 || s >= shards {
+		panic("comm: shard index out of range")
+	}
+	size := (n + shards - 1) / shards
+	lo = s * size
+	if lo > n {
+		lo = n
+	}
+	hi = lo + size
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// ReduceDepth returns the number of stages of the binary tree-reduce over
+// `shards` partials: ⌈log₂ shards⌉, 0 for a single shard.
+func ReduceDepth(shards int) int {
+	d := 0
+	for span := 1; span < shards; span *= 2 {
+		d++
+	}
+	return d
+}

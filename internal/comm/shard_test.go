@@ -1,0 +1,73 @@
+package comm
+
+import "testing"
+
+func TestShardOfUniformAndStable(t *testing.T) {
+	const shards = 8
+	const clients = 80000
+	counts := make([]int, shards)
+	for c := 0; c < clients; c++ {
+		s := ShardOf(uint32(c), shards)
+		if s < 0 || s >= shards {
+			t.Fatalf("client %d routed to shard %d of %d", c, s, shards)
+		}
+		counts[s]++
+	}
+	// Uniformity: every shard within ±10% of the ideal load.
+	ideal := clients / shards
+	for s, n := range counts {
+		if n < ideal*9/10 || n > ideal*11/10 {
+			t.Errorf("shard %d holds %d clients, ideal %d — assignment is skewed", s, n, ideal)
+		}
+	}
+	// Stability: the same id always routes identically.
+	for c := uint32(0); c < 100; c++ {
+		if ShardOf(c, shards) != ShardOf(c, shards) {
+			t.Fatal("assignment not deterministic")
+		}
+	}
+	// Degenerate tier.
+	if ShardOf(12345, 1) != 0 || ShardOf(12345, 0) != 0 {
+		t.Error("single-shard tier must route everything to shard 0")
+	}
+}
+
+func TestShardRangeTiles(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{
+		{100, 4}, {103, 4}, {1, 8}, {7, 8}, {4096, 3}, {5, 5}, {0, 2},
+	} {
+		prev := 0
+		for s := 0; s < tc.shards; s++ {
+			lo, hi := ShardRange(tc.n, tc.shards, s)
+			if lo != prev {
+				t.Fatalf("n=%d shards=%d: shard %d starts at %d, previous ended at %d", tc.n, tc.shards, s, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d shards=%d: shard %d has inverted range [%d,%d)", tc.n, tc.shards, s, lo, hi)
+			}
+			prev = hi
+		}
+		if prev != tc.n {
+			t.Fatalf("n=%d shards=%d: ranges cover [0,%d), want [0,%d)", tc.n, tc.shards, prev, tc.n)
+		}
+	}
+}
+
+func TestShardRangePanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range shard index did not panic")
+		}
+	}()
+	ShardRange(10, 2, 2)
+}
+
+func TestReduceDepth(t *testing.T) {
+	for _, tc := range []struct{ shards, want int }{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {16, 4},
+	} {
+		if got := ReduceDepth(tc.shards); got != tc.want {
+			t.Errorf("ReduceDepth(%d) = %d, want %d", tc.shards, got, tc.want)
+		}
+	}
+}

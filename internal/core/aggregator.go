@@ -55,6 +55,9 @@ func NewAggregator(cfg Config, w0 []float64, numClients int) (Aggregator, error)
 		if cfg.AggPrecision == AggF32 {
 			b.usePrecision32()
 		}
+		if cfg.AggShards > 1 {
+			b.useShards(cfg.AggShards)
+		}
 		return b, nil
 	}
 	srv, err := NewServer(cfg, w0, numClients)
@@ -126,6 +129,10 @@ type BufferedAggregator struct {
 	w32      []float32
 	w32stale bool
 
+	// tier, when non-nil, is the hierarchical sharded aggregation tier
+	// (Config.AggShards); see FedAvgServer.tier and shard.go.
+	tier *shardTier
+
 	// Pre-bound fold operation and fold-source scratch: binding the
 	// method value once at construction keeps the sharded batched fold
 	// allocation-free in steady state (no per-call closure).
@@ -166,6 +173,12 @@ func (b *BufferedAggregator) usePrecision32() {
 
 // setFusedStage wires the fused invert+fold fast path (EnableFusedFold).
 func (b *BufferedAggregator) setFusedStage(fs pipeline.FusedStage) { b.fused = fs }
+
+// useShards attaches the hierarchical sharded aggregation tier of width
+// n; see FedAvgServer.useShards. The shards seed their ranges from the
+// current model: the convex staleness rule folds into prior state, which
+// the tier's shards own from here on.
+func (b *BufferedAggregator) useShards(n int) { b.tier = newShardTier(b.w, n) }
 
 // foldChunk folds the whole release over one chunk with the cache-blocked
 // sequential-convex kernel: within a block, update k fully folds before
@@ -259,10 +272,15 @@ func (b *BufferedAggregator) Aggregate(batch []*wire.LocalUpdate) error {
 	}
 	b.srcs = srcs
 	if len(srcs) > 0 {
-		if b.prec32 {
+		switch {
+		case b.prec32:
 			shardRun(len(b.w32), b.Workers, b.foldOp32)
 			b.w32stale = true
-		} else {
+		case b.tier != nil:
+			if err := b.tier.fold(b.w, b.srcs, uint64(b.version), true); err != nil {
+				return err
+			}
+		default:
 			shardRun(len(b.w), b.Workers, b.foldOp)
 		}
 		clearSrcs(b.srcs)

@@ -152,6 +152,18 @@ type Config struct {
 	// order, so results are bit-identical across widths.
 	AggWorkers int
 
+	// AggShards is the width of the hierarchical sharded aggregation tier:
+	// n > 1 partitions the accumulator index space into n contiguous
+	// ranges, each owned and folded by a dedicated long-lived shard
+	// worker, and the resulting wire.PartialAggregate messages tree-reduce
+	// back into the global model. Shard ranges are a pure function of
+	// (dim, n) and every rule is element-wise with a fixed per-element
+	// fold order, so the sharded trajectory is bit-identical to the
+	// single-aggregator one at any width. 0 or 1 selects the flat path.
+	// FedAvg-family rules only (like AggPrecision), and not combinable
+	// with AggPrecision=f32 (one accumulator authority).
+	AggShards int
+
 	// RoundTimeout bounds how long the server waits on a round's gather.
 	// Zero (the default) waits forever — the pre-fault-tolerance behavior,
 	// under which a client that never reports hangs the round. With a
@@ -281,6 +293,17 @@ func (c Config) Validate() error {
 		}
 	default:
 		return fmt.Errorf("core: unknown AggPrecision %q (want %q or %q)", c.AggPrecision, AggF64, AggF32)
+	}
+	if c.AggShards < 0 {
+		return fmt.Errorf("core: AggShards must be >= 0 (0 or 1 selects the flat path), got %d", c.AggShards)
+	}
+	if c.AggShards > 1 {
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: AggShards requires FedAvg-family rules (the ADMM servers carry coupled dual state)")
+		}
+		if c.AggPrecision == AggF32 {
+			return fmt.Errorf("core: AggShards and AggPrecision=f32 cannot combine (one accumulator authority)")
+		}
 	}
 	if c.RoundTimeout < 0 {
 		return fmt.Errorf("core: RoundTimeout must be >= 0, got %v", c.RoundTimeout)

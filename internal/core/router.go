@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+)
+
+// ShardRouter is the admission/routing front of the hierarchical
+// aggregation tier. At cross-device scale the scheduler's job shifts
+// from enumerating a roster to gatekeeping a stream of arrivals: each
+// admitted client is routed to its ingress shard by id hash
+// (comm.ShardOf — stable and uniform), and a per-round admission cap
+// bounds how many updates a round may accept, the back-pressure knob
+// that keeps a million-client federation from overrunning the tier. The
+// simnet load harness drives one of these per modelled round; a real
+// front-end would hold one per federation.
+type ShardRouter struct {
+	// Shards is the tier width admitted clients are routed across.
+	Shards int
+	// PerRound caps admitted updates per round; 0 = unlimited.
+	PerRound int
+
+	round   int
+	inRound int
+
+	// Admitted and Rejected count routing decisions across all rounds.
+	Admitted, Rejected uint64
+}
+
+// NewShardRouter builds a router over `shards` ingress shards admitting
+// at most perRound updates per round (0 = unlimited).
+func NewShardRouter(shards, perRound int) (*ShardRouter, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("core: router needs at least one shard, got %d", shards)
+	}
+	if perRound < 0 {
+		return nil, fmt.Errorf("core: PerRound must be >= 0 (0 = unlimited), got %d", perRound)
+	}
+	return &ShardRouter{Shards: shards, PerRound: perRound}, nil
+}
+
+// Admit decides whether client may contribute to round and, if so, which
+// ingress shard receives its update. A new round number resets the
+// admission window (rounds are monotone; a stale round is treated as the
+// current one). Rejected clients are counted — the caller decides
+// whether they retry next round or drop.
+func (r *ShardRouter) Admit(round int, client uint32) (shard int, ok bool) {
+	if round > r.round {
+		r.round, r.inRound = round, 0
+	}
+	if r.PerRound > 0 && r.inRound >= r.PerRound {
+		r.Rejected++
+		return -1, false
+	}
+	r.inRound++
+	r.Admitted++
+	return comm.ShardOf(client, r.Shards), true
+}

@@ -177,6 +177,7 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	if err != nil {
 		return nil, err
 	}
+	defer closeAggregator(agg)
 
 	st, cts, err := newServerTransport(opts.Transport, P, dim, cfg.Rounds)
 	if err != nil {

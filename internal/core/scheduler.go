@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/comm"
+	"repro/internal/rng"
 )
 
 // Scheduler names accepted in Config.Scheduler.
@@ -136,30 +137,34 @@ func (s SampledCohort) size() int {
 	return k
 }
 
-// Cohort ranks every client by a per-round hash score and returns the k
-// lowest-scoring IDs in ascending order.
+// Cohort draws a uniform k-subset of the roster with a seeded partial
+// Fisher–Yates over a sparse overlay: only the k draws and their swap
+// targets ever materialize, so one round costs O(k log k) time and O(k)
+// memory no matter how large the roster is — a 1M-entry federation is
+// never enumerated. (The previous implementation ranked all N clients by
+// a per-round hash score: O(N log N) per round, which is exactly the
+// scan a routing/admission tier cannot afford at cross-device scale.)
+// The draw is deterministic in (Seed, round) and returned ascending.
 func (s SampledCohort) Cohort(round int) []int {
 	k := s.size()
 	if k == s.NumClients {
 		return comm.AllClients(s.NumClients)
 	}
-	type scored struct {
-		score uint64
-		id    int
-	}
-	ranked := make([]scored, s.NumClients)
-	for id := 0; id < s.NumClients; id++ {
-		ranked[id] = scored{score: cohortScore(s.Seed, round, id), id: id}
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].score != ranked[j].score {
-			return ranked[i].score < ranked[j].score
+	r := rng.New(cohortScore(s.Seed, round, 0))
+	// overlay holds only the displaced entries of the virtual roster
+	// permutation; an id absent from it still sits at its own index.
+	overlay := make(map[int]int, 2*k)
+	at := func(i int) int {
+		if v, ok := overlay[i]; ok {
+			return v
 		}
-		return ranked[i].id < ranked[j].id
-	})
+		return i
+	}
 	ids := make([]int, k)
 	for i := 0; i < k; i++ {
-		ids[i] = ranked[i].id
+		j := i + r.Intn(s.NumClients-i)
+		ids[i] = at(j)
+		overlay[j] = at(i)
 	}
 	sort.Ints(ids)
 	return ids
@@ -198,7 +203,8 @@ func (s Buffered) Quorum() int { return s.K }
 
 // cohortScore hashes (seed, round, client) with a splitmix64 finalizer,
 // the same family as Participates, so cohorts vary per round but are
-// reproducible from the seed.
+// reproducible from the seed. The sampler uses it (client 0) to derive
+// the per-round draw stream.
 func cohortScore(seed uint64, round, client int) uint64 {
 	x := seed ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ (uint64(client)+1)*0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

@@ -139,6 +139,12 @@ type FedAvgServer struct {
 	w32      []float32
 	w32stale bool // w32 has advanced past the W mirror
 
+	// tier, when non-nil, is the hierarchical sharded aggregation tier
+	// (Config.AggShards): the fold fans out to long-lived shard workers
+	// over fixed index ranges and tree-reduces PartialAggregates back
+	// into W, bit-identically to the flat path. See shard.go.
+	tier *shardTier
+
 	// Pre-bound chunk operation and fold-source scratch of the sharded
 	// batched fold (no per-call closure or slice allocation; see
 	// BufferedAggregator for the same pattern).
@@ -165,6 +171,11 @@ func (s *FedAvgServer) usePrecision32() {
 
 // setFusedStage wires the fused invert+fold fast path (EnableFusedFold).
 func (s *FedAvgServer) setFusedStage(fs pipeline.FusedStage) { s.fused = fs }
+
+// useShards attaches the hierarchical sharded aggregation tier of width
+// n. Must be called before any aggregation; not combinable with the f32
+// accumulator (Config.Validate enforces both).
+func (s *FedAvgServer) useShards(n int) { s.tier = newShardTier(s.W, n) }
 
 // syncMirror refreshes the float64 mirror from the f32 accumulator.
 func (s *FedAvgServer) syncMirror() {
@@ -255,10 +266,15 @@ func (s *FedAvgServer) Aggregate(batch []*wire.LocalUpdate) error {
 		return nil
 	}
 	s.srcs = srcs
-	if s.prec32 {
+	switch {
+	case s.prec32:
 		shardRun(len(s.w32), s.Workers, s.aggOp32)
 		s.w32stale = true
-	} else {
+	case s.tier != nil:
+		if err := s.tier.fold(s.W, s.srcs, uint64(s.version), false); err != nil {
+			return err
+		}
+	default:
 		shardRun(len(s.W), s.Workers, s.aggOp)
 	}
 	clearSrcs(s.srcs)
@@ -443,6 +459,9 @@ func NewServer(cfg Config, w0 []float64, numClients int) (ServerAlgorithm, error
 		s.Workers = cfg.AggWorkers
 		if cfg.AggPrecision == AggF32 {
 			s.usePrecision32()
+		}
+		if cfg.AggShards > 1 {
+			s.useShards(cfg.AggShards)
 		}
 		return s, nil
 	case AlgoICEADMM:

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/tensor"
+	"repro/internal/wire"
+)
+
+// This file implements the hierarchical sharded aggregation tier
+// (Config.AggShards): N long-lived shard workers that fold a batch
+// concurrently and tree-reduce wire.PartialAggregate messages into the
+// global model.
+//
+// Shards partition the *index space*, not the cohort. Every shard folds
+// the whole batch over its own contiguous range [lo, hi) of the
+// accumulator with the same cache-blocked kernels as the flat path, so
+// per element the operation sequence is exactly the single-aggregator
+// one — bit-identity by construction, at any tier width. The reduce then
+// merges disjoint adjacent ranges, which is concatenation: associative
+// and arithmetic-free, so no tree shape can perturb a bit. A
+// cohort-partitioned tier (each shard folding a subset of clients into a
+// full-width partial sum) could not satisfy that invariant: summing
+// partials reassociates the floating-point fold.
+//
+// Each shard owns its range's accumulator state across rounds (the
+// buffered rule folds convexly into prior state), and the flat model the
+// rest of the server reads is a mirror reassembled by the reduce after
+// every fold — exactly the state ownership a multi-process tier would
+// have, realized here with goroutines and one shared backing array so
+// the steady state stays allocation-free.
+//
+// The tier deliberately does not use the process-wide chunk pool
+// (parallel.go): the pool serializes operations under a mutex, which
+// would fold shards one at a time. Shard workers are their own
+// goroutines, fed by per-shard channels and reused for the lifetime of
+// the aggregator; Close releases them.
+
+// tierJob asks a shard worker for one fold over its range.
+type tierJob struct {
+	// convex selects FoldKScaledSrc (the buffered staleness rule) over
+	// FoldKSrc (the zero-then-accumulate FedAvg average).
+	convex bool
+}
+
+// tierShard is one shard worker's identity: its owned index range and
+// the channel that feeds it.
+type tierShard struct {
+	lo, hi int
+	jobs   chan tierJob
+}
+
+// shardTier runs the sharded fold + tree-reduce for an aggregator.
+type shardTier struct {
+	// acc is the union of the shards' range-owned accumulator state:
+	// shard s exclusively reads and writes acc[lo_s:hi_s). It is the
+	// authoritative model between rounds; the aggregator's flat vector is
+	// the mirror the reduce refreshes.
+	acc    []float64
+	shards []tierShard
+	parts  []*wire.PartialAggregate
+
+	// srcs is the batch under fold, visible to the workers for the
+	// duration of one fold call (the tier is single-fold at a time, like
+	// every Aggregator).
+	srcs []tensor.FoldSrc
+	wg   sync.WaitGroup
+
+	closed bool
+}
+
+// newShardTier builds the tier over a copy of w0 and starts one worker
+// per shard. Shard ranges are comm.ShardRange(dim, n, s) — a pure
+// function of (dim, n), so state ownership and reduce order are fixed
+// for the run.
+func newShardTier(w0 []float64, n int) *shardTier {
+	t := &shardTier{
+		acc:    append([]float64(nil), w0...),
+		shards: make([]tierShard, n),
+		parts:  make([]*wire.PartialAggregate, n),
+	}
+	for s := 0; s < n; s++ {
+		lo, hi := comm.ShardRange(len(w0), n, s)
+		t.shards[s] = tierShard{lo: lo, hi: hi, jobs: make(chan tierJob, 1)}
+		t.parts[s] = &wire.PartialAggregate{}
+		go t.worker(s)
+	}
+	return t
+}
+
+// worker folds jobs over one shard's range until the tier closes.
+func (t *shardTier) worker(s int) {
+	sh := &t.shards[s]
+	for job := range sh.jobs {
+		if job.convex {
+			tensor.FoldKScaledSrc(t.acc, sh.lo, sh.hi, t.srcs)
+		} else {
+			tensor.FoldKSrc(t.acc, sh.lo, sh.hi, t.srcs)
+		}
+		t.wg.Done()
+	}
+}
+
+// fold fans the batch out to every shard worker, gathers the per-shard
+// PartialAggregates, tree-reduces them, and writes the reassembled model
+// into dst. version stamps the partials for cross-checking the merge.
+func (t *shardTier) fold(dst []float64, srcs []tensor.FoldSrc, version uint64, convex bool) error {
+	if len(srcs) == 0 {
+		return nil
+	}
+	weight := 0.0
+	for i := range srcs {
+		weight += srcs[i].W
+	}
+	t.srcs = srcs
+	t.wg.Add(len(t.shards))
+	for s := range t.shards {
+		t.shards[s].jobs <- tierJob{convex: convex}
+	}
+	t.wg.Wait()
+	t.srcs = nil
+
+	// Gather: one PartialAggregate per shard, its Sum viewing the shard's
+	// freshly folded range (full remaining capacity, so adjacent merges
+	// reslice instead of copying).
+	for s := range t.shards {
+		sh := &t.shards[s]
+		p := t.parts[s]
+		p.Round = uint32(version)
+		p.Version = version
+		p.ShardID = uint32(s)
+		p.Shards = uint32(len(t.shards))
+		p.Lo, p.Hi = uint32(sh.lo), uint32(sh.hi)
+		p.Weight = weight
+		p.Count = uint32(len(srcs))
+		p.Sum = t.acc[sh.lo:sh.hi]
+	}
+
+	// Tree-reduce: fixed-order pairwise merges, doubling the span each
+	// stage — ⌈log₂ N⌉ stages, the shape a distributed tier would run.
+	// Each merge validates adjacency and fold identity before
+	// concatenating; because the partials alias one contiguous buffer,
+	// the concat is a reslice and the only data movement is the final
+	// mirror copy.
+	for span := 1; span < len(t.parts); span *= 2 {
+		for i := 0; i+span < len(t.parts); i += 2 * span {
+			if err := t.parts[i].Merge(t.parts[i+span]); err != nil {
+				return fmt.Errorf("core: shard reduce: %w", err)
+			}
+		}
+	}
+	root := t.parts[0]
+	if root.Lo != 0 || int(root.Hi) != len(t.acc) {
+		return fmt.Errorf("core: shard reduce covered [%d,%d) of %d", root.Lo, root.Hi, len(t.acc))
+	}
+	copy(dst, root.Sum)
+	return nil
+}
+
+// close releases the shard workers. Safe on a nil tier and idempotent.
+func (t *shardTier) close() {
+	if t == nil || t.closed {
+		return
+	}
+	t.closed = true
+	for s := range t.shards {
+		close(t.shards[s].jobs)
+	}
+}
+
+// Close releases the tier's shard workers; a server without a tier needs
+// no teardown. Runs (core.Run) and tests that configure AggShards > 1
+// should close the aggregator when done so long-lived processes hosting
+// many runs do not accumulate parked goroutines.
+func (s *FedAvgServer) Close() error { s.tier.close(); return nil }
+
+// Close releases the tier's shard workers; see FedAvgServer.Close.
+func (b *BufferedAggregator) Close() error { b.tier.close(); return nil }
+
+// closeAggregator tears down any shard tier an aggregator holds.
+func closeAggregator(a Aggregator) {
+	if c, ok := a.(interface{ Close() error }); ok {
+		_ = c.Close()
+	}
+}

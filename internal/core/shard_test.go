@@ -1,0 +1,331 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/pipeline"
+	"repro/internal/wire"
+)
+
+// shardWidths is the tier-width matrix of the bit-identity tests.
+var shardWidths = []int{2, 3, 8}
+
+// requireBitEqual fails unless the two weight vectors match bit for bit.
+func requireBitEqual(t *testing.T, label string, want, got []float64) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: dim %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		if math.Float64bits(want[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("%s: weight[%d] sharded %x, flat %x — not bit-identical",
+				label, i, math.Float64bits(got[i]), math.Float64bits(want[i]))
+		}
+	}
+}
+
+// TestShardedBitIdenticalToSingleAggregator pins the tentpole invariant:
+// for every covered rule (FedAvg behind syncall and sampled, the
+// buffered staleness rule, and the fused f16/quantized folds), every
+// tier width, and every worker width, the sharded tree-reduce
+// trajectory is byte-for-byte the single-aggregator one. Shards
+// partition the index space and the reduce concatenates disjoint
+// adjacent ranges, so this is equality by construction — the test keeps
+// it that way.
+func TestShardedBitIdenticalToSingleAggregator(t *testing.T) {
+	const (
+		clients = 4
+		dim     = 3*minShard + 17
+		rounds  = 3
+	)
+	cases := map[string]Config{
+		"syncall/fedavg":     {Algorithm: AlgoFedAvg, Scheduler: SchedSyncAll},
+		"sampled/fedavg":     {Algorithm: AlgoFedAvg, Scheduler: SchedSampled, CohortFraction: 0.5},
+		"buffered/staleness": {Algorithm: AlgoFedAvg, Scheduler: SchedBuffered, BufferK: 2},
+		"syncall/fused-f16":  {Algorithm: AlgoFedAvg, Scheduler: SchedSyncAll, Pipeline: "clip:1,f16"},
+		"buffered/fused-q8":  {Algorithm: AlgoFedAvg, Scheduler: SchedBuffered, BufferK: 2, Pipeline: "clip:1,quantize:8"},
+	}
+	for name, base := range cases {
+		t.Run(name, func(t *testing.T) {
+			for _, shards := range shardWidths {
+				for _, workers := range aggWidths {
+					cfg := base
+					cfg.AggWorkers = workers
+					cfg = cfg.WithDefaults()
+					shardCfg := cfg
+					shardCfg.AggShards = shards
+
+					flat, err := NewAggregator(cfg, testVec(dim, 1), clients)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sharded, err := NewAggregator(shardCfg, testVec(dim, 1), clients)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					fused := cfg.Pipeline != ""
+					var fsFlat, fsShard pipeline.FusedStage
+					if fused {
+						inv, err := NewServerPipeline(cfg)
+						if err != nil {
+							t.Fatal(err)
+						}
+						var ok bool
+						if fsFlat, ok = EnableFusedFold(flat, inv); !ok {
+							t.Fatalf("pipeline %q did not fuse (flat)", cfg.Pipeline)
+						}
+						if fsShard, ok = EnableFusedFold(sharded, inv); !ok {
+							t.Fatalf("pipeline %q did not fuse (sharded)", cfg.Pipeline)
+						}
+					}
+
+					for round := 0; round < rounds; round++ {
+						// Buffered rounds replay earlier base versions so some
+						// folds carry staleness > 0.
+						var bases []uint64
+						if cfg.Scheduler == SchedBuffered && round > 0 {
+							bases = make([]uint64, clients)
+							for i := range bases {
+								bases[i] = uint64(round - 1 + i%2)
+							}
+						}
+						seed := uint64(80 + round)
+						var a, b []*wire.LocalUpdate
+						if fused {
+							a = encodedBatch(t, cfg, clients, dim, seed, bases)
+							b = encodedBatch(t, cfg, clients, dim, seed, bases)
+							if err := DecodeUpdatesFused(a, fsFlat, dim); err != nil {
+								t.Fatal(err)
+							}
+							if err := DecodeUpdatesFused(b, fsShard, dim); err != nil {
+								t.Fatal(err)
+							}
+						} else {
+							a = testBatch(clients, dim, seed)
+							b = testBatch(clients, dim, seed)
+							if bases != nil {
+								for i := range a {
+									a[i].BaseVersion, b[i].BaseVersion = bases[i], bases[i]
+								}
+							}
+						}
+						if err := flat.Aggregate(a); err != nil {
+							t.Fatal(err)
+						}
+						if err := sharded.Aggregate(b); err != nil {
+							t.Fatal(err)
+						}
+					}
+					requireBitEqual(t, fmt.Sprintf("%s shards=%d workers=%d", name, shards, workers),
+						flat.Weights(), sharded.Weights())
+					closeAggregator(sharded)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedTierWiderThanModel: a tier wider than the model leaves
+// trailing shards empty; the reduce must still cover the full range.
+func TestShardedTierWiderThanModel(t *testing.T) {
+	const dim, shards = 5, 8
+	cfg := Config{Algorithm: AlgoFedAvg, AggShards: shards}.WithDefaults()
+	flatCfg := Config{Algorithm: AlgoFedAvg}.WithDefaults()
+	sharded, err := NewAggregator(cfg, testVec(dim, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeAggregator(sharded)
+	flat, err := NewAggregator(flatCfg, testVec(dim, 2), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := testBatch(3, dim, 9)
+	if err := sharded.Aggregate(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := flat.Aggregate(batch); err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "tiny model", flat.Weights(), sharded.Weights())
+}
+
+// TestShardedAggregateZeroAllocs pins the per-shard steady state: after
+// warm-up, a sharded fold + tree-reduce must not allocate — jobs ride
+// buffered channels, partials reslice one shared accumulator, and the
+// reduce's only data movement is the mirror copy.
+func TestShardedAggregateZeroAllocs(t *testing.T) {
+	const dim = 8 * minShard
+	for _, shards := range []int{2, 8} {
+		cfg := Config{Algorithm: AlgoFedAvg, AggShards: shards}.WithDefaults()
+		agg, err := NewAggregator(cfg, testVec(dim, 1), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := testBatch(4, dim, 33)
+		if err := agg.Aggregate(batch); err != nil { // warm-up: sizes scratch
+			t.Fatal(err)
+		}
+		if avg := testing.AllocsPerRun(20, func() {
+			if err := agg.Aggregate(batch); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Fatalf("sharded aggregate allocates %.1f objects/op at %d shards, want 0", avg, shards)
+		}
+		closeAggregator(agg)
+	}
+}
+
+// TestShardedCloseIdempotent: closing twice (and closing a tier-less
+// server) must be safe.
+func TestShardedCloseIdempotent(t *testing.T) {
+	cfg := Config{Algorithm: AlgoFedAvg, AggShards: 4}.WithDefaults()
+	agg, err := NewAggregator(cfg, testVec(128, 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closeAggregator(agg)
+	closeAggregator(agg)
+	flat := NewFedAvgServer(testVec(128, 1), 2)
+	if err := flat.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAggShardsValidation: the tier is FedAvg-family only and cannot
+// combine with the f32 accumulator.
+func TestAggShardsValidation(t *testing.T) {
+	if err := (Config{Algorithm: AlgoIIADMM, AggShards: 4}).WithDefaults().Validate(); err == nil {
+		t.Error("AggShards accepted for an ADMM algorithm")
+	}
+	if err := (Config{Algorithm: AlgoFedAvg, AggShards: 4, AggPrecision: AggF32}).WithDefaults().Validate(); err == nil {
+		t.Error("AggShards combined with f32 accumulator accepted")
+	}
+	if err := (Config{Algorithm: AlgoFedAvg, AggShards: -1}).WithDefaults().Validate(); err == nil {
+		t.Error("negative AggShards accepted")
+	}
+	if err := (Config{Algorithm: AlgoFedAvg, AggShards: 4}).WithDefaults().Validate(); err != nil {
+		t.Errorf("valid sharded config rejected: %v", err)
+	}
+	if err := (Config{Algorithm: AlgoFedAvg, AggShards: 4, Scheduler: SchedBuffered}).WithDefaults().Validate(); err != nil {
+		t.Errorf("sharded buffered config rejected: %v", err)
+	}
+}
+
+// TestRunWithShardedTier: the full runner path (transport, training,
+// aggregation) with the tier enabled reproduces the flat run's
+// per-round losses bit for bit.
+func TestRunWithShardedTier(t *testing.T) {
+	fed := parallelTestFed(3, 96, 32, 23)
+	base := Config{Algorithm: AlgoFedAvg, Rounds: 2, LocalSteps: 1, BatchSize: 32, Seed: 23}
+	flatRes, err := Run(base, fed, parallelTestFactory(23), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardCfg := base
+	shardCfg.AggShards = 4
+	shardRes, err := Run(shardCfg, fed, parallelTestFactory(23), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flatRes.Rounds) != len(shardRes.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(flatRes.Rounds), len(shardRes.Rounds))
+	}
+	for i := range flatRes.Rounds {
+		a, b := flatRes.Rounds[i].TestLoss, shardRes.Rounds[i].TestLoss
+		if math.Float64bits(a) != math.Float64bits(b) {
+			t.Fatalf("round %d loss: flat %v, sharded %v — not bit-identical", i+1, a, b)
+		}
+	}
+}
+
+// TestShardRouterAdmission covers the admission window: cap enforcement,
+// round rollover, unlimited mode, and stable shard routing.
+func TestShardRouterAdmission(t *testing.T) {
+	r, err := NewShardRouter(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for c := uint32(0); c < 10; c++ {
+		if s, ok := r.Admit(1, c); ok {
+			admitted++
+			if s < 0 || s >= r.Shards {
+				t.Fatalf("admitted client %d routed to shard %d of %d", c, s, r.Shards)
+			}
+		}
+	}
+	if admitted != 3 {
+		t.Fatalf("round 1 admitted %d clients with cap 3", admitted)
+	}
+	if r.Rejected != 7 {
+		t.Fatalf("rejected %d, want 7", r.Rejected)
+	}
+	// A new round reopens the window.
+	if _, ok := r.Admit(2, 99); !ok {
+		t.Fatal("new round did not reset the admission window")
+	}
+	// Routing is the stable id hash regardless of admission history.
+	s1, _ := r.Admit(2, 7)
+	r2, _ := NewShardRouter(4, 0)
+	s2, _ := r2.Admit(1, 7)
+	if s1 != s2 {
+		t.Fatalf("client 7 routed to shard %d and %d — routing must be stable", s1, s2)
+	}
+	// Unlimited mode admits everyone.
+	for c := uint32(0); c < 1000; c++ {
+		if _, ok := r2.Admit(1, c); !ok {
+			t.Fatal("unlimited router rejected a client")
+		}
+	}
+	if _, err := NewShardRouter(0, 0); err == nil {
+		t.Error("zero-shard router accepted")
+	}
+	if _, err := NewShardRouter(1, -1); err == nil {
+		t.Error("negative cap accepted")
+	}
+}
+
+// TestSampledCohortHugeRosterIsOCohort: the partial Fisher–Yates draw
+// must make cohort sampling independent of roster size — a 10M-client
+// roster samples a 100-client cohort effectively instantly, where the
+// old O(N log N) ranking would enumerate ten million entries per round.
+func TestSampledCohortHugeRosterIsOCohort(t *testing.T) {
+	s := SampledCohort{NumClients: 10_000_000, Fraction: 1e-9, MinClients: 100, Seed: 7}
+	start := time.Now()
+	var ids []int
+	for round := 1; round <= 50; round++ {
+		ids = s.Cohort(round)
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("50 cohort draws over a 10M roster took %v — sampling is not O(cohort)", el)
+	}
+	if len(ids) != 100 {
+		t.Fatalf("cohort size %d, want 100", len(ids))
+	}
+	seen := map[int]bool{}
+	for i, id := range ids {
+		if id < 0 || id >= s.NumClients {
+			t.Fatalf("cohort member %d out of roster", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate cohort member %d", id)
+		}
+		seen[id] = true
+		if i > 0 && ids[i-1] >= id {
+			t.Fatal("cohort not sorted ascending")
+		}
+	}
+	// Determinism: the same (seed, round) reproduces the draw.
+	a, b := s.Cohort(3), s.Cohort(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("cohort draw not deterministic")
+		}
+	}
+}

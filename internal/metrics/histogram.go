@@ -1,0 +1,157 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram: constant
+// memory and O(1) Add no matter how many observations stream through it,
+// unlike Quantile, which sorts a retained copy of the data. The scale
+// harness records hundreds of thousands of simulated round latencies per
+// probe; retaining them all to sort would dwarf the state under test.
+//
+// Buckets partition [Lo, Hi) geometrically — equal width in log space,
+// the natural resolution for latencies, where tails stretch over orders
+// of magnitude. Observations below Lo clamp into the first bucket and
+// observations at or above Hi into the overflow bucket, so no sample is
+// ever dropped. Quantile answers are exact to within one bucket's width
+// (a few percent relative error at typical sizes), refined by linear
+// interpolation inside the covering bucket and clamped to the observed
+// min/max so degenerate distributions answer exactly.
+type Histogram struct {
+	lo, hi  float64
+	logLo   float64
+	invStep float64 // buckets per unit of log-space
+	counts  []uint64
+	n       uint64
+	min     float64
+	max     float64
+}
+
+// NewHistogram builds a histogram over [lo, hi) with the given number of
+// geometric buckets (plus an implicit overflow bucket for x >= hi).
+// Bounds must be positive with lo < hi; buckets must be >= 1.
+func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
+	if !(lo > 0) || !(hi > lo) {
+		return nil, fmt.Errorf("metrics: histogram needs 0 < lo < hi, got [%v, %v)", lo, hi)
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: histogram needs >= 1 bucket, got %d", buckets)
+	}
+	return &Histogram{
+		lo:      lo,
+		hi:      hi,
+		logLo:   math.Log(lo),
+		invStep: float64(buckets) / (math.Log(hi) - math.Log(lo)),
+		counts:  make([]uint64, buckets+1), // +1: overflow bucket
+	}, nil
+}
+
+// Add records one observation. Non-finite or non-positive values clamp
+// into the boundary buckets rather than corrupting the counts.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	if h.n == 1 {
+		h.min, h.max = x, x
+	} else {
+		if x < h.min {
+			h.min = x
+		}
+		if x > h.max {
+			h.max = x
+		}
+	}
+	h.counts[h.bucket(x)]++
+}
+
+// bucket maps an observation to its bucket index.
+func (h *Histogram) bucket(x float64) int {
+	if !(x > h.lo) { // also catches NaN
+		return 0
+	}
+	if x >= h.hi {
+		return len(h.counts) - 1
+	}
+	b := int((math.Log(x) - h.logLo) * h.invStep)
+	// Guard the float boundary: log/multiply rounding can land exactly on
+	// the bucket count for x just under hi.
+	if b > len(h.counts)-2 {
+		b = len(h.counts) - 2
+	}
+	return b
+}
+
+// N returns the observation count.
+func (h *Histogram) N() uint64 { return h.n }
+
+// Min returns the smallest observation (0 when empty).
+func (h *Histogram) Min() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *Histogram) Max() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// boundsOf returns bucket b's value range [blo, bhi).
+func (h *Histogram) boundsOf(b int) (blo, bhi float64) {
+	if b == len(h.counts)-1 {
+		return h.hi, h.max // overflow: cap at the observed max
+	}
+	step := 1 / h.invStep
+	blo = math.Exp(h.logLo + float64(b)*step)
+	bhi = math.Exp(h.logLo + float64(b+1)*step)
+	return blo, bhi
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) estimated by linear
+// interpolation within the covering bucket, clamped to the observed
+// min/max. It panics on an empty histogram or q outside [0,1], matching
+// the exact Quantile's contract.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.n == 0 {
+		panic("metrics: quantile of empty histogram")
+	}
+	if q < 0 || q > 1 {
+		panic("metrics: quantile out of [0,1]")
+	}
+	// Rank in [0, n-1], the convention of the exact Quantile.
+	rank := q * float64(h.n-1)
+	cum := 0.0
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		// Observations in bucket b occupy ranks [cum, cum+c).
+		if rank < cum+float64(c) {
+			blo, bhi := h.boundsOf(b)
+			frac := (rank - cum + 0.5) / float64(c)
+			v := blo + (bhi-blo)*frac
+			// Clamp to the observed range: a single-bucket or boundary
+			// distribution must not answer outside what was seen.
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+		cum += float64(c)
+	}
+	return h.max
+}
+
+// Summary returns the (p50, p95, p99) latency triple the scale harness
+// publishes.
+func (h *Histogram) Summary() (p50, p95, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestHistogramValidation(t *testing.T) {
+	for _, c := range []struct {
+		lo, hi  float64
+		buckets int
+	}{
+		{0, 1, 10}, {-1, 1, 10}, {1, 1, 10}, {2, 1, 10}, {1e-3, 10, 0},
+	} {
+		if _, err := NewHistogram(c.lo, c.hi, c.buckets); err == nil {
+			t.Errorf("NewHistogram(%v, %v, %d) accepted", c.lo, c.hi, c.buckets)
+		}
+	}
+	if _, err := NewHistogram(1e-4, 100, 256); err != nil {
+		t.Fatalf("valid histogram rejected: %v", err)
+	}
+}
+
+func TestHistogramEmptyAndBounds(t *testing.T) {
+	h, _ := NewHistogram(1e-3, 10, 64)
+	if h.N() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram reports observations")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Quantile on empty histogram did not panic")
+		}
+	}()
+	h.Quantile(0.5)
+}
+
+// TestHistogramMatchesExactQuantile: against lognormal latencies (the
+// simnet's jitter model), the bucketed quantiles must track the exact
+// sorted-copy Quantile within one bucket's relative width.
+func TestHistogramMatchesExactQuantile(t *testing.T) {
+	const n = 50_000
+	r := rng.New(11)
+	h, err := NewHistogram(1e-5, 100, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]float64, n)
+	for i := range xs {
+		x := 0.01 * r.LogNormal(0, 0.5)
+		xs[i] = x
+		h.Add(x)
+	}
+	if h.N() != n {
+		t.Fatalf("N = %d, want %d", h.N(), n)
+	}
+	// One bucket spans a factor of (100/1e-5)^(1/512) ≈ 1.032 — allow a
+	// hair over one bucket of relative error.
+	const tol = 0.04
+	for _, q := range []float64{0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := Quantile(xs, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > tol {
+			t.Errorf("q=%v: histogram %v, exact %v (rel err %.3f > %v)", q, got, exact, rel, tol)
+		}
+	}
+	if h.Quantile(0) < h.Min() || h.Quantile(1) > h.Max() {
+		t.Error("quantile endpoints escape the observed range")
+	}
+	p50, p95, p99 := h.Summary()
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("summary not monotone: %v %v %v", p50, p95, p99)
+	}
+}
+
+// TestHistogramClamping: out-of-range and degenerate inputs land in the
+// boundary buckets and constant data answers exactly.
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(1, 100, 8)
+	for _, x := range []float64{0.001, -5, 1e6, math.Inf(1), math.NaN()} {
+		h.Add(x) // must not panic
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+
+	c, _ := NewHistogram(1e-3, 10, 64)
+	for i := 0; i < 1000; i++ {
+		c.Add(0.25)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := c.Quantile(q); got != 0.25 {
+			t.Errorf("constant data: q=%v gave %v, want 0.25", q, got)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package simnet
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/rng"
+)
+
+// ShardNet models the network of the hierarchical aggregation tier: a
+// cross-device federation's clients upload over wide-area TCP links to N
+// ingress aggregator shards, which tree-reduce their partial aggregates
+// over a fast inter-shard interconnect. The model is analytic like the
+// rest of the package — per-message latency + size/bandwidth with
+// seeded jitter — so a 100k–1M-client round is a few arithmetic
+// operations per admitted client, not a packet simulation.
+type ShardNet struct {
+	// Uplink is the client→shard path (wide-area TCP).
+	Uplink Link
+	// Inter is the shard→shard reduce path (datacenter interconnect).
+	Inter Link
+	// Shards is the tier width.
+	Shards int
+}
+
+// DefaultShardNet returns the calibrated tier model: gRPC-style client
+// uplinks (TCPLink) into `shards` ingress shards joined by an
+// RDMA-class interconnect.
+func DefaultShardNet(shards int) (ShardNet, error) {
+	if shards < 1 {
+		return ShardNet{}, fmt.Errorf("simnet: shard net needs >= 1 shard, got %d", shards)
+	}
+	return ShardNet{Uplink: TCPLink(), Inter: RDMALink(), Shards: shards}, nil
+}
+
+// RoundTime returns the modelled wall time of one sharded aggregation
+// round: every admitted client uploads updateBytes to its shard
+// (comm.ShardOf routing), each shard's uplink drains its own queue
+// serially while the shards drain in parallel (upload = the slowest
+// shard's queue), and the shards then tree-reduce partials of
+// partialBytes over ⌈log₂ N⌉ stages of the interconnect. The
+// decomposition (total, upload, reduce) lets the harness report where a
+// configuration's time goes. Deterministic for a given seeded r.
+func (n ShardNet) RoundTime(clients []uint32, updateBytes, partialBytes int, r *rng.RNG) (total, upload, reduce float64) {
+	if n.Shards < 1 {
+		panic("simnet: ShardNet with no shards")
+	}
+	// Per-shard upload queues: clients mapped to the same ingress shard
+	// share its uplink serially; distinct shards ingest concurrently.
+	queues := make([]float64, n.Shards)
+	for _, c := range clients {
+		s := comm.ShardOf(c, n.Shards)
+		queues[s] += n.Uplink.TransferTime(updateBytes, r)
+	}
+	for _, q := range queues {
+		if q > upload {
+			upload = q
+		}
+	}
+	// Tree-reduce: each stage merges adjacent partial pairs concurrently,
+	// so a stage costs one inter-shard transfer; merged partials cover
+	// twice the range, doubling the payload per stage (the concatenation
+	// reduce moves ranges, not fixed-size sums).
+	depth := comm.ReduceDepth(n.Shards)
+	for stage := 0; stage < depth; stage++ {
+		reduce += n.Inter.TransferTime(partialBytes<<stage, r)
+	}
+	return upload + reduce, upload, reduce
+}

@@ -1,0 +1,90 @@
+package simnet
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func shardClients(n int) []uint32 {
+	cs := make([]uint32, n)
+	for i := range cs {
+		cs[i] = uint32(i)
+	}
+	return cs
+}
+
+func TestDefaultShardNetValidates(t *testing.T) {
+	if _, err := DefaultShardNet(0); err == nil {
+		t.Error("zero-shard net accepted")
+	}
+	n, err := DefaultShardNet(8)
+	if err != nil || n.Shards != 8 {
+		t.Fatalf("DefaultShardNet(8) = %+v, %v", n, err)
+	}
+}
+
+// TestShardNetRoundTimeDeterministic: the same seed reproduces the same
+// modelled round bit for bit — the property that makes the scale
+// harness's latency percentiles machine-independent.
+func TestShardNetRoundTimeDeterministic(t *testing.T) {
+	n, _ := DefaultShardNet(8)
+	cs := shardClients(256)
+	t1, u1, r1 := n.RoundTime(cs, 1<<16, 1<<14, rng.New(42))
+	t2, u2, r2 := n.RoundTime(cs, 1<<16, 1<<14, rng.New(42))
+	if t1 != t2 || u1 != u2 || r1 != r2 {
+		t.Fatalf("same seed diverged: (%v,%v,%v) vs (%v,%v,%v)", t1, u1, r1, t2, u2, r2)
+	}
+	if t1 != u1+r1 {
+		t.Fatalf("total %v != upload %v + reduce %v", t1, u1, r1)
+	}
+	if u1 <= 0 || r1 <= 0 {
+		t.Fatalf("degenerate decomposition: upload %v, reduce %v", u1, r1)
+	}
+}
+
+// TestShardNetWiderTierDrainsFaster: with the same cohort, more ingress
+// shards shorten the upload phase (the queues drain in parallel) while
+// the reduce only grows logarithmically — the tier's scaling argument.
+func TestShardNetWiderTierDrainsFaster(t *testing.T) {
+	cs := shardClients(512)
+	narrow, _ := DefaultShardNet(2)
+	wide, _ := DefaultShardNet(16)
+	// Jitter off for a clean comparison: queue shares should shrink ~8×.
+	narrow.Uplink.JitterSigma, wide.Uplink.JitterSigma = 0, 0
+	_, uNarrow, rNarrow := narrow.RoundTime(cs, 1<<16, 1<<14, nil)
+	_, uWide, rWide := wide.RoundTime(cs, 1<<16, 1<<14, nil)
+	if uWide >= uNarrow {
+		t.Fatalf("16-shard upload %v not faster than 2-shard %v", uWide, uNarrow)
+	}
+	if rWide <= rNarrow {
+		t.Fatalf("16-shard reduce %v should cost more stages than 2-shard %v", rWide, rNarrow)
+	}
+	if frac := uNarrow / uWide; frac < 4 || frac > 16 {
+		t.Fatalf("upload speedup %v outside the 8×-ish band for 8× more shards", frac)
+	}
+}
+
+// TestShardNetSingleShard: a one-shard tier has no reduce phase.
+func TestShardNetSingleShard(t *testing.T) {
+	n, _ := DefaultShardNet(1)
+	total, upload, reduce := n.RoundTime(shardClients(16), 1024, 1024, rng.New(1))
+	if reduce != 0 {
+		t.Fatalf("single shard paid %v reduce time", reduce)
+	}
+	if total != upload {
+		t.Fatalf("total %v != upload %v with no reduce", total, upload)
+	}
+}
+
+// TestShardNetEmptyRound: no admitted clients → only the reduce phase.
+func TestShardNetEmptyRound(t *testing.T) {
+	n, _ := DefaultShardNet(4)
+	total, upload, reduce := n.RoundTime(nil, 1024, 1024, rng.New(1))
+	if upload != 0 {
+		t.Fatalf("empty round uploaded for %v", upload)
+	}
+	if total != reduce {
+		t.Fatalf("total %v != reduce %v on an empty round", total, reduce)
+	}
+}

@@ -13,6 +13,9 @@ const (
 	KindGlobalModel Kind = 3 // server → client: weights for the next round
 	KindLocalUpdate Kind = 4 // client → server: trained local parameters
 	KindShutdown    Kind = 5 // server → client: training complete
+	// KindPartialAggregate is a shard → reducer message of the hierarchical
+	// aggregation tier: one shard's folded range of the accumulator.
+	KindPartialAggregate Kind = 6
 )
 
 // String names the kind for logs.
@@ -28,6 +31,8 @@ func (k Kind) String() string {
 		return "LocalUpdate"
 	case KindShutdown:
 		return "Shutdown"
+	case KindPartialAggregate:
+		return "PartialAggregate"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -1,0 +1,191 @@
+package wire
+
+import "fmt"
+
+// PartialAggregate carries one aggregation shard's contribution to a
+// round: the folded accumulator values over the contiguous index range
+// [Lo, Hi) of the model, plus the effective weight mass and update count
+// that produced them. Shards own disjoint adjacent ranges of the index
+// space, so reducing partials is pure concatenation — an associative,
+// arithmetic-free merge that cannot perturb a single bit regardless of
+// tree shape. That is what lets a sharded tier reproduce the
+// single-aggregator trajectory exactly (the non-negotiable invariant the
+// core tests pin); a client-partitioned design with summed partials could
+// not, because floating-point addition does not associate.
+type PartialAggregate struct {
+	Round   uint32
+	Version uint64 // model version the partial advances to
+	ShardID uint32 // producing shard, in [0, Shards)
+	Shards  uint32 // tier width, for cross-checking a gather
+	Lo, Hi  uint32 // owned index range [Lo, Hi) of the model
+	// Weight is the effective fold mass: the sum of the fold coefficients
+	// applied to the updates this partial folded. Every shard of a round
+	// folds the same updates with the same coefficients, so merging
+	// requires bit-equal weights.
+	Weight float64
+	// Count is the number of updates folded. Merged ranges cover the same
+	// updates, so a merge keeps the count rather than summing it.
+	Count uint32
+	// Sum holds the folded accumulator values for [Lo, Hi): Hi-Lo doubles.
+	Sum []float64
+}
+
+// Validate checks internal consistency.
+func (p *PartialAggregate) Validate() error {
+	if p.Shards == 0 {
+		return fmt.Errorf("wire: partial with zero tier width")
+	}
+	if p.ShardID >= p.Shards {
+		return fmt.Errorf("wire: shard %d out of tier width %d", p.ShardID, p.Shards)
+	}
+	if p.Hi < p.Lo {
+		return fmt.Errorf("wire: partial range [%d,%d) is inverted", p.Lo, p.Hi)
+	}
+	if uint32(len(p.Sum)) != p.Hi-p.Lo {
+		return fmt.Errorf("wire: partial carries %d values for range [%d,%d)", len(p.Sum), p.Lo, p.Hi)
+	}
+	return nil
+}
+
+// CanMerge reports whether b is the adjacent right-hand continuation of p
+// from the same round: ranges must abut (p.Hi == b.Lo) and the round,
+// version, tier width, weight, and count must agree exactly. Weight
+// equality is bitwise — both shards folded the same updates with the same
+// scalar arithmetic, so any difference means the partials belong to
+// different folds.
+func (p *PartialAggregate) CanMerge(b *PartialAggregate) error {
+	if p.Round != b.Round || p.Version != b.Version {
+		return fmt.Errorf("wire: merging partials from different folds (round %d/%d, version %d/%d)",
+			p.Round, b.Round, p.Version, b.Version)
+	}
+	if p.Shards != b.Shards {
+		return fmt.Errorf("wire: merging partials from different tier widths (%d vs %d)", p.Shards, b.Shards)
+	}
+	if p.Hi != b.Lo {
+		return fmt.Errorf("wire: merging non-adjacent ranges [%d,%d) and [%d,%d)", p.Lo, p.Hi, b.Lo, b.Hi)
+	}
+	if p.Weight != b.Weight {
+		return fmt.Errorf("wire: merging partials with different fold weights (%v vs %v)", p.Weight, b.Weight)
+	}
+	if p.Count != b.Count {
+		return fmt.Errorf("wire: merging partials with different update counts (%d vs %d)", p.Count, b.Count)
+	}
+	return nil
+}
+
+// Merge folds b into p, extending p's range to [p.Lo, b.Hi). The merge is
+// concatenation of disjoint adjacent value ranges — no arithmetic — so it
+// is associative and exact. When b.Sum is the in-memory continuation of
+// p.Sum within one backing array (the in-process tier's gather layout),
+// the concat is a pure reslice; otherwise the values are appended, which
+// is allocation-free once p.Sum's capacity covers the merged range.
+func (p *PartialAggregate) Merge(b *PartialAggregate) error {
+	if err := p.CanMerge(b); err != nil {
+		return err
+	}
+	n := len(p.Sum)
+	if len(b.Sum) > 0 && cap(p.Sum) > n && &p.Sum[:n+1][n] == &b.Sum[0] {
+		p.Sum = p.Sum[: n+len(b.Sum) : cap(p.Sum)]
+	} else {
+		p.Sum = append(p.Sum, b.Sum...)
+	}
+	p.Hi = b.Hi
+	return nil
+}
+
+// Reset clears p for reuse, keeping the Sum buffer's capacity.
+func (p *PartialAggregate) Reset() {
+	*p = PartialAggregate{Sum: p.Sum[:0]}
+}
+
+// Marshal encodes p.
+func (p *PartialAggregate) Marshal(e *Encoder) {
+	e.Uint64(1, uint64(p.Round))
+	if p.Version > 0 {
+		e.Uint64(2, p.Version)
+	}
+	e.Uint64(3, uint64(p.ShardID))
+	e.Uint64(4, uint64(p.Shards))
+	e.Uint64(5, uint64(p.Lo))
+	e.Uint64(6, uint64(p.Hi))
+	e.Float64(7, p.Weight)
+	if p.Count > 0 {
+		e.Uint64(8, uint64(p.Count))
+	}
+	e.Doubles(9, p.Sum)
+}
+
+// Unmarshal decodes p, ignoring unknown fields. p is Reset first, so a
+// struct reused across messages reuses the Sum capacity without leaking a
+// previous message's fields. The decoded message is validated before
+// returning, so a malformed partial cannot enter a reduce.
+func (p *PartialAggregate) Unmarshal(d *Decoder) error {
+	p.Reset()
+	for d.More() {
+		f, w, err := d.Tag()
+		if err != nil {
+			return err
+		}
+		switch f {
+		case 1:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Round = uint32(v)
+		case 2:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Version = v
+		case 3:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.ShardID = uint32(v)
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Shards = uint32(v)
+		case 5:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Lo = uint32(v)
+		case 6:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Hi = uint32(v)
+		case 7:
+			v, err := d.Float64()
+			if err != nil {
+				return err
+			}
+			p.Weight = v
+		case 8:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			p.Count = uint32(v)
+		case 9:
+			v, err := d.DoublesInto(p.Sum)
+			if err != nil {
+				return err
+			}
+			p.Sum = v
+		default:
+			if err := d.Skip(w); err != nil {
+				return err
+			}
+		}
+	}
+	return p.Validate()
+}

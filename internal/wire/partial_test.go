@@ -1,0 +1,226 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// partialFor carves the shard-s partial out of a full accumulator, the
+// gather layout the core tier produces: Sum aliases acc[lo:hi].
+func partialFor(acc []float64, shards, s int) *PartialAggregate {
+	n := len(acc)
+	size := (n + shards - 1) / shards
+	lo := s * size
+	if lo > n {
+		lo = n
+	}
+	hi := lo + size
+	if hi > n {
+		hi = n
+	}
+	return &PartialAggregate{
+		Round: 3, Version: 7, ShardID: uint32(s), Shards: uint32(shards),
+		Lo: uint32(lo), Hi: uint32(hi), Weight: 0.75, Count: 4,
+		Sum: acc[lo:hi],
+	}
+}
+
+func testAcc(n int) []float64 {
+	acc := make([]float64, n)
+	for i := range acc {
+		acc[i] = float64(i)*1.5 - 3
+	}
+	return acc
+}
+
+func TestPartialAggregateRoundTrip(t *testing.T) {
+	p := partialFor(testAcc(100), 4, 1)
+	e := NewEncoder(nil)
+	p.Marshal(e)
+
+	var got PartialAggregate
+	if err := got.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got.Round != p.Round || got.Version != p.Version || got.ShardID != p.ShardID ||
+		got.Shards != p.Shards || got.Lo != p.Lo || got.Hi != p.Hi ||
+		got.Weight != p.Weight || got.Count != p.Count {
+		t.Fatalf("header mismatch: got %+v want %+v", got, *p)
+	}
+	if len(got.Sum) != len(p.Sum) {
+		t.Fatalf("sum length %d, want %d", len(got.Sum), len(p.Sum))
+	}
+	for i := range got.Sum {
+		if math.Float64bits(got.Sum[i]) != math.Float64bits(p.Sum[i]) {
+			t.Fatalf("sum[%d] not bit-identical", i)
+		}
+	}
+
+	// Reuse: decoding a second message into the same struct must reuse the
+	// Sum capacity and leak nothing from the first.
+	small := partialFor(testAcc(20), 4, 0)
+	small.Count = 0
+	e2 := NewEncoder(nil)
+	small.Marshal(e2)
+	before := cap(got.Sum)
+	if err := got.Unmarshal(NewDecoder(e2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if cap(got.Sum) != before {
+		t.Errorf("reused decode reallocated Sum: cap %d -> %d", before, cap(got.Sum))
+	}
+	if got.Count != 0 || got.ShardID != 0 {
+		t.Errorf("stale fields survived reuse: %+v", got)
+	}
+}
+
+// TestPartialAggregateDecodeValidates: a malformed partial (range/value
+// mismatch) must not survive decoding into a reduce.
+func TestPartialAggregateDecodeValidates(t *testing.T) {
+	p := partialFor(testAcc(40), 2, 0)
+	p.Hi = p.Lo + 3 // lies about the range
+	e := NewEncoder(nil)
+	p.Marshal(e)
+	var got PartialAggregate
+	if err := got.Unmarshal(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("range/value mismatch decoded without error")
+	}
+}
+
+// TestPartialAggregateMergeAssociative pins the property the tree-reduce
+// relies on: merging adjacent partials is concatenation, so every
+// bracketing of the reduce produces byte-identical results.
+func TestPartialAggregateMergeAssociative(t *testing.T) {
+	const n, shards = 103, 4
+	acc := testAcc(n)
+
+	// fresh returns deep (non-aliasing) copies so each bracketing merges
+	// independent buffers.
+	fresh := func() []*PartialAggregate {
+		ps := make([]*PartialAggregate, shards)
+		for s := range ps {
+			p := partialFor(acc, shards, s)
+			p.Sum = append([]float64(nil), p.Sum...)
+			ps[s] = p
+		}
+		return ps
+	}
+
+	// ((0+1)+(2+3)) — the balanced tree.
+	a := fresh()
+	if err := a[0].Merge(a[1]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a[2].Merge(a[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := a[0].Merge(a[2]); err != nil {
+		t.Fatal(err)
+	}
+	// (((0+1)+2)+3) — the left-leaning chain.
+	b := fresh()
+	for s := 1; s < shards; s++ {
+		if err := b[0].Merge(b[s]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, root := range []*PartialAggregate{a[0], b[0]} {
+		if root.Lo != 0 || int(root.Hi) != n || len(root.Sum) != n {
+			t.Fatalf("reduce root covers [%d,%d) with %d values, want [0,%d)", root.Lo, root.Hi, len(root.Sum), n)
+		}
+		for i := range acc {
+			if math.Float64bits(root.Sum[i]) != math.Float64bits(acc[i]) {
+				t.Fatalf("reduced sum[%d] differs from the flat accumulator", i)
+			}
+		}
+	}
+}
+
+// TestPartialAggregateMergeAliased: when partials alias one contiguous
+// accumulator (the in-process gather layout), a merge is a reslice — no
+// copying, no allocation.
+func TestPartialAggregateMergeAliased(t *testing.T) {
+	const n, shards = 96, 4
+	acc := testAcc(n)
+	ps := make([]*PartialAggregate, shards)
+	for s := range ps {
+		ps[s] = partialFor(acc, shards, s)
+	}
+	if avg := testing.AllocsPerRun(10, func() {
+		for s := range ps {
+			*ps[s] = *partialFor(acc, shards, s) // rebuild headers in place
+		}
+		for s := 1; s < shards; s++ {
+			if err := ps[0].Merge(ps[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); avg > 4 { // partialFor itself allocates the struct; Merge must not add to it
+		t.Fatalf("aliased merge allocates %.1f objects/op", avg)
+	}
+	if &ps[0].Sum[0] != &acc[0] || len(ps[0].Sum) != n {
+		t.Fatal("aliased merge did not reslice the shared accumulator")
+	}
+}
+
+// TestPartialAggregateMergeRejects covers the invariants a reduce must
+// enforce before concatenating.
+func TestPartialAggregateMergeRejects(t *testing.T) {
+	acc := testAcc(64)
+	base := func() (*PartialAggregate, *PartialAggregate) {
+		a := partialFor(acc, 2, 0)
+		b := partialFor(acc, 2, 1)
+		return a, b
+	}
+	if a, b := base(); a.Merge(b) != nil {
+		t.Fatal("adjacent same-fold partials rejected")
+	}
+	a, b := base()
+	b.Round++
+	if a.Merge(b) == nil {
+		t.Error("cross-round merge accepted")
+	}
+	a, b = base()
+	b.Lo++
+	b.Sum = b.Sum[1:]
+	if a.Merge(b) == nil {
+		t.Error("non-adjacent merge accepted")
+	}
+	a, b = base()
+	b.Weight *= 1.0000001
+	if a.Merge(b) == nil {
+		t.Error("weight-mismatched merge accepted")
+	}
+	a, b = base()
+	b.Shards = 4
+	if a.Merge(b) == nil {
+		t.Error("tier-width-mismatched merge accepted")
+	}
+	a, b = base()
+	b.Count++
+	if a.Merge(b) == nil {
+		t.Error("count-mismatched merge accepted")
+	}
+}
+
+func TestPartialAggregateValidate(t *testing.T) {
+	ok := partialFor(testAcc(32), 2, 1)
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := partialFor(testAcc(32), 2, 1)
+	bad.ShardID = 2
+	if bad.Validate() == nil {
+		t.Error("shard id beyond tier width accepted")
+	}
+	bad = partialFor(testAcc(32), 2, 1)
+	bad.Shards = 0
+	if bad.Validate() == nil {
+		t.Error("zero tier width accepted")
+	}
+	bad = partialFor(testAcc(32), 2, 1)
+	bad.Sum = bad.Sum[:len(bad.Sum)-1]
+	if bad.Validate() == nil {
+		t.Error("short sum accepted")
+	}
+}
