@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|scale|all]
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|scale|stream|all]
 //	            [-out results] [-scale small|medium|paper] [-json]
 //
 // An unknown -only value is rejected with the list of valid artifacts
@@ -25,6 +25,11 @@
 // -scale-admit/-scale-rounds geometry: measured shard fold+reduce
 // throughput plus simnet-modelled round-latency percentiles for a
 // 100k–1M-client federation.
+//
+// The "stream" artifact runs the chunked-uplink harness (bench.RunStream)
+// at the -dim/-stream-clients/-stream-chunk/-workers geometry: the
+// resident chunk-window footprint of a streamed round versus the
+// monolithic cohort, and the streamed fold throughput.
 package main
 
 import (
@@ -41,7 +46,7 @@ import (
 )
 
 // artifacts is the closed set of -only values; "all" runs every one.
-var artifacts = []string{"table1", "fig2", "fig3", "fig4", "hetero", "commvol", "scenarios", "perf", "scale"}
+var artifacts = []string{"table1", "fig2", "fig3", "fig4", "hetero", "commvol", "scenarios", "perf", "scale", "stream"}
 
 // slicesContains reports whether xs contains x.
 func slicesContains(xs []string, x string) bool {
@@ -65,6 +70,8 @@ func main() {
 	scaleShards := flag.Int("scale-shards", 8, "aggregation tier width of the scale harness")
 	scaleAdmit := flag.Int("scale-admit", 0, "per-round admission cap of the scale harness (0 = unlimited)")
 	scaleRounds := flag.Int("scale-rounds", 200, "virtual rounds the scale harness simulates")
+	streamClients := flag.Int("stream-clients", 8, "cohort size of the stream harness")
+	streamChunk := flag.Int("stream-chunk", 16384, "chunk size in coordinates of the stream harness")
 	printProcs := flag.Bool("print-gomaxprocs", false, "print the effective GOMAXPROCS and exit (CI records it next to the bench artifact)")
 	flag.Parse()
 
@@ -118,6 +125,18 @@ func main() {
 			fatal(err)
 		}
 		emit(*out, "scale", res.Table())
+	}
+	if run("stream") {
+		res, err := bench.RunStream(bench.StreamOptions{
+			Dim:     *dim,
+			Clients: *streamClients,
+			Chunk:   *streamChunk,
+			Workers: *workers,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "stream", res.Table())
 	}
 	if run("table1") {
 		emit(*out, "table1", experiments.Table1())

@@ -9,8 +9,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	appfl "repro"
+	"repro/internal/comm"
 	"repro/internal/comm/rpc"
 	"repro/internal/core"
 	"repro/internal/nn"
@@ -32,6 +34,8 @@ func main() {
 	test := flag.Int("test", 240, "test samples (shared; unused locally)")
 	seed := flag.Uint64("seed", 1, "shared seed (must match server)")
 	name := flag.String("name", "", "client display name")
+	chunk := flag.Int("chunk", 0, "stream the uplink as chunks of this many coordinates (must match the server)")
+	subset := flag.Float64("subset", 0, "upload only this coordinate fraction, LoRA-style (must match the server)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *clients {
@@ -49,6 +53,8 @@ func main() {
 		cfg.Epsilon = *eps
 	}
 	cfg.Pipeline = *pipe
+	cfg.StreamChunk = *chunk
+	cfg.SubsetFrac = *subset
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -101,6 +107,19 @@ func main() {
 		up, err := algo.LocalUpdate(int(gm.Round), gm.Weights)
 		if err != nil {
 			fatal(err)
+		}
+		if cfg.SubsetFrac > 0 && len(up.Primal) > 0 {
+			up.PrimalP = core.BuildSubsetPayload(up.Primal, cfg.SubsetFrac)
+			up.Primal = nil
+		}
+		if cfg.StreamChunk > 0 {
+			// Stream the vector chunk-by-chunk, then settle the round with
+			// a slim payload-less update (the runner's exact flow).
+			if err := comm.StreamUpload(conn, up, cfg.StreamChunk,
+				comm.UploadOptions{AckTimeout: 30 * time.Second, MaxRetries: 3}); err != nil {
+				fatal(err)
+			}
+			up.Primal, up.PrimalP = nil, nil
 		}
 		if err := conn.SendUpdate(up); err != nil {
 			fatal(err)

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	appfl "repro"
+	"repro/internal/comm"
 	"repro/internal/comm/rpc"
 	"repro/internal/core"
 	"repro/internal/nn"
@@ -41,9 +42,11 @@ func main() {
 	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial)")
 	aggPrecision := flag.String("agg-precision", appfl.AggF64, "aggregation accumulator precision: f64 (bit-identical default) or f32 (FedAvg family only)")
 	aggShards := flag.Int("shards", 0, "hierarchical aggregation tier width (0/1 = single aggregator; FedAvg family only, bit-identical at any width)")
+	chunk := flag.Int("chunk", 0, "gather uplinks as streamed chunks of this many coordinates (0 = monolithic; clients must pass the same -chunk)")
+	subset := flag.Float64("subset", 0, "accept LoRA-style partial uploads covering this coordinate fraction (0 = dense; clients must pass the same -subset)")
 	flag.Parse()
 
-	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe, AggWorkers: *aggWorkers, AggPrecision: *aggPrecision, AggShards: *aggShards}.WithDefaults()
+	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe, AggWorkers: *aggWorkers, AggPrecision: *aggPrecision, AggShards: *aggShards, StreamChunk: *chunk, SubsetFrac: *subset}.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
 	}
@@ -61,6 +64,20 @@ func main() {
 	server, err := core.NewServer(cfg, w0, *clients)
 	if err != nil {
 		fatal(err)
+	}
+	// Streamed gathers fold chunk-by-chunk through a StreamSession; the
+	// slim settling updates still flow through the ordinary Gather so the
+	// obligation ledger is untouched (the runner's exact flow).
+	var stream *core.StreamSession
+	if cfg.StreamChunk > 0 {
+		agg, ok := server.(core.Aggregator)
+		if !ok {
+			fatal(fmt.Errorf("algorithm %s cannot stream chunked uploads", cfg.Algorithm))
+		}
+		stream, err = core.NewStreamSession(agg)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	srv, err := rpc.Listen(*addr, rpc.ServerConfig{
 		NumClients:    *clients,
@@ -89,15 +106,32 @@ func main() {
 		if err := srv.Broadcast(gm); err != nil {
 			fatal(err)
 		}
-		updates, err := srv.Gather()
-		if err != nil {
-			fatal(err)
-		}
-		if err := core.DecodeUpdates(updates, serverPipe, len(w0), cfg.AggWorkers); err != nil {
-			fatal(err)
-		}
-		if err := server.Update(updates); err != nil {
-			fatal(err)
+		if stream != nil {
+			cohort := make([]int, *clients)
+			for i := range cohort {
+				cohort[i] = i
+			}
+			if _, err := comm.StreamGather(srv, cohort, uint32(t), len(w0), cfg.StreamChunk,
+				stream.Begin, stream.FoldPayloads); err != nil {
+				fatal(err)
+			}
+			if _, err := srv.Gather(); err != nil { // slim updates settle the round
+				fatal(err)
+			}
+			if err := stream.Finish(); err != nil {
+				fatal(err)
+			}
+		} else {
+			updates, err := srv.Gather()
+			if err != nil {
+				fatal(err)
+			}
+			if err := core.DecodeUpdates(updates, serverPipe, len(w0), cfg.AggWorkers); err != nil {
+				fatal(err)
+			}
+			if err := server.Update(updates); err != nil {
+				fatal(err)
+			}
 		}
 		loss, acc := core.EvaluateWeights(model, server.GlobalWeights(), fed.Test, 128)
 		fmt.Printf("round %3d  acc %.4f  loss %.4f\n", t, acc, loss)

@@ -45,6 +45,8 @@ func main() {
 	aggWorkers := flag.Int("agg-workers", 0, "sharded aggregation width (0 = GOMAXPROCS, 1 = serial; bit-identical results at any width)")
 	aggPrecision := flag.String("agg-precision", appfl.AggF64, "aggregation accumulator precision: f64 (bit-identical default) or f32 (FedAvg family only)")
 	aggShards := flag.Int("shards", 0, "hierarchical aggregation tier width (0/1 = single aggregator; FedAvg family only, bit-identical at any width)")
+	chunk := flag.Int("chunk", 0, "stream uplinks as chunks of this many coordinates (0 = monolithic; FedAvg barrier schedulers only, bit-identical)")
+	subset := flag.Float64("subset", 0, "LoRA-style partial uploads: fraction of coordinates each client sends (0 = dense; FedAvg only)")
 	flag.Parse()
 
 	// Same rule Config.Validate enforces, surfaced before any dataset is
@@ -104,6 +106,8 @@ func main() {
 		AggWorkers:     *aggWorkers,
 		AggPrecision:   *aggPrecision,
 		AggShards:      *aggShards,
+		StreamChunk:    *chunk,
+		SubsetFrac:     *subset,
 	}
 	if *scheduler != appfl.SchedSampled {
 		cfg.CohortFraction = 0

@@ -158,6 +158,7 @@ func NewSuite(opts Options) *Suite {
 			{Name: "pipeline", Run: probePipeline},
 			{Name: "round", Run: probeRoundLatency},
 			{Name: "scale", Run: probeScale},
+			{Name: "stream", Run: probeStream},
 		},
 	}
 }

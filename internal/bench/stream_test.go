@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastStream keeps the streamed rounds inside the unit-test budget.
+func fastStream() StreamOptions {
+	return StreamOptions{
+		Dim:          1 << 14,
+		Clients:      4,
+		Chunk:        1000, // deliberately unaligned with dim
+		Workers:      2,
+		MinProbeTime: time.Millisecond,
+	}
+}
+
+// TestRunStream: the harness completes streamed rounds and publishes the
+// footprint numbers the probe gates on — a sub-linear resident window and
+// a positive fold throughput.
+func TestRunStream(t *testing.T) {
+	res, err := RunStream(fastStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakBytes <= 0 || res.PeakBytes >= res.DenseBytes {
+		t.Fatalf("peak window %d bytes not sub-linear vs dense %d", res.PeakBytes, res.DenseBytes)
+	}
+	if res.WindowRatio <= 1 {
+		t.Fatalf("window ratio %v", res.WindowRatio)
+	}
+	if res.ElemPerSec <= 0 || res.SecPerRound <= 0 {
+		t.Fatalf("degenerate throughput: %+v", res)
+	}
+	table := res.Table().String()
+	for _, want := range []string{"peak resident window", "window ratio", "fold throughput"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestRunStreamFootprintDeterministic: PeakBytes is a pure function of
+// the geometry and the wire codec — the property that lets it gate in CI
+// across machines.
+func TestRunStreamFootprintDeterministic(t *testing.T) {
+	a, err := RunStream(fastStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunStream(fastStream())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PeakBytes != b.PeakBytes || a.Chunks != b.Chunks {
+		t.Fatalf("footprint diverged across identical runs: %+v vs %+v", a, b)
+	}
+}
+
+// TestProbeStream: the suite hook publishes the gated metrics.
+func TestProbeStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-dim probe")
+	}
+	var r Report
+	if err := probeStream(Options{Workers: 2, MinProbeTime: time.Millisecond}, &r); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"stream_peak_bytes", "stream_window_ratio", "stream_fold_throughput"} {
+		m, ok := r.Lookup(name)
+		if !ok {
+			t.Fatalf("probe did not publish %s", name)
+		}
+		if m.Value <= 0 {
+			t.Fatalf("%s = %v", name, m.Value)
+		}
+	}
+}

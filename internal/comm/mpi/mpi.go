@@ -9,6 +9,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // message is one point-to-point payload with its tag.
@@ -92,6 +93,41 @@ func (c *Comm) Recv(from int, tag int) []float64 {
 		panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
 	}
 	return m.data
+}
+
+// RecvTimeout is Recv with a patience bound: ok reports whether a
+// message arrived before the timeout (timeout <= 0 waits forever). The
+// chunk-streaming ack path uses it so a lost ack costs one retransmit
+// instead of a hung client.
+func (c *Comm) RecvTimeout(from int, tag int, timeout time.Duration) ([]float64, bool) {
+	if from < 0 || from >= c.world.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", from))
+	}
+	if timeout <= 0 {
+		return c.Recv(from, tag), true
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case m := <-c.world.mailboxes[from][c.rank]:
+		if m.tag != tag {
+			panic(fmt.Sprintf("mpi: rank %d expected tag %d from %d, got %d", c.rank, tag, from, m.tag))
+		}
+		return m.data, true
+	case <-t.C:
+		return nil, false
+	}
+}
+
+// recvAny blocks for the next message from rank `from`, whatever its
+// tag, and returns both. The FL server's reply receiver uses it to
+// demultiplex streamed chunks from the update that settles the round.
+func (c *Comm) recvAny(from int) (int, []float64) {
+	if from < 0 || from >= c.world.size {
+		panic(fmt.Sprintf("mpi: Recv from invalid rank %d", from))
+	}
+	m := <-c.world.mailboxes[from][c.rank]
+	return m.tag, m.data
 }
 
 // Bcast distributes root's data to every rank and returns the received

@@ -38,6 +38,7 @@ type ServerTransport struct {
 	c        *Comm
 	stats    comm.Stats
 	arrivals chan arrival
+	chunks   []chan []float64 // per-client streamed chunk buffers
 	ledger   *comm.Ledger
 }
 
@@ -54,7 +55,13 @@ func NewFLWorld(numClients int) (*ServerTransport, []*ClientTransport) {
 	server := &ServerTransport{
 		c:        w.Rank(0),
 		arrivals: make(chan arrival, numClients),
+		chunks:   make([]chan []float64, numClients),
 		ledger:   comm.NewLedger(numClients),
+	}
+	for i := range server.chunks {
+		// Capacity 4 holds the window-1 steady state plus a retransmit
+		// racing its late ack, matching comm.ChunkPipe.
+		server.chunks[i] = make(chan []float64, 4)
 	}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
@@ -258,8 +265,23 @@ func (s *ServerTransport) dispatch(client int, buf []float64, round uint32, fina
 	s.c.Send(client+1, tagGlobal, buf)
 	s.stats.AddSent(8 * len(buf))
 	if !final {
+		// The reply receiver demultiplexes the client's uplink: streamed
+		// chunks (which ride below the obligation) are routed to the chunk
+		// queue until the tagUpdate settling the obligation arrives.
 		go func() {
-			s.arrivals <- arrival{rank: client, buf: s.c.Recv(client+1, tagUpdate)}
+			for {
+				tag, buf := s.c.recvAny(client + 1)
+				switch tag {
+				case tagChunk:
+					s.chunks[client] <- buf
+				case tagUpdate:
+					s.arrivals <- arrival{rank: client, buf: buf}
+					return
+				default:
+					panic(fmt.Sprintf("mpi: rank 0 expected tag %d or %d from %d, got %d",
+						tagChunk, tagUpdate, client+1, tag))
+				}
+			}
 		}()
 	}
 	return nil

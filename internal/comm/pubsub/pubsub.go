@@ -181,6 +181,7 @@ type ServerTransport struct {
 	broker     *Broker
 	numClients int
 	updates    *Subscription
+	chunks     []*Subscription // per-client streamed chunk topics
 	stats      comm.Stats
 	ledger     *comm.Ledger
 }
@@ -188,7 +189,9 @@ type ServerTransport struct {
 // ClientTransport adapts a broker to comm.ClientTransport.
 type ClientTransport struct {
 	broker *Broker
+	id     int
 	global *Subscription
+	acks   *Subscription // per-client chunk-ack topic
 	stats  comm.Stats
 }
 
@@ -200,14 +203,31 @@ func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	st := &ServerTransport{broker: b, numClients: numClients, updates: upd, ledger: comm.NewLedger(numClients)}
+	st := &ServerTransport{
+		broker:     b,
+		numClients: numClients,
+		updates:    upd,
+		chunks:     make([]*Subscription, numClients),
+		ledger:     comm.NewLedger(numClients),
+	}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
 		g, err := b.Subscribe(GlobalTopic(i), 1)
 		if err != nil {
 			return nil, nil, err
 		}
-		clients[i] = &ClientTransport{broker: b, global: g}
+		// Chunk queues hold the window-1 steady state plus a retransmit
+		// racing its late ack, matching comm.ChunkPipe.
+		mc, err := b.Subscribe(ChunkTopic(i), 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		st.chunks[i] = mc
+		ack, err := b.Subscribe(ChunkAckTopic(i), 4)
+		if err != nil {
+			return nil, nil, err
+		}
+		clients[i] = &ClientTransport{broker: b, id: i, global: g, acks: ack}
 	}
 	return st, clients, nil
 }

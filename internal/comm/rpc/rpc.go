@@ -96,6 +96,7 @@ type Server struct {
 	stats comm.Stats
 
 	arrivals chan arrival
+	chunks   []chan []byte // per-client streamed ModelChunk frames
 	ledger   *comm.Ledger
 	done     chan struct{}
 
@@ -137,6 +138,12 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	for i := range deadGen {
 		deadGen[i] = -1
 	}
+	chunks := make([]chan []byte, cfg.NumClients)
+	for i := range chunks {
+		// Capacity 4 holds the window-1 steady state plus a retransmit
+		// racing its late ack, matching comm.ChunkPipe.
+		chunks[i] = make(chan []byte, 4)
+	}
 	return &Server{
 		cfg:      cfg,
 		ln:       ln,
@@ -145,6 +152,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		deadGen:  deadGen,
 		resumeCh: make(chan struct{}),
 		arrivals: make(chan arrival, cfg.NumClients),
+		chunks:   chunks,
 		ledger:   comm.NewLedger(cfg.NumClients),
 		done:     make(chan struct{}),
 	}, nil
@@ -293,6 +301,16 @@ func (s *Server) acceptResumes() {
 func (s *Server) readLoop(c, gen int, conn net.Conn) {
 	for {
 		kind, payload, err := readFrame(conn)
+		if err == nil && kind == wire.KindModelChunk {
+			// Streamed chunks bypass the arrival channel (and the
+			// obligation ledger): StreamGather drains them per client.
+			select {
+			case s.chunks[c] <- payload:
+			case <-s.done:
+				return
+			}
+			continue
+		}
 		var a arrival
 		switch {
 		case err != nil:

@@ -1,0 +1,117 @@
+package rpc
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/wire"
+)
+
+// TestStreamOverRPC: a chunked upload over real TCP frames reassembles
+// every client's vector bit for bit, interleaved with a following slim
+// LocalUpdate on the same connection (the ledger-settling pattern the
+// runner uses).
+func TestStreamOverRPC(t *testing.T) {
+	const P, dim, chunk = 3, 300, 64
+	srv, clients := startCluster(t, P)
+	defer srv.Close()
+
+	if err := srv.SendTo(comm.AllClients(P), &wire.GlobalModel{Round: 1, Weights: make([]float64, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i, ct := range clients {
+		wg.Add(1)
+		go func(i int, ct *Client) {
+			defer wg.Done()
+			if _, err := ct.RecvGlobal(); err != nil {
+				t.Errorf("client %d recv global: %v", i, err)
+				return
+			}
+			v := make([]float64, dim)
+			for k := range v {
+				v[k] = float64(i+1)*100 + float64(k)
+			}
+			u := &wire.LocalUpdate{
+				ClientID:   uint32(i),
+				Round:      1,
+				NumSamples: uint64(7 + i),
+				Primal:     v,
+			}
+			if err := comm.StreamUpload(ct, u, chunk,
+				comm.UploadOptions{AckTimeout: time.Second, MaxRetries: 2}); err != nil {
+				t.Errorf("client %d stream: %v", i, err)
+				return
+			}
+			// Slim, payload-less update settles the round's obligation.
+			slim := &wire.LocalUpdate{ClientID: uint32(i), Round: 1, NumSamples: uint64(7 + i)}
+			if err := ct.SendUpdate(slim); err != nil {
+				t.Errorf("client %d slim update: %v", i, err)
+			}
+		}(i, ct)
+	}
+	rebuilt := make([][]float64, P)
+	for i := range rebuilt {
+		rebuilt[i] = make([]float64, dim)
+	}
+	st, err := comm.StreamGather(srv, comm.AllClients(P), 1, dim, chunk,
+		func(samples []uint64) error { return nil },
+		func(lo, hi int, payloads []*wire.Payload) error {
+			for i, p := range payloads {
+				copy(rebuilt[i][lo:hi], p.Dense)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The slim updates settle through the ordinary gather afterwards.
+	ups, err := srv.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, u := range ups {
+		if len(u.Primal) != 0 || u.PrimalP != nil {
+			t.Fatalf("client %d slim update carried a payload", i)
+		}
+		if u.NumSamples != uint64(7+i) {
+			t.Fatalf("client %d slim samples %d", i, u.NumSamples)
+		}
+	}
+	for i := range rebuilt {
+		for k := range rebuilt[i] {
+			want := float64(i+1)*100 + float64(k)
+			if math.Float64bits(rebuilt[i][k]) != math.Float64bits(want) {
+				t.Fatalf("client %d coordinate %d corrupted in transit", i, k)
+			}
+		}
+	}
+	if st.Chunks != P*wire.ChunkPlan(dim, chunk) {
+		t.Fatalf("folded %d chunks", st.Chunks)
+	}
+}
+
+// TestStreamAckTimeoutOverRPC: a silent server surfaces ErrAckTimeout
+// through the read deadline instead of hanging the upload.
+func TestStreamAckTimeoutOverRPC(t *testing.T) {
+	srv, clients := startCluster(t, 1)
+	defer srv.Close()
+	if _, err := clients[0].RecvChunkAck(20 * time.Millisecond); err != comm.ErrAckTimeout {
+		t.Fatalf("got %v, want ErrAckTimeout", err)
+	}
+	// The deadline must be cleared: a later ack still arrives.
+	go func() {
+		_ = srv.SendChunkAck(0, &wire.ChunkAck{ClientID: 0, Round: 1, Index: 0})
+	}()
+	a, err := clients[0].RecvChunkAck(2 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Round != 1 || a.Index != 0 {
+		t.Fatalf("ack %+v", a)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/pipeline"
+	"repro/internal/wire"
 )
 
 // Algorithm names accepted in Config.Algorithm.
@@ -163,6 +164,27 @@ type Config struct {
 	// FedAvg-family rules only (like AggPrecision), and not combinable
 	// with AggPrecision=f32 (one accumulator authority).
 	AggShards int
+
+	// StreamChunk, when positive, streams every uplink as a sequence of
+	// fixed-size wire.ModelChunk messages of this many coordinates instead
+	// of one monolithic LocalUpdate: the server folds each chunk into an
+	// O(chunk) accumulator window as it arrives (StreamSession), so peak
+	// transient memory tracks the chunk size, not the model dimension.
+	// Chunking is invisible to the arithmetic — the streamed trajectory is
+	// bit-identical to the monolithic one. FedAvg behind a barrier
+	// scheduler (syncall or sampled) only, with Pipeline empty or the pure
+	// element-wise "f16"-suffixed stacks; not combinable with AggShards,
+	// AggPrecision=f32, or SubsetFrac.
+	StreamChunk int
+
+	// SubsetFrac, when in (0,1), makes every client upload only the first
+	// ceil(SubsetFrac·dim) coordinates of its trained vector as a
+	// wire.EncSubset payload — the LoRA-style partial-parameter update.
+	// The server scatter-folds listed coordinates and every unlisted
+	// coordinate keeps its weighted share of the current global value (see
+	// subset.go). FedAvg behind a barrier scheduler only; not combinable
+	// with Pipeline, AggShards, AggPrecision=f32, or StreamChunk.
+	SubsetFrac float64
 
 	// RoundTimeout bounds how long the server waits on a round's gather.
 	// Zero (the default) waits forever — the pre-fault-tolerance behavior,
@@ -350,6 +372,65 @@ func (c Config) Validate() error {
 	}
 	if c.Scheduler != "" && c.Scheduler != SchedSyncAll && c.ClientFraction > 0 && c.ClientFraction < 1 {
 		return fmt.Errorf("core: ClientFraction (client-side echo) cannot combine with the %s scheduler", c.Scheduler)
+	}
+	if c.StreamChunk < 0 {
+		return fmt.Errorf("core: StreamChunk must be >= 0 (0 selects the monolithic path), got %d", c.StreamChunk)
+	}
+	if c.StreamChunk > 0 {
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: StreamChunk requires FedAvg (the chunk window mirrors its element-wise fold)")
+		}
+		switch c.Scheduler {
+		case "", SchedSyncAll, SchedSampled:
+		default:
+			return fmt.Errorf("core: StreamChunk requires a barrier scheduler (syncall or sampled), got %q", c.Scheduler)
+		}
+		if c.AggShards > 1 {
+			return fmt.Errorf("core: StreamChunk and AggShards cannot combine (one accumulator authority)")
+		}
+		if c.AggPrecision == AggF32 {
+			return fmt.Errorf("core: StreamChunk and AggPrecision=f32 cannot combine (the chunk fold is defined on the float64 accumulator)")
+		}
+		if c.RoundTimeout > 0 {
+			return fmt.Errorf("core: StreamChunk and RoundTimeout cannot combine (the chunk gather has no forgive path)")
+		}
+		if c.Pipeline != "" {
+			// Only a pipeline whose whole inverse is a pure per-coordinate
+			// f16 decode can fold chunk-wise without changing a bit.
+			specs, err := pipeline.Parse(c.Pipeline)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			built, err := specs.Build(nil)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			if fs, ok := built.Fused(); !ok || fs.FusedEnc() != wire.EncFloat16 {
+				return fmt.Errorf("core: StreamChunk supports only dense or f16 uplinks, not pipeline %q", c.Pipeline)
+			}
+		}
+	}
+	if c.SubsetFrac != 0 {
+		if c.SubsetFrac < 0 || c.SubsetFrac >= 1 {
+			return fmt.Errorf("core: SubsetFrac must be in (0,1), got %v", c.SubsetFrac)
+		}
+		if c.Algorithm != AlgoFedAvg {
+			return fmt.Errorf("core: SubsetFrac requires FedAvg (the scatter-fold extends its weighting rule)")
+		}
+		switch c.Scheduler {
+		case "", SchedSyncAll, SchedSampled:
+		default:
+			return fmt.Errorf("core: SubsetFrac requires a barrier scheduler (syncall or sampled), got %q", c.Scheduler)
+		}
+		if c.Pipeline != "" {
+			return fmt.Errorf("core: SubsetFrac and Pipeline cannot combine (the subset is cut after the legacy clip stage)")
+		}
+		if c.AggShards > 1 || c.AggPrecision == AggF32 {
+			return fmt.Errorf("core: SubsetFrac requires the flat float64 accumulator (no AggShards, no f32)")
+		}
+		if c.StreamChunk > 0 {
+			return fmt.Errorf("core: SubsetFrac and StreamChunk cannot combine (a subset upload is already sub-O(dim))")
+		}
 	}
 	return nil
 }

@@ -152,6 +152,12 @@ func DecodeUpdates(batch []*wire.LocalUpdate, inv *pipeline.Pipeline, dim, worke
 		if u == nil || u.PrimalP == nil {
 			return nil
 		}
+		if u.PrimalP.Enc == wire.EncSubset {
+			// Subset payloads never densify (their unlisted coordinates
+			// live only on the server); the scatter-fold consumes them
+			// still encoded. The dimension screen above already ran.
+			return nil
+		}
 		if err := inv.Invert(u.PrimalP); err != nil {
 			return fmt.Errorf("core: client %d update: %w", u.ClientID, err)
 		}

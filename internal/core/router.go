@@ -24,8 +24,10 @@ type ShardRouter struct {
 	round   int
 	inRound int
 
-	// Admitted and Rejected count routing decisions across all rounds.
-	Admitted, Rejected uint64
+	// Admitted and Rejected count routing decisions across all rounds;
+	// Stale counts arrivals whose round predates the current admission
+	// window (rejected without consuming the window's budget).
+	Admitted, Rejected, Stale uint64
 }
 
 // NewShardRouter builds a router over `shards` ingress shards admitting
@@ -42,12 +44,19 @@ func NewShardRouter(shards, perRound int) (*ShardRouter, error) {
 
 // Admit decides whether client may contribute to round and, if so, which
 // ingress shard receives its update. A new round number resets the
-// admission window (rounds are monotone; a stale round is treated as the
-// current one). Rejected clients are counted — the caller decides
+// admission window (rounds are monotone). An arrival whose round
+// predates the current window is a straggler from a round that already
+// closed: it is rejected under the distinct Stale counter and consumes
+// none of the current round's budget — previously it was treated as a
+// current-round arrival and ate admission slots that belonged to round
+// r's own clients. Rejected clients are counted — the caller decides
 // whether they retry next round or drop.
 func (r *ShardRouter) Admit(round int, client uint32) (shard int, ok bool) {
 	if round > r.round {
 		r.round, r.inRound = round, 0
+	} else if round < r.round {
+		r.Stale++
+		return -1, false
 	}
 	if r.PerRound > 0 && r.inRound >= r.PerRound {
 		r.Rejected++

@@ -275,6 +275,26 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 						time.Sleep(d)
 					}
 				}
+				if cfg.SubsetFrac > 0 && len(up.Primal) > 0 {
+					// LoRA-style partial upload: only the leading subset of
+					// the trained vector leaves the client.
+					up.PrimalP = BuildSubsetPayload(up.Primal, cfg.SubsetFrac)
+					up.Primal = nil
+				}
+				if cfg.StreamChunk > 0 {
+					cs, ok := ct.(comm.ChunkSender)
+					if !ok {
+						clientErrs[i] = fmt.Errorf("core: transport %T cannot stream chunked uploads", ct)
+						return
+					}
+					if err := comm.StreamUpload(cs, up, cfg.StreamChunk, comm.UploadOptions{}); err != nil {
+						clientErrs[i] = err
+						return
+					}
+					// The chunks carried the vector; a slim update settles
+					// the round's obligation through the ordinary gather.
+					up.Primal, up.PrimalP = nil, nil
+				}
 				if err := ct.SendUpdate(up); err != nil {
 					clientErrs[i] = err
 					return
@@ -359,6 +379,23 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 	// two-pass/widening paths they replace.
 	fusedStage, fused := EnableFusedFold(agg, serverPipe)
 	w32agg, _ := agg.(Weights32Provider)
+	// Streaming mode: chunked uplinks fold through a StreamSession window
+	// instead of a gathered batch; the transport must speak the chunk
+	// protocol. Config.Validate has already pinned the compatible shape
+	// (FedAvg, barrier scheduler, flat f64 accumulator, no RoundTimeout).
+	var stream *StreamSession
+	var chunkSrc comm.ChunkGatherer
+	if cfg.StreamChunk > 0 {
+		cg, ok := st.(comm.ChunkGatherer)
+		if !ok {
+			return fmt.Errorf("core: transport %T cannot gather streamed chunks", st)
+		}
+		ss, err := NewStreamSession(agg)
+		if err != nil {
+			return err
+		}
+		stream, chunkSrc = ss, cg
+	}
 	minCohort := cfg.MinCohort
 	if minCohort <= 0 {
 		minCohort = 1
@@ -411,6 +448,18 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		if err := st.SendTo(cohort, gm); err != nil {
 			return fmt.Errorf("core: send round %d: %w", t, err)
 		}
+		if stream != nil {
+			// The cohort streams its vectors chunk by chunk into the
+			// session's O(chunk) window; the slim updates gathered below
+			// settle the obligations but carry no payload.
+			if _, err := comm.StreamGather(chunkSrc, cohort, uint32(t), agg.Dim(), cfg.StreamChunk,
+				stream.Begin, stream.FoldPayloads); err != nil {
+				return fmt.Errorf("core: stream round %d: %w", t, err)
+			}
+			if err := stream.Finish(); err != nil {
+				return fmt.Errorf("core: stream round %d: %w", t, err)
+			}
+		}
 		var updates []*wire.LocalUpdate
 		var err error
 		if cfg.RoundTimeout > 0 {
@@ -439,13 +488,15 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			return fmt.Errorf("core: round %d completed with %d of %d clients, quorum is %d: %w",
 				t, len(data), len(cohort), minCohort, ErrQuorum)
 		}
-		if fused {
-			err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
-		} else {
-			err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
-		}
-		if err != nil {
-			return fmt.Errorf("core: decode round %d: %w", t, err)
+		if stream == nil {
+			if fused {
+				err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
+			} else {
+				err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
+			}
+			if err != nil {
+				return fmt.Errorf("core: decode round %d: %w", t, err)
+			}
 		}
 		maxCompute := 0.0
 		for _, u := range data {
@@ -456,8 +507,12 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 				res.Echoes++
 			}
 		}
-		if err := agg.Aggregate(data); err != nil {
-			return fmt.Errorf("core: aggregate round %d: %w", t, err)
+		if stream == nil {
+			// In streaming mode the session already folded the chunks and
+			// advanced the version; the slim updates have nothing to fold.
+			if err := agg.Aggregate(data); err != nil {
+				return fmt.Errorf("core: aggregate round %d: %w", t, err)
+			}
 		}
 		rs := RoundStats{Round: t, ComputeSec: maxCompute, CohortSize: len(data)}
 		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, roundStart, wbuf, progress)

@@ -151,6 +151,13 @@ type FedAvgServer struct {
 	srcs    []tensor.FoldSrc
 	aggOp   func(lo, hi int)
 	aggOp32 func(lo, hi int)
+
+	// Scatter-fold scratch of the subset (partial-parameter) path: listed
+	// coordinate mass and weighted sums, plus the pre-bound sweep op. See
+	// subset.go.
+	subMass []float64
+	subAcc  []float64
+	subOp   func(lo, hi int)
 }
 
 // NewFedAvgServer builds the server with initial weights w0.
@@ -159,6 +166,7 @@ func NewFedAvgServer(w0 []float64, numClients int) *FedAvgServer {
 	s := &FedAvgServer{BaseServer: BaseServer{W: w, NumClients: numClients}}
 	s.aggOp = s.aggChunk
 	s.aggOp32 = s.aggChunk32
+	s.subOp = s.subsetChunk
 	return s
 }
 
@@ -239,6 +247,9 @@ func (s *FedAvgServer) Update(updates []*wire.LocalUpdate) error {
 // batched K-way pass per chunk (tensor.FoldKSrc) instead of K separate
 // accumulator sweeps.
 func (s *FedAvgServer) Aggregate(batch []*wire.LocalUpdate) error {
+	if isSubsetBatch(batch) {
+		return s.aggregateSubset(batch)
+	}
 	if err := s.checkBatch(batch, false, s.fused != nil); err != nil {
 		return err
 	}

@@ -291,6 +291,43 @@ func TestShardRouterAdmission(t *testing.T) {
 	}
 }
 
+// TestShardRouterStaleRound: a straggler from a closed round must be
+// rejected under the Stale counter without consuming the current round's
+// admission budget. The pre-fix router treated a stale round as current,
+// so one round-1 straggler would eat a round-2 admission slot.
+func TestShardRouterStaleRound(t *testing.T) {
+	r, err := NewShardRouter(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint32(0); c < 2; c++ {
+		if _, ok := r.Admit(2, c); !ok {
+			t.Fatalf("round 2 client %d rejected under cap 2", c)
+		}
+	}
+	// Round 3 opens a fresh window; a round-2 straggler arrives first.
+	if _, ok := r.Admit(3, 10); !ok {
+		t.Fatal("round 3 did not reset the admission window")
+	}
+	if _, ok := r.Admit(2, 3); ok {
+		t.Fatal("stale round-2 arrival admitted into round 3's window")
+	}
+	if r.Stale != 1 {
+		t.Fatalf("Stale = %d, want 1", r.Stale)
+	}
+	// The straggler must not have consumed round 3's remaining slot.
+	if _, ok := r.Admit(3, 11); !ok {
+		t.Fatal("stale arrival consumed the current round's admission budget")
+	}
+	if _, ok := r.Admit(3, 12); ok {
+		t.Fatal("cap 2 exceeded in round 3")
+	}
+	if r.Admitted != 4 || r.Rejected != 1 || r.Stale != 1 {
+		t.Fatalf("counters admitted/rejected/stale = %d/%d/%d, want 4/1/1",
+			r.Admitted, r.Rejected, r.Stale)
+	}
+}
+
 // TestSampledCohortHugeRosterIsOCohort: the partial Fisher–Yates draw
 // must make cohort sampling independent of roster size — a 10M-client
 // roster samples a 100-client cohort effectively instantly, where the

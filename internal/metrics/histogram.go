@@ -25,6 +25,7 @@ type Histogram struct {
 	invStep float64 // buckets per unit of log-space
 	counts  []uint64
 	n       uint64
+	tracked uint64 // non-NaN observations (the ones min/max cover)
 	min     float64
 	max     float64
 }
@@ -49,20 +50,28 @@ func NewHistogram(lo, hi float64, buckets int) (*Histogram, error) {
 }
 
 // Add records one observation. Non-finite or non-positive values clamp
-// into the boundary buckets rather than corrupting the counts.
+// into the boundary buckets rather than corrupting the counts, and NaN
+// observations are excluded from the min/max tracking: a NaN is counted
+// (first bucket, like any non-positive value) but never becomes the
+// observed min or max — a NaN min would defeat every later `x < min`
+// comparison and poison Quantile's observed-range clamp permanently.
 func (h *Histogram) Add(x float64) {
 	h.n++
-	if h.n == 1 {
-		h.min, h.max = x, x
-	} else {
-		if x < h.min {
-			h.min = x
-		}
-		if x > h.max {
-			h.max = x
-		}
-	}
 	h.counts[h.bucket(x)]++
+	if math.IsNaN(x) {
+		return
+	}
+	h.tracked++
+	if h.tracked == 1 {
+		h.min, h.max = x, x
+		return
+	}
+	if x < h.min {
+		h.min = x
+	}
+	if x > h.max {
+		h.max = x
+	}
 }
 
 // bucket maps an observation to its bucket index.

@@ -95,3 +95,42 @@ func TestHistogramClamping(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramNaNFirstObservation: a NaN first observation used to set
+// min = max = NaN permanently (every later `x < min` / `x > max`
+// comparison is false against NaN), so Quantile's observed-range clamp
+// returned NaN for every quantile despite the clamping promise. NaN must
+// be counted but excluded from the min/max tracking.
+func TestHistogramNaNFirstObservation(t *testing.T) {
+	h, _ := NewHistogram(1e-3, 10, 64)
+	h.Add(math.NaN())
+	for i := 0; i < 100; i++ {
+		h.Add(0.25)
+	}
+	h.Add(math.NaN())
+	if h.N() != 102 {
+		t.Fatalf("N = %d, want 102 (NaN still counts)", h.N())
+	}
+	if h.Min() != 0.25 || h.Max() != 0.25 {
+		t.Fatalf("min/max = %v/%v, want 0.25/0.25 (NaN must not poison the range)", h.Min(), h.Max())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = NaN after a NaN first observation", q)
+		}
+	}
+
+	// All-NaN input: counted, no range, quantiles finite.
+	n, _ := NewHistogram(1e-3, 10, 8)
+	n.Add(math.NaN())
+	n.Add(math.NaN())
+	if n.N() != 2 {
+		t.Fatalf("N = %d, want 2", n.N())
+	}
+	if math.IsNaN(n.Min()) || math.IsNaN(n.Max()) {
+		t.Fatal("all-NaN input produced a NaN min/max")
+	}
+	if got := n.Quantile(0.5); math.IsNaN(got) {
+		t.Fatalf("Quantile(0.5) = NaN on all-NaN input")
+	}
+}

@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestModelChunkRoundTrip(t *testing.T) {
+	in := ModelChunk{
+		ClientID: 9, Round: 3, Version: 12, Index: 2, Count: 5,
+		Lo: 64, Hi: 96, Dim: 160, NumSamples: 48,
+		Payload: &Payload{Enc: EncDense, Dim: 32, Dense: make([]float64, 32)},
+	}
+	for i := range in.Payload.Dense {
+		in.Payload.Dense[i] = float64(i) * 0.25 * math.Pi
+	}
+	e := NewEncoder(nil)
+	in.Marshal(e)
+	var out ModelChunk
+	if err := out.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out.ClientID != in.ClientID || out.Round != in.Round || out.Version != in.Version ||
+		out.Index != in.Index || out.Count != in.Count ||
+		out.Lo != in.Lo || out.Hi != in.Hi || out.Dim != in.Dim || out.NumSamples != in.NumSamples {
+		t.Fatalf("header mismatch: %+v vs %+v", out, in)
+	}
+	if len(out.Payload.Dense) != len(in.Payload.Dense) {
+		t.Fatalf("payload length %d, want %d", len(out.Payload.Dense), len(in.Payload.Dense))
+	}
+	for i := range in.Payload.Dense {
+		if math.Float64bits(out.Payload.Dense[i]) != math.Float64bits(in.Payload.Dense[i]) {
+			t.Fatalf("value %d not bit-identical", i)
+		}
+	}
+
+	// Reuse across a stream: the second decode must not leak the first
+	// chunk's fields and must recycle the payload buffer.
+	in2 := ModelChunk{
+		Round: 4, Index: 0, Count: 1, Lo: 0, Hi: 2, Dim: 2,
+		Payload: &Payload{Enc: EncFloat16, Dim: 2, Codes: []byte{0x00, 0x3c, 0x00, 0xc0}},
+	}
+	e2 := NewEncoder(nil)
+	in2.Marshal(e2)
+	if err := out.Unmarshal(NewDecoder(e2.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out.NumSamples != 0 || out.Version != 0 || out.ClientID != 0 {
+		t.Fatalf("reused decode leaked previous fields: %+v", out)
+	}
+	if out.Payload.Enc != EncFloat16 || len(out.Payload.Dense) != 0 {
+		t.Fatalf("reused payload leaked previous encoding: %+v", out.Payload)
+	}
+}
+
+func TestModelChunkValidate(t *testing.T) {
+	ok := func() ModelChunk {
+		return ModelChunk{
+			Round: 1, Index: 0, Count: 2, Lo: 0, Hi: 4, Dim: 8,
+			Payload: &Payload{Enc: EncDense, Dim: 4, Dense: make([]float64, 4)},
+		}
+	}
+	if err := (func() error { c := ok(); return c.Validate() })(); err != nil {
+		t.Fatalf("valid chunk rejected: %v", err)
+	}
+	cases := map[string]func(*ModelChunk){
+		"zero count":       func(c *ModelChunk) { c.Count = 0 },
+		"index past count": func(c *ModelChunk) { c.Index = 2 },
+		"inverted range":   func(c *ModelChunk) { c.Lo, c.Hi = 4, 0 },
+		"range past dim":   func(c *ModelChunk) { c.Hi = 9; c.Payload.Dim = 9 },
+		"missing payload":  func(c *ModelChunk) { c.Payload = nil },
+		"payload dim off":  func(c *ModelChunk) { c.Payload.Dim = 3 },
+		"subset payload": func(c *ModelChunk) {
+			c.Payload = &Payload{Enc: EncSubset, Dim: 4, Indices: []uint32{0}, Values: []float64{1}}
+		},
+		"invalid payload": func(c *ModelChunk) { c.Payload.Dense = c.Payload.Dense[:2] },
+	}
+	for name, mutate := range cases {
+		c := ok()
+		mutate(&c)
+		if err := c.Validate(); !errors.Is(err, ErrBadPayload) {
+			t.Errorf("%s: got %v, want ErrBadPayload", name, err)
+		}
+	}
+}
+
+func TestChunkAckRoundTrip(t *testing.T) {
+	in := ChunkAck{ClientID: 3, Round: 9, Index: 17}
+	e := NewEncoder(nil)
+	in.Marshal(e)
+	var out ChunkAck
+	if err := out.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round-trip %+v -> %+v", in, out)
+	}
+}
+
+func TestChunkPlanAndRange(t *testing.T) {
+	cases := []struct {
+		dim, chunk, want int
+	}{
+		{10, 4, 3}, {8, 4, 2}, {1, 4, 1}, {4, 4, 1}, {0, 4, 1}, {10, 0, 1},
+		{1 << 20, 16384, 64},
+	}
+	for _, c := range cases {
+		if got := ChunkPlan(c.dim, c.chunk); got != c.want {
+			t.Errorf("ChunkPlan(%d, %d) = %d, want %d", c.dim, c.chunk, got, c.want)
+		}
+	}
+	// Ranges must tile [0, dim) exactly, in order, with no overlap.
+	for _, geo := range []struct{ dim, chunk int }{{10, 4}, {8, 4}, {1 << 16, 4096}, {7, 3}} {
+		n := ChunkPlan(geo.dim, geo.chunk)
+		next := 0
+		for i := 0; i < n; i++ {
+			lo, hi := ChunkRange(geo.dim, geo.chunk, i)
+			if lo != next || hi < lo || hi > geo.dim {
+				t.Fatalf("dim=%d chunk=%d: chunk %d range [%d,%d) breaks the tiling at %d",
+					geo.dim, geo.chunk, i, lo, hi, next)
+			}
+			next = hi
+		}
+		if next != geo.dim {
+			t.Fatalf("dim=%d chunk=%d: tiling ends at %d", geo.dim, geo.chunk, next)
+		}
+	}
+}
+
+// TestSubsetPayloadWire pins the subset encoding's codec behavior: exact
+// EncodedLen, round-trip, Densify refusal, and validation of unsorted
+// indices.
+func TestSubsetPayloadWire(t *testing.T) {
+	p := Payload{Enc: EncSubset, Dim: 100, Indices: []uint32{3, 50, 99}, Values: []float64{1, -2, 0.5}}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("valid subset rejected: %v", err)
+	}
+	e := NewEncoder(nil)
+	p.EncodeInto(e, 1)
+	d := NewDecoder(e.Bytes())
+	if _, _, err := d.Tag(); err != nil {
+		t.Fatal(err)
+	}
+	body, err := d.BytesField()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != p.EncodedLen() {
+		t.Fatalf("body %d bytes, EncodedLen says %d", len(body), p.EncodedLen())
+	}
+	var q Payload
+	if err := q.Unmarshal(NewDecoder(body)); err != nil {
+		t.Fatal(err)
+	}
+	if q.Enc != EncSubset || q.Dim != 100 || len(q.Indices) != 3 {
+		t.Fatalf("round-trip mangled payload: %+v", q)
+	}
+	if _, err := q.Densify(nil); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("subset Densify must refuse with ErrBadPayload, got %v", err)
+	}
+	bad := Payload{Enc: EncSubset, Dim: 10, Indices: []uint32{5, 2}, Values: []float64{1, 2}}
+	if err := bad.Validate(); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("unsorted subset indices accepted: %v", err)
+	}
+}

@@ -36,14 +36,33 @@ func seedMessages() [][]byte {
 	add(&Payload{Enc: EncSparse, Dim: 8, Indices: []uint32{1, 5}, Values: []float64{0.5, -4}})
 	add(&Payload{Enc: EncQuant, Dim: 3, Scale: 0.25, Offset: -1, Bits: 8, Codes: []byte{0, 128, 255}})
 	add(&Payload{Enc: EncFloat16, Dim: 2, Codes: []byte{0x00, 0x3c, 0x00, 0xc0}})
+	add(&Payload{Enc: EncSubset, Dim: 10, Indices: []uint32{2, 7}, Values: []float64{0.25, -1}})
 	add(&LocalUpdate{
 		ClientID: 2, Round: 3, NumSamples: 32, Epsilon: 0.5, InCohort: true,
 		PrimalP: &Payload{Enc: EncSparse, Dim: 6, Indices: []uint32{0, 3}, Values: []float64{1, 2}},
+	})
+	add(&LocalUpdate{
+		ClientID: 5, Round: 1, NumSamples: 16, Epsilon: math.Inf(1), InCohort: true,
+		PrimalP: &Payload{Enc: EncSubset, Dim: 12, Indices: []uint32{0, 4, 11}, Values: []float64{1, 2, 3}},
 	})
 	add(&GlobalModel{
 		Round: 4, Version: 2,
 		WeightsP: &Payload{Enc: EncQuant, Dim: 2, Scale: 1, Offset: 0, Bits: 8, Codes: []byte{7, 9}},
 	})
+	add(&PartialAggregate{
+		Round: 2, Version: 3, ShardID: 1, Shards: 4, Lo: 8, Hi: 11,
+		Weight: 1, Count: 2, Sum: []float64{0.5, -0.5, 2},
+	})
+	add(&ModelChunk{
+		ClientID: 3, Round: 2, Version: 7, Index: 1, Count: 4,
+		Lo: 2, Hi: 4, Dim: 8, NumSamples: 64,
+		Payload: &Payload{Enc: EncDense, Dim: 2, Dense: []float64{1.5, -2.5}},
+	})
+	add(&ModelChunk{
+		ClientID: 1, Round: 1, Index: 0, Count: 1, Lo: 0, Hi: 2, Dim: 2,
+		Payload: &Payload{Enc: EncFloat16, Dim: 2, Codes: []byte{0x00, 0x3c, 0x00, 0xc0}},
+	})
+	add(&ChunkAck{ClientID: 3, Round: 2, Index: 1})
 	return out
 }
 
@@ -62,13 +81,64 @@ func FuzzDecodePayload(f *testing.F) {
 			return
 		}
 		// Decoded OK ⇒ validated ⇒ densify must succeed without panicking
-		// (cap the dimension so the fuzzer cannot allocate gigabytes).
+		// (cap the dimension so the fuzzer cannot allocate gigabytes). The
+		// one exception is the subset encoding, which has no base vector to
+		// densify against: it must refuse with the typed sentinel, never
+		// panic or hand back garbage.
 		if p.Dim > 1<<20 {
 			return
 		}
 		if _, err := p.Densify(nil); err != nil {
+			if p.Enc == EncSubset && errors.Is(err, ErrBadPayload) {
+				return
+			}
 			t.Fatalf("validated payload failed to densify: %v", err)
 		}
+	})
+}
+
+// FuzzDecodePartialAggregate: no partial-aggregate bytes may panic the
+// decoder, and anything that survives decoding is structurally valid —
+// the contract that keeps a malformed partial out of a tree-reduce.
+func FuzzDecodePartialAggregate(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x20, 0x00})       // zero tier width
+	f.Add([]byte{0x28, 0xff, 0x01}) // lo without hi: inverted range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var p PartialAggregate
+		if err := p.Unmarshal(NewDecoder(data)); err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("decoded partial fails its own validation: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeModelChunk: the streaming decode paths (ModelChunk and
+// ChunkAck) must return typed errors on adversarial bytes — never panic,
+// never over-allocate past the declared payload, and never hand back a
+// chunk whose payload range disagrees with its header.
+func FuzzDecodeModelChunk(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x28, 0x00})       // zero sequence length
+	f.Add([]byte{0x40, 0xff, 0xff}) // huge dim with no payload
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var c ModelChunk
+		if err := c.Unmarshal(NewDecoder(data)); err == nil {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("decoded chunk fails its own validation: %v", err)
+			}
+			if c.Payload.Enc == EncSubset {
+				t.Fatal("subset payload survived chunk validation")
+			}
+		}
+		var a ChunkAck
+		_ = a.Unmarshal(NewDecoder(data)) // must not panic
 	})
 }
 

@@ -16,6 +16,13 @@ const (
 	// KindPartialAggregate is a shard → reducer message of the hierarchical
 	// aggregation tier: one shard's folded range of the accumulator.
 	KindPartialAggregate Kind = 6
+	// KindModelChunk carries one fixed-size slice of a model vector — the
+	// streaming path's unit of transfer for models too large to ride one
+	// message (see ModelChunk).
+	KindModelChunk Kind = 7
+	// KindChunkAck acknowledges one received chunk back to its sender, the
+	// flow-control/retry signal of the streaming path.
+	KindChunkAck Kind = 8
 )
 
 // String names the kind for logs.
@@ -33,6 +40,10 @@ func (k Kind) String() string {
 		return "Shutdown"
 	case KindPartialAggregate:
 		return "PartialAggregate"
+	case KindModelChunk:
+		return "ModelChunk"
+	case KindChunkAck:
+		return "ChunkAck"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
