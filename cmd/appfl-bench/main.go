@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|scale|stream|all]
+//	appfl-bench [-only table1|fig2|fig3|fig4|hetero|commvol|scenarios|perf|scale|stream|soak|all]
 //	            [-out results] [-scale small|medium|paper] [-json]
 //
 // An unknown -only value is rejected with the list of valid artifacts
@@ -30,6 +30,10 @@
 // at the -dim/-stream-clients/-stream-chunk/-workers geometry: the
 // resident chunk-window footprint of a streamed round versus the
 // monolithic cohort, and the streamed fold throughput.
+//
+// The "soak" artifact runs the durability harness (bench.RunSoak): the
+// write-ahead journal's per-admit append cost and the crash-recovery
+// replay time over a 50-round journal.
 package main
 
 import (
@@ -46,7 +50,7 @@ import (
 )
 
 // artifacts is the closed set of -only values; "all" runs every one.
-var artifacts = []string{"table1", "fig2", "fig3", "fig4", "hetero", "commvol", "scenarios", "perf", "scale", "stream"}
+var artifacts = []string{"table1", "fig2", "fig3", "fig4", "hetero", "commvol", "scenarios", "perf", "scale", "stream", "soak"}
 
 // slicesContains reports whether xs contains x.
 func slicesContains(xs []string, x string) bool {
@@ -137,6 +141,13 @@ func main() {
 			fatal(err)
 		}
 		emit(*out, "stream", res.Table())
+	}
+	if run("soak") {
+		res, err := bench.RunSoak(bench.SoakOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		emit(*out, "soak", res.Table())
 	}
 	if run("table1") {
 		emit(*out, "table1", experiments.Table1())

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/journal"
+	"repro/internal/wire"
+)
+
+// roundJournal is the CLI server's write-ahead hook, the real-process
+// counterpart of the runner's in-process journaling: a round is opened in
+// the journal before any client sees the model, every admitted update's
+// dense primal is journaled before it folds, and a commit makes the round
+// durable. On restart, core.RecoverServer replays the same records. The
+// CLI keeps fsync on (NoSync false): a deployed server must survive power
+// loss, not just process death.
+type roundJournal struct {
+	j       *journal.Journal
+	every   int // checkpoint every k commits (0 = never)
+	commits int
+	scratch wire.JournalRecord
+}
+
+// roundStart opens round t for the full federation. Journaled BEFORE the
+// broadcast: a crash in between re-dispatches an open round, which is
+// recoverable, while a dispatched round the journal never heard of is not.
+func (rj *roundJournal) roundStart(t, clients int, version uint64) error {
+	if rj == nil {
+		return nil
+	}
+	rec := &rj.scratch
+	rec.Reset()
+	rec.Op = wire.JournalRoundStart
+	rec.Round = uint32(t)
+	rec.Version = version
+	for c := 0; c < clients; c++ {
+		rec.Cohort = append(rec.Cohort, uint32(c))
+	}
+	return rj.j.Append(rec)
+}
+
+// admits journals the decoded updates that will fold this round, skipping
+// clients whose admits already sit in the journal from a crashed attempt.
+func (rj *roundJournal) admits(t int, updates []*wire.LocalUpdate, skip map[int]bool) error {
+	if rj == nil {
+		return nil
+	}
+	for _, u := range updates {
+		if skip[int(u.ClientID)] {
+			continue
+		}
+		rec := &rj.scratch
+		rec.Reset()
+		rec.Op = wire.JournalAdmit
+		rec.Round = uint32(t)
+		rec.ClientID = u.ClientID
+		rec.NumSamples = u.NumSamples
+		rec.BaseVersion = u.BaseVersion
+		rec.Primal = append(rec.Primal, u.Primal...)
+		if err := rj.j.Append(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// commit closes round t with the new global model, compacting the WAL
+// into a checkpoint every rj.every commits.
+func (rj *roundJournal) commit(t int, w []float64, version uint64) error {
+	if rj == nil {
+		return nil
+	}
+	rec := &rj.scratch
+	rec.Reset()
+	rec.Op = wire.JournalCommit
+	rec.Round = uint32(t)
+	rec.Version = version
+	rec.Weights = append(rec.Weights, w...)
+	if err := rj.j.Append(rec); err != nil {
+		return err
+	}
+	rj.commits++
+	if rj.every > 0 && rj.commits%rj.every == 0 {
+		cp := &wire.JournalCheckpoint{
+			NextRound: uint32(t + 1),
+			Version:   version,
+			Weights:   rec.Weights,
+		}
+		if err := rj.j.Checkpoint(cp); err != nil {
+			return fmt.Errorf("checkpoint after round %d: %w", t, err)
+		}
+	}
+	return nil
+}

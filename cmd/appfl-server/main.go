@@ -13,6 +13,7 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/comm/rpc"
 	"repro/internal/core"
+	"repro/internal/journal"
 	"repro/internal/nn"
 	"repro/internal/wire"
 )
@@ -44,11 +46,17 @@ func main() {
 	aggShards := flag.Int("shards", 0, "hierarchical aggregation tier width (0/1 = single aggregator; FedAvg family only, bit-identical at any width)")
 	chunk := flag.Int("chunk", 0, "gather uplinks as streamed chunks of this many coordinates (0 = monolithic; clients must pass the same -chunk)")
 	subset := flag.Float64("subset", 0, "accept LoRA-style partial uploads covering this coordinate fraction (0 = dense; clients must pass the same -subset)")
+	journalDir := flag.String("journal", "", "write-ahead round journal directory: crash-recoverable rounds (fedavg only, no -chunk/-subset/-shards)")
+	checkpointEvery := flag.Int("checkpoint-every", 10, "compact the journal every k committed rounds (0 = never)")
+	savePath := flag.String("save", "", "write the final model checkpoint here (atomic tmp+fsync+rename)")
 	flag.Parse()
 
 	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe, AggWorkers: *aggWorkers, AggPrecision: *aggPrecision, AggShards: *aggShards, StreamChunk: *chunk, SubsetFrac: *subset}.WithDefaults()
 	if err := cfg.Validate(); err != nil {
 		fatal(err)
+	}
+	if *journalDir != "" && (cfg.Algorithm != appfl.AlgoFedAvg || cfg.StreamChunk > 0 || cfg.SubsetFrac > 0 || cfg.AggShards > 1) {
+		fatal(fmt.Errorf("-journal requires -algorithm fedavg without -chunk, -subset, or -shards (recovery refolds journaled dense admits)"))
 	}
 	serverPipe, err := core.NewServerPipeline(cfg)
 	if err != nil {
@@ -64,6 +72,44 @@ func main() {
 	server, err := core.NewServer(cfg, w0, *clients)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Durable state: open (or re-open) the write-ahead journal and replay
+	// it. A non-empty journal means this process is a restart — the model
+	// is restored from the last commit, and an in-flight round is finished
+	// by re-dispatching it with dedup against the journaled admits.
+	var rj *roundJournal
+	var pending *core.PendingRound
+	startRound := 1
+	if *journalDir != "" {
+		jnl, err := journal.Open(*journalDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer jnl.Close()
+		rj = &roundJournal{j: jnl, every: *checkpointEvery}
+		recovered, err := core.RecoverServer(jnl.Recovered(), *clients, true)
+		if err != nil {
+			fatal(err)
+		}
+		if !recovered.Fresh {
+			agg, ok := server.(core.Aggregator)
+			if !ok {
+				fatal(fmt.Errorf("algorithm %s is not journal-recoverable", cfg.Algorithm))
+			}
+			if err := recovered.Apply(agg); err != nil {
+				fatal(err)
+			}
+			startRound = recovered.NextRound
+			pending = recovered.Pending
+			if pending != nil {
+				// The crashed process left this round in flight: redo it
+				// first, deduplicating against its journaled admits.
+				startRound = pending.Round
+			}
+			fmt.Printf("appfl-server: journal replayed %d records; resuming at round %d\n",
+				recovered.Replayed, startRound)
+		}
 	}
 	// Streamed gathers fold chunk-by-chunk through a StreamSession; the
 	// slim settling updates still flow through the ordinary Gather so the
@@ -96,7 +142,26 @@ func main() {
 	}
 	fmt.Println("appfl-server: all clients joined")
 
-	for t := 1; t <= cfg.Rounds; t++ {
+	versioner, _ := server.(interface{ Version() int })
+	version := func() uint64 {
+		if versioner == nil {
+			return 0
+		}
+		return uint64(versioner.Version())
+	}
+	for t := startRound; t <= cfg.Rounds; t++ {
+		// A redone round (crash recovery) keeps its original journal
+		// entries: its RoundStart is already on disk and the admits
+		// journaled before the crash win over their recomputations.
+		var skip map[int]bool
+		var journaled []*wire.LocalUpdate
+		if pending != nil && t == pending.Round {
+			skip = pending.AdmittedSet()
+			journaled = pending.Admitted
+			pending = nil
+		} else if err := rj.roundStart(t, *clients, version()); err != nil {
+			fatal(err)
+		}
 		gm := &wire.GlobalModel{Round: uint32(t), Weights: server.GlobalWeights()}
 		if *downF16 {
 			if err := core.EncodeDownlinkF16(gm); err != nil {
@@ -129,7 +194,25 @@ func main() {
 			if err := core.DecodeUpdates(updates, serverPipe, len(w0), cfg.AggWorkers); err != nil {
 				fatal(err)
 			}
+			// Journal-before-effect: every update folds only after its dense
+			// primal is durable. On a redone round the journaled admits win
+			// over their recomputations (dedup by client x round).
+			if err := rj.admits(t, updates, skip); err != nil {
+				fatal(err)
+			}
+			if len(skip) > 0 {
+				merged := journaled
+				for _, u := range updates {
+					if !skip[int(u.ClientID)] {
+						merged = append(merged, u)
+					}
+				}
+				updates = merged
+			}
 			if err := server.Update(updates); err != nil {
+				fatal(err)
+			}
+			if err := rj.commit(t, server.GlobalWeights(), version()); err != nil {
 				fatal(err)
 			}
 		}
@@ -138,6 +221,17 @@ func main() {
 	}
 	if err := srv.Broadcast(&wire.GlobalModel{Final: true}); err != nil {
 		fatal(err)
+	}
+	if *savePath != "" {
+		nn.SetParams(model, server.GlobalWeights())
+		var buf bytes.Buffer
+		if err := nn.SaveParams(&buf, model); err != nil {
+			fatal(err)
+		}
+		if err := journal.AtomicWriteFile(*savePath, buf.Bytes(), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("appfl-server: model checkpoint saved to %s\n", *savePath)
 	}
 	snap := srv.Stats()
 	fmt.Printf("appfl-server: done; sent %d B, received %d B\n", snap.BytesSent, snap.BytesRecv)

@@ -159,6 +159,7 @@ func NewSuite(opts Options) *Suite {
 			{Name: "round", Run: probeRoundLatency},
 			{Name: "scale", Run: probeScale},
 			{Name: "stream", Run: probeStream},
+			{Name: "soak", Run: probeSoak},
 		},
 	}
 }

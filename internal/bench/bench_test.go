@@ -49,6 +49,7 @@ func TestSuiteEmitsNamedMetrics(t *testing.T) {
 		"kernel_foldk_speedup", "kernel_fused_speedup", "kernel_f32_speedup",
 		"rounds_per_sec_sharded", "shard_reduce_speedup",
 		"scale_round_latency_p50", "scale_round_latency_p95", "scale_round_latency_p99",
+		"journal_append_ns", "recovery_replay_ms",
 	} {
 		if _, ok := rep.Lookup(name); !ok {
 			t.Errorf("suite is missing headline metric %q", name)

@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// SoakOptions parameterize the durability benchmark: the cost of the
+// write-ahead journal on the round hot path, and the cost of replaying it
+// after a kill -9.
+type SoakOptions struct {
+	// Dim is the primal dimension of each journaled admit (default 4096 —
+	// a small-CNN update, the geometry the soak tests train at).
+	Dim int
+	// Clients is the cohort size of each journaled round (default 8).
+	Clients int
+	// Rounds is the number of committed rounds the replay probe recovers
+	// (default 50, matching the long-haul soak).
+	Rounds int
+	// MinProbeTime is the minimum cumulative measurement time per probe
+	// (default 100ms).
+	MinProbeTime time.Duration
+	// Seed drives the synthetic vectors (default 1).
+	Seed uint64
+}
+
+func (o SoakOptions) withDefaults() SoakOptions {
+	if o.Dim <= 0 {
+		o.Dim = 4096
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 50
+	}
+	if o.MinProbeTime <= 0 {
+		o.MinProbeTime = 100 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// SoakResult is one RunSoak outcome.
+type SoakResult struct {
+	Opts SoakOptions
+	// AppendNs is the time to journal one admitted update (write + CRC
+	// frame, no fsync — the page-cache cost every admit pays; fsync on top
+	// is a device property, not a code property, so it is not measured).
+	AppendNs float64
+	// Records is the deterministic record count of the replayed journal:
+	// Rounds × (1 round start + Clients admits + 1 commit).
+	Records int
+	// ReplayMs is the time to recover the full journal: re-open the WAL
+	// (CRC-verify every frame) and replay it through core.RecoverServer
+	// into scheduler/ledger/aggregator state — the server's restart cost.
+	ReplayMs float64
+	// ReplayRecPerSec is Records / ReplayMs, the replay throughput.
+	ReplayRecPerSec float64
+}
+
+// RunSoak measures the durability layer in isolation. The append probe
+// times the WAL hot path (one admit record per call, NoSync — the same
+// mode the soak harness runs in, so process death is the crash model);
+// the replay probe builds a Rounds-round journal with a deterministic
+// record count and times a full crash recovery over it.
+func RunSoak(o SoakOptions) (*SoakResult, error) {
+	o = o.withDefaults()
+	res := &SoakResult{Opts: o}
+
+	dir, err := os.MkdirTemp("", "appfl-soak-bench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	primal := randVec(o.Dim, o.Seed)
+	w := randVec(o.Dim, o.Seed+1)
+	cohort := make([]uint32, o.Clients)
+	for i := range cohort {
+		cohort[i] = uint32(i)
+	}
+
+	// Append probe: one admit record per call against a throwaway journal.
+	// The round is held open so every append is the steady-state frame
+	// write, never a checkpoint compaction.
+	appendDir := dir + "/append"
+	if err := os.Mkdir(appendDir, 0o755); err != nil {
+		return nil, err
+	}
+	aj, err := journal.Open(appendDir)
+	if err != nil {
+		return nil, err
+	}
+	aj.NoSync = true
+	var rec wire.JournalRecord
+	rec.Op = wire.JournalRoundStart
+	rec.Round = 1
+	rec.Cohort = cohort
+	if err := aj.Append(&rec); err != nil {
+		return nil, err
+	}
+	admit := func(round uint32, client int) *wire.JournalRecord {
+		rec.Reset()
+		rec.Op = wire.JournalAdmit
+		rec.Round = round
+		rec.ClientID = uint32(client)
+		rec.NumSamples = 64
+		rec.Primal = append(rec.Primal, primal...)
+		return &rec
+	}
+	sec := measure(o.MinProbeTime, func() {
+		if err := aj.Append(admit(1, 0)); err != nil {
+			panic(err)
+		}
+	})
+	res.AppendNs = sec * 1e9
+	if err := aj.Close(); err != nil {
+		return nil, err
+	}
+
+	// Replay probe: a full Rounds-round journal, every round dispatched to
+	// the whole cohort, every client admitted, every round committed.
+	replayDir := dir + "/replay"
+	if err := os.Mkdir(replayDir, 0o755); err != nil {
+		return nil, err
+	}
+	rj, err := journal.Open(replayDir)
+	if err != nil {
+		return nil, err
+	}
+	rj.NoSync = true
+	for t := 1; t <= o.Rounds; t++ {
+		rec.Reset()
+		rec.Op = wire.JournalRoundStart
+		rec.Round = uint32(t)
+		rec.Cohort = append(rec.Cohort, cohort...)
+		if err := rj.Append(&rec); err != nil {
+			return nil, err
+		}
+		for c := 0; c < o.Clients; c++ {
+			if err := rj.Append(admit(uint32(t), c)); err != nil {
+				return nil, err
+			}
+		}
+		rec.Reset()
+		rec.Op = wire.JournalCommit
+		rec.Round = uint32(t)
+		rec.Version = uint64(t)
+		rec.Weights = append(rec.Weights, w...)
+		if err := rj.Append(&rec); err != nil {
+			return nil, err
+		}
+	}
+	if err := rj.Close(); err != nil {
+		return nil, err
+	}
+	res.Records = o.Rounds * (o.Clients + 2)
+
+	replay := func() error {
+		j, err := journal.Open(replayDir)
+		if err != nil {
+			return err
+		}
+		defer j.Close()
+		recovered, err := core.RecoverServer(j.Recovered(), o.Clients, true)
+		if err != nil {
+			return err
+		}
+		if recovered.Fresh || recovered.NextRound != o.Rounds+1 {
+			return fmt.Errorf("bench: replay recovered to round %d, want %d", recovered.NextRound, o.Rounds+1)
+		}
+		return nil
+	}
+	if err := replay(); err != nil { // fail loudly before timing
+		return nil, err
+	}
+	sec = measure(o.MinProbeTime, func() {
+		if err := replay(); err != nil {
+			panic(err)
+		}
+	})
+	res.ReplayMs = sec * 1e3
+	res.ReplayRecPerSec = float64(res.Records) / sec
+	return res, nil
+}
+
+// Table renders the result for terminal output and CI summaries.
+func (res *SoakResult) Table() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("soak: journal dim %d, %d clients × %d rounds (%d records)",
+			res.Opts.Dim, res.Opts.Clients, res.Opts.Rounds, res.Records),
+		"metric", "value", "unit")
+	t.AddRowf("journal append", res.AppendNs/1e3, "us")
+	t.AddRowf("recovery replay", res.ReplayMs, "ms")
+	t.AddRowf("replay throughput", res.ReplayRecPerSec/1e3, "krec/s")
+	return t
+}
+
+// probeSoak is the suite hook. Fixed geometry (not Options.Dim) so the
+// replayed record count — and with it the gated replay time — is the same
+// on every machine; only the probe budget passes through.
+func probeSoak(o Options, r *Report) error {
+	res, err := RunSoak(SoakOptions{MinProbeTime: o.MinProbeTime})
+	if err != nil {
+		return err
+	}
+	r.Add(Metric{Name: "journal_append_ns", Value: res.AppendNs, Unit: "ns", HigherIsBetter: false, Gated: true})
+	r.Add(Metric{Name: "recovery_replay_ms", Value: res.ReplayMs, Unit: "ms", HigherIsBetter: false, Gated: true})
+	return nil
+}

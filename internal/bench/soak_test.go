@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunSoakTiny: the durability probe runs at reduced geometry, reports
+// positive timings, and the replayed record count is the documented pure
+// function of (rounds, clients).
+func TestRunSoakTiny(t *testing.T) {
+	res, err := RunSoak(SoakOptions{
+		Dim:          256,
+		Clients:      3,
+		Rounds:       4,
+		MinProbeTime: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * (3 + 2); res.Records != want {
+		t.Fatalf("Records = %d, want %d", res.Records, want)
+	}
+	if res.AppendNs <= 0 || res.ReplayMs <= 0 || res.ReplayRecPerSec <= 0 {
+		t.Fatalf("non-positive timings: %+v", res)
+	}
+	if res.Table() == nil {
+		t.Fatal("nil table")
+	}
+}

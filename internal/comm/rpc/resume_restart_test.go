@@ -1,0 +1,115 @@
+package rpc
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestResumeRacingServerRestart pins the resume-vs-restart contract: a
+// Resume dialed into the window where the server is down must fail with
+// the typed ErrResumeRetryable (never a splice into nothing, never an
+// untyped error the caller cannot distinguish from session death), and a
+// retry once the server is listening again must land a working session.
+func TestResumeRacingServerRestart(t *testing.T) {
+	const clients = 2
+	cfg := ServerConfig{NumClients: clients, Rounds: 4, ModelSize: 1}
+	srv, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	acceptErr := make(chan error, 1)
+	go func() { acceptErr <- srv.Accept() }()
+	cs := make([]*Client, clients)
+	for i := range cs {
+		c, err := Dial(addr, uint32(i), "restart-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The server dies (kill -9: connections and listener vanish at once).
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A resume dialed into the downtime window is retryable, not fatal.
+	if err := cs[0].Resume(); !errors.Is(err, ErrResumeRetryable) {
+		t.Fatalf("resume against dead server: err = %v, want ErrResumeRetryable", err)
+	}
+
+	// The server restarts on the same address. The port was just freed;
+	// ride out the window where the OS still holds it.
+	var srv2 *Server
+	for i := 0; i < 100; i++ {
+		if srv2, err = Listen(addr, cfg); err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	go func() { acceptErr <- srv2.Accept() }()
+
+	// Every client retries its resume until the splice lands.
+	var wg sync.WaitGroup
+	for i, c := range cs {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			for attempt := 0; ; attempt++ {
+				err := c.Resume()
+				if err == nil {
+					return
+				}
+				if !errors.Is(err, ErrResumeRetryable) {
+					t.Errorf("client %d resume attempt %d: untyped error %v", i, attempt, err)
+					return
+				}
+				if attempt > 200 {
+					t.Errorf("client %d: resume never spliced: %v", i, err)
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	if err := <-acceptErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// The respliced session must carry a full round trip.
+	for i, c := range cs {
+		go func(i int, c *Client) {
+			gm, err := c.RecvGlobal()
+			if err != nil || gm.Final {
+				return
+			}
+			c.SendUpdate(&wire.LocalUpdate{ClientID: uint32(i), Round: gm.Round, NumSamples: 1, Primal: []float64{float64(i)}})
+		}(i, c)
+	}
+	if err := srv2.SendTo([]int{0, 1}, &wire.GlobalModel{Round: 1, Weights: []float64{1}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := srv2.GatherFrom([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != clients {
+		t.Fatalf("gathered %d updates, want %d", len(got), clients)
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+}

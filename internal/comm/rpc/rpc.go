@@ -614,17 +614,27 @@ func (c *Client) dial(resume bool) error {
 	return nil
 }
 
+// ErrResumeRetryable tags a Resume attempt that failed without reaching a
+// splice: the dial was refused or the handshake tore — the signature of a
+// resume racing a server restart. The client's previous connection (and
+// the server-side session, if the server survives) is left exactly as it
+// was, so the caller backs off and retries rather than declaring the
+// session dead; once the server is listening again the retry splices.
+var ErrResumeRetryable = errors.New("rpc: resume did not splice (server restarting?)")
+
 // Resume redials the server with a Resume join and then drops the old
 // connection, splicing this client back into its session — the
 // reconnect-with-session-resumption path of the rejoin handshake. The
 // new connection is established FIRST so the server is never left
 // holding a closed socket as the client's only address: a dispatch
 // racing the resume sees either the old conn (its write is absorbed or
-// retried on the new one) or the spliced conn, not a gap.
+// retried on the new one) or the spliced conn, not a gap. A Resume that
+// races a server restart fails with ErrResumeRetryable and changes
+// nothing: retry once the server is back.
 func (c *Client) Resume() error {
 	old := c.current()
 	if err := c.dial(true); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrResumeRetryable, err)
 	}
 	if old != nil {
 		old.Close()

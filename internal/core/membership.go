@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"math"
+
+	"repro/internal/wire"
 )
 
 // ErrQuorum reports that a round could not assemble MinCohort clients —
@@ -31,6 +33,12 @@ type membership struct {
 
 	rejoined int // rejoin events observed
 	timedOut int // timed-out obligations observed
+
+	// onLedger, when set, journals every roster mutation (strike, depart,
+	// report, rejoin) before the run acts on it — the write-ahead hook of a
+	// journaled run. Replay reconstructs an identical roster by re-applying
+	// the recorded mutations to a fresh membership with no hook attached.
+	onLedger func(op uint8, client, round, param uint32)
 }
 
 func newMembership(n int) *membership {
@@ -57,18 +65,29 @@ func (m *membership) filter(cohort []int, round int) []int {
 			continue
 		}
 		if m.awaitingRejoin[c] {
-			m.awaitingRejoin[c] = false
-			m.departedUntil[c] = 0
-			m.rejoined++
+			m.rejoin(c)
 		}
 		out = append(out, c)
 	}
 	return out
 }
 
+// rejoin re-admits a leased-out client whose return was observed.
+func (m *membership) rejoin(c int) {
+	if m.onLedger != nil {
+		m.onLedger(wire.LedgerRejoin, uint32(c), 0, 0)
+	}
+	m.awaitingRejoin[c] = false
+	m.departedUntil[c] = 0
+	m.rejoined++
+}
+
 // depart records a goodbye: rejoinRound > 0 leases a return at that round,
 // 0 is a permanent departure.
 func (m *membership) depart(c, rejoinRound int) {
+	if m.onLedger != nil {
+		m.onLedger(wire.LedgerDepart, uint32(c), 0, uint32(rejoinRound))
+	}
 	if rejoinRound > 0 {
 		m.departedUntil[c] = rejoinRound
 		m.awaitingRejoin[c] = true
@@ -84,7 +103,21 @@ func (m *membership) depart(c, rejoinRound int) {
 // with exponential backoff: 1 round after the first strike, 2 after the
 // second, doubling up to 16 — a dead client costs one timeout now and
 // then, not one per round.
-func (m *membership) strike(c, round int) {
+func (m *membership) strike(c, round int) { m.strikeAt(c, round, false) }
+
+// strikeInflight is strike for a client whose dispatch obligation was open
+// when it went silent — the journaled record carries the flag so buffered
+// replay can reconstruct its outstanding-arrival count.
+func (m *membership) strikeInflight(c, round int) { m.strikeAt(c, round, true) }
+
+func (m *membership) strikeAt(c, round int, inflight bool) {
+	if m.onLedger != nil {
+		flag := uint32(0)
+		if inflight {
+			flag = 1
+		}
+		m.onLedger(wire.LedgerStrike, uint32(c), uint32(round), flag)
+	}
 	m.timedOut++
 	m.strikes[c]++
 	shift := m.strikes[c] - 1
@@ -95,7 +128,14 @@ func (m *membership) strike(c, round int) {
 }
 
 // reported records a successful (non-timed-out) reply, clearing strikes.
-func (m *membership) reported(c int) { m.strikes[c] = 0 }
+// Journaled only when it actually mutates (the client had strikes), so a
+// healthy federation's journal is not one report record per admit.
+func (m *membership) reported(c int) {
+	if m.strikes[c] != 0 && m.onLedger != nil {
+		m.onLedger(wire.LedgerReport, uint32(c), 0, 0)
+	}
+	m.strikes[c] = 0
+}
 
 // dueRejoins returns the leased-out clients whose lease expires by round,
 // marking them rejoined — the buffered loop's re-admission path, which
@@ -105,9 +145,7 @@ func (m *membership) dueRejoins(round int) []int {
 	var out []int
 	for c := range m.departedUntil {
 		if m.awaitingRejoin[c] && round >= m.departedUntil[c] {
-			m.awaitingRejoin[c] = false
-			m.departedUntil[c] = 0
-			m.rejoined++
+			m.rejoin(c)
 			out = append(out, c)
 		}
 	}

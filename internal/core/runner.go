@@ -14,6 +14,7 @@ import (
 	"repro/internal/comm/rpc"
 	"repro/internal/dataset"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/nn"
 	"repro/internal/pipeline"
 	"repro/internal/rng"
@@ -64,6 +65,9 @@ type Result struct {
 	// rejoin lease, honored). TimedOut counts timed-out update obligations
 	// over the whole run — how often the server gave up waiting.
 	Crashed, Rejoined, TimedOut int
+	// Soak accounts the crash-and-recover history of a journaled run
+	// (RunOptions.Journal); nil otherwise.
+	Soak *SoakStats
 }
 
 // RunOptions tunes the runner.
@@ -82,6 +86,25 @@ type RunOptions struct {
 	// Pair it with Config.RoundTimeout, or a crashed client hangs a
 	// barrier round exactly as an unprotected deployment would.
 	Faults *faults.Injector
+
+	// Journal, when non-nil, makes the run durable: every recovery-relevant
+	// transition (round start, admitted update, roster mutation, commit) is
+	// journaled before it takes effect, and a run started over a non-empty
+	// journal resumes exactly where the crashed one died — completing its
+	// in-flight round from the journaled admits — instead of starting over.
+	// FedAvg-family flat-accumulator configurations only; see
+	// validateJournalConfig.
+	Journal *journal.Journal
+	// CheckpointEvery compacts the journal into a checkpoint every k
+	// commits (0 = never; the WAL then grows for the whole run).
+	CheckpointEvery int
+	// Kills schedules in-process server deaths (kill -9 semantics: the
+	// scheduler/aggregator/membership state is discarded mid-round with no
+	// cleanup and rebuilt from the journal; the transports survive, playing
+	// the role of the listening socket plus session resumption). Scripted
+	// killserver events from Faults are appended to this schedule with the
+	// kill window cycled per event. Requires Journal.
+	Kills []ServerKill
 }
 
 // newServerTransport builds the server and client transports for a run.
@@ -177,7 +200,9 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	if err != nil {
 		return nil, err
 	}
-	defer closeAggregator(agg)
+	// The closure closes whatever aggregator is current at exit — recovery
+	// replaces agg, and the discarded one is closed at the kill site.
+	defer func() { closeAggregator(agg) }()
 
 	st, cts, err := newServerTransport(opts.Transport, P, dim, cfg.Rounds)
 	if err != nil {
@@ -310,11 +335,77 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	}
 
 	mem := newMembership(P)
+	var jw *journalWriter
+	var resume *RecoveredServer
+	if opts.Journal != nil {
+		if err := validateJournalConfig(cfg); err != nil {
+			return nil, err
+		}
+		kills := append([]ServerKill(nil), opts.Kills...)
+		if opts.Faults != nil {
+			// Scripted killserver events cycle through the kill windows so a
+			// soak plan exercises every recovery path.
+			for i, k := range opts.Faults.ServerKills() {
+				kills = append(kills, ServerKill{Round: k.Round, Window: KillWindow(i % int(numKillWindows)), Gap: k.Gap})
+			}
+		}
+		jw = newJournalWriter(opts.Journal, opts.CheckpointEvery, kills)
+		res.Soak = &SoakStats{}
+		resume, err = RecoverServer(opts.Journal.Recovered(), P, sched.Barrier())
+		if err != nil {
+			return nil, err
+		}
+		if err := resume.Apply(agg); err != nil {
+			return nil, err
+		}
+		if !resume.Fresh {
+			// Cold-start resume: the journal Run opened already held state.
+			res.Soak.Recoveries++
+			res.Soak.ReplayedRecords += resume.Replayed
+		}
+		mem = resume.mem
+		mem.onLedger = jw.ledger
+	} else if len(opts.Kills) > 0 {
+		return nil, fmt.Errorf("core: RunOptions.Kills requires a Journal (an unjournaled kill is just a lost run)")
+	}
 	loop := runBarrierRounds
 	if !sched.Barrier() {
 		loop = runBufferedReleases
 	}
-	runErr := loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, mem, validateEvery, opts.Progress)
+	var runErr error
+	for {
+		runErr = loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, mem, validateEvery, opts.Progress, jw, resume)
+		if !errors.Is(runErr, errServerKilled) {
+			break
+		}
+		// The scripted kill -9: everything the loop held is discarded with
+		// no flush or goodbye, the scheduler/aggregator/membership are
+		// rebuilt from scratch, and the journal decides where to resume.
+		res.Soak.Kills++
+		if jw.gap > 0 {
+			time.Sleep(time.Duration(jw.gap) * 5 * time.Millisecond)
+		}
+		t0 := time.Now()
+		closeAggregator(agg)
+		recd, rerr := opts.Journal.Recover()
+		if rerr != nil {
+			return nil, fmt.Errorf("core: recovering journal after kill %d: %w", res.Soak.Kills, rerr)
+		}
+		if agg, err = NewAggregator(cfg, w0, P); err != nil {
+			return nil, err
+		}
+		if resume, err = RecoverServer(recd, P, sched.Barrier()); err != nil {
+			return nil, err
+		}
+		if err := resume.Apply(agg); err != nil {
+			return nil, err
+		}
+		mem = resume.mem
+		mem.onLedger = jw.ledger
+		res.Soak.Recoveries++
+		res.Soak.ReplayedRecords += resume.Replayed
+		res.Soak.RecoverySec = append(res.Soak.RecoverySec, time.Since(t0).Seconds())
+	}
 	res.Rejoined = mem.rejoined
 	res.TimedOut = mem.timedOut
 	res.Crashed = mem.presumedDead()
@@ -371,13 +462,20 @@ func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module
 // announcements are honored by excluding the client until its rejoin
 // lease expires.
 func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
-	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
+	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer,
+	jw *journalWriter, resume *RecoveredServer) error {
 	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
 	// Fast paths of the kernel layer: fold still-encoded payloads when the
 	// stack's inverse fuses, and feed the f16 downlink straight from the
 	// f32 accumulator when one exists. Both are bit-identical to the
-	// two-pass/widening paths they replace.
-	fusedStage, fused := EnableFusedFold(agg, serverPipe)
+	// two-pass/widening paths they replace. Journaled runs skip the fused
+	// fold: an admit record needs the dense decoded primal in hand before
+	// anything folds, so the inverse must run as its own pass.
+	var fusedStage pipeline.FusedStage
+	fused := false
+	if jw == nil {
+		fusedStage, fused = EnableFusedFold(agg, serverPipe)
+	}
 	w32agg, _ := agg.(Weights32Provider)
 	// Streaming mode: chunked uplinks fold through a StreamSession window
 	// instead of a gathered batch; the transport must speak the chunk
@@ -408,7 +506,23 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		f16buf = tensor.GetBytes(2 * agg.Dim())
 		defer func() { tensor.PutBytes(f16buf) }()
 	}
-	for t := 1; t <= cfg.Rounds; t++ {
+	start := 1
+	if resume != nil {
+		start = resume.NextRound
+		if p := resume.Pending; p != nil {
+			// The crashed process died with this round in flight: finish it
+			// from the journaled admits (plus a re-gather of whatever the
+			// journal missed) before any new round is scheduled.
+			if err := completeBarrierRound(cfg, agg, serverPipe, st, evalModel, fed, res, mem, validateEvery, progress, jw, p); err != nil {
+				return err
+			}
+			start = p.Round + 1
+		}
+	}
+	for t := start; t <= cfg.Rounds; t++ {
+		if jw.shouldKill(KillBetweenRounds, t) {
+			return errServerKilled
+		}
 		roundStart := time.Now()
 		cohort := mem.filter(sched.Cohort(t), t)
 		if cfg.RoundTimeout > 0 {
@@ -447,6 +561,10 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		}
 		if err := st.SendTo(cohort, gm); err != nil {
 			return fmt.Errorf("core: send round %d: %w", t, err)
+		}
+		jw.roundStart(t, cohort, gm.Version)
+		if jw.shouldKill(KillAfterDispatch, t) {
+			return errServerKilled
 		}
 		if stream != nil {
 			// The cohort streams its vectors chunk by chunk into the
@@ -507,6 +625,10 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 				res.Echoes++
 			}
 		}
+		jw.admitBatch(t, data, nil)
+		if jw.shouldKill(KillBeforeCommit, t) {
+			return errServerKilled
+		}
 		if stream == nil {
 			// In streaming mode the session already folded the chunks and
 			// advanced the version; the slim updates have nothing to fold.
@@ -514,9 +636,102 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 				return fmt.Errorf("core: aggregate round %d: %w", t, err)
 			}
 		}
+		if err := jw.commit(t, agg, mem, 0); err != nil {
+			return err
+		}
 		rs := RoundStats{Round: t, ComputeSec: maxCompute, CohortSize: len(data)}
 		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, roundStart, wbuf, progress)
 	}
+	return nil
+}
+
+// completeBarrierRound finishes the round a crashed server left in flight:
+// the journaled admits are taken as-is (their primals were written before
+// the crash), the rest of the cohort is re-gathered from the surviving
+// transport, and the merged batch folds in cohort order — the order the
+// uncrashed gather would have produced — so the refold is bit-identical to
+// the fold the crash interrupted.
+func completeBarrierRound(cfg Config, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
+	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int,
+	progress io.Writer, jw *journalWriter, p *PendingRound) error {
+	roundStart := time.Now()
+	minCohort := cfg.MinCohort
+	if minCohort <= 0 {
+		minCohort = 1
+	}
+	admitted := p.AdmittedSet()
+	remaining := make([]int, 0, len(p.Cohort))
+	for _, c := range p.Cohort {
+		// Skip journaled admits (dedup by client × round: re-gathering one
+		// would double-count it) and clients the replayed ledger knows left
+		// or went silent during the crashed attempt.
+		if !admitted[c] && mem.eligible(c, p.Round) {
+			remaining = append(remaining, c)
+		}
+	}
+	var fresh []*wire.LocalUpdate
+	if len(remaining) > 0 {
+		var updates []*wire.LocalUpdate
+		var err error
+		if cfg.RoundTimeout > 0 {
+			got, gerr := st.GatherUntil(len(remaining), cfg.RoundTimeout)
+			if gerr != nil && !errors.Is(gerr, comm.ErrRoundTimeout) {
+				return fmt.Errorf("core: re-gather round %d: %w", p.Round, gerr)
+			}
+			if gerr != nil {
+				missing := comm.Missing(remaining, got)
+				st.Forgive(missing)
+				for _, c := range missing {
+					mem.strike(c, p.Round)
+				}
+			}
+			updates, err = comm.OrderSubset(remaining, got)
+		} else {
+			updates, err = st.GatherFrom(remaining)
+		}
+		if err != nil {
+			return fmt.Errorf("core: re-gather round %d: %w", p.Round, err)
+		}
+		fresh = splitControl(updates, mem)
+		if err := DecodeUpdates(fresh, serverPipe, agg.Dim(), cfg.AggWorkers); err != nil {
+			return fmt.Errorf("core: decode resumed round %d: %w", p.Round, err)
+		}
+		jw.admitBatch(p.Round, fresh, admitted)
+	}
+	byID := make(map[int]*wire.LocalUpdate, len(p.Admitted)+len(fresh))
+	for _, u := range p.Admitted {
+		byID[int(u.ClientID)] = u
+	}
+	for _, u := range fresh {
+		byID[int(u.ClientID)] = u
+	}
+	data := make([]*wire.LocalUpdate, 0, len(byID))
+	for _, c := range p.Cohort {
+		if u, ok := byID[c]; ok {
+			data = append(data, u)
+		}
+	}
+	if len(data) < minCohort {
+		return fmt.Errorf("core: resumed round %d completed with %d of %d clients, quorum is %d: %w",
+			p.Round, len(data), len(p.Cohort), minCohort, ErrQuorum)
+	}
+	maxCompute := 0.0
+	for _, u := range data {
+		if u.ComputeSec > maxCompute {
+			maxCompute = u.ComputeSec
+		}
+	}
+	if jw.shouldKill(KillBeforeCommit, p.Round) {
+		return errServerKilled
+	}
+	if err := agg.Aggregate(data); err != nil {
+		return fmt.Errorf("core: aggregate resumed round %d: %w", p.Round, err)
+	}
+	if err := jw.commit(p.Round, agg, mem, 0); err != nil {
+		return err
+	}
+	rs := RoundStats{Round: p.Round, ComputeSec: maxCompute, CohortSize: len(data)}
+	recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, roundStart, nil, progress)
 	return nil
 }
 
@@ -575,9 +790,16 @@ func splitControl(updates []*wire.LocalUpdate, mem *membership) []*wire.LocalUpd
 // block a release; their updates arrive with positive staleness and are
 // down-weighted or dropped by the BufferedAggregator.
 func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
-	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer) error {
+	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer,
+	jw *journalWriter, resume *RecoveredServer) error {
 	quorum := sched.Quorum()
-	fusedStage, fused := EnableFusedFold(agg, serverPipe)
+	// Journaled runs skip the fused fold: an admit record needs the dense
+	// decoded primal before anything folds.
+	var fusedStage pipeline.FusedStage
+	fused := false
+	if jw == nil {
+		fusedStage, fused = EnableFusedFold(agg, serverPipe)
+	}
 	w32agg, _ := agg.(Weights32Provider)
 	var wbuf []float64
 	var f16buf []byte
@@ -610,16 +832,81 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 				return fmt.Errorf("core: downlink release %d: %w", round, err)
 			}
 		}
-		return st.SendTo(ids, gm)
+		if err := st.SendTo(ids, gm); err != nil {
+			return err
+		}
+		jw.roundStart(round, ids, gm.Version)
+		return nil
 	}
-	all := sched.Cohort(1)
-	if err := dispatch(all, 1); err != nil {
-		return fmt.Errorf("core: initial dispatch: %w", err)
-	}
-	outstanding := len(all)
-
 	buffered, _ := agg.(*BufferedAggregator)
-	for rel := 1; rel <= cfg.Rounds; rel++ {
+	start := 1
+	outstanding := 0
+	if resume != nil && !resume.Fresh {
+		// The obligations the crashed process opened are still live on the
+		// surviving transports; resume against them instead of re-dispatching.
+		start = resume.NextRound
+		outstanding = resume.Inflight
+		if p := resume.Pending; p != nil {
+			// The crashed process died after admitting this release batch but
+			// before committing it. Refold the journaled admits — staleness is
+			// computed against the restored version, exactly as the pre-crash
+			// fold would have — then close the release and hand the
+			// contributors the fresh model the dead process never sent.
+			relStart := time.Now()
+			prevStale, prevDropped := 0, 0
+			if buffered != nil {
+				prevStale, prevDropped = buffered.StaleApplied, buffered.Dropped
+			}
+			if len(p.Admitted) > 0 {
+				if err := agg.Aggregate(p.Admitted); err != nil {
+					return fmt.Errorf("core: aggregate resumed release %d: %w", p.Round, err)
+				}
+			}
+			if buffered != nil {
+				res.Stale += buffered.StaleApplied - prevStale
+				res.Dropped += buffered.Dropped - prevDropped
+			}
+			if err := jw.commit(p.Round, agg, mem, outstanding); err != nil {
+				return err
+			}
+			if p.Round < cfg.Rounds {
+				ids := make([]int, 0, len(p.Admitted))
+				for _, u := range p.Admitted {
+					ids = append(ids, int(u.ClientID))
+				}
+				ids = append(ids, mem.dueRejoins(p.Round+1)...)
+				if cfg.RoundTimeout > 0 {
+					inflight := make(map[int]bool)
+					for _, c := range st.Outstanding() {
+						inflight[c] = true
+					}
+					ids = append(ids, mem.dueRetries(p.Round+1, inflight)...)
+					ids = dropUnreachable(st, mem, ids, p.Round)
+				}
+				if len(ids) > 0 {
+					if err := dispatch(ids, p.Round+1); err != nil {
+						return fmt.Errorf("core: re-dispatch after resumed release %d: %w", p.Round, err)
+					}
+					outstanding += len(ids)
+				}
+			}
+			// ComputeSec is client metadata the admit record does not carry;
+			// a resumed release reports 0 for it.
+			rs := RoundStats{Round: p.Round, CohortSize: len(p.Admitted)}
+			recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, relStart, wbuf, progress)
+			start = p.Round + 1
+		}
+	} else {
+		all := sched.Cohort(1)
+		if err := dispatch(all, 1); err != nil {
+			return fmt.Errorf("core: initial dispatch: %w", err)
+		}
+		outstanding = len(all)
+	}
+	for rel := start; rel <= cfg.Rounds; rel++ {
+		if jw.shouldKill(KillBetweenRounds, rel) {
+			return errServerKilled
+		}
 		relStart := time.Now()
 		if outstanding == 0 {
 			// Everyone in flight went silent at once (a stall longer than
@@ -667,7 +954,10 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 				silent := st.Outstanding()
 				st.Forgive(silent)
 				for _, c := range silent {
-					mem.strike(c, rel)
+					// The silent client's dispatch obligation dies with the
+					// forgive; the journaled strike carries the in-flight flag
+					// so replay reconstructs the outstanding-arrival count.
+					mem.strikeInflight(c, rel)
 				}
 				outstanding -= len(silent)
 			}
@@ -686,6 +976,10 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		if err != nil {
 			return fmt.Errorf("core: decode release %d: %w", rel, err)
+		}
+		jw.admitBatch(rel, data, nil)
+		if jw.shouldKill(KillBeforeCommit, rel) {
+			return errServerKilled
 		}
 		maxCompute := 0.0
 		for _, u := range data {
@@ -707,6 +1001,12 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		if buffered != nil {
 			res.Stale += buffered.StaleApplied - prevStale
 			res.Dropped += buffered.Dropped - prevDropped
+		}
+		// Commit before the re-dispatch below: the re-dispatch opens new
+		// obligations, journaled as RoundStart records after this commit, so
+		// replay's outstanding count stays exact.
+		if err := jw.commit(rel, agg, mem, outstanding); err != nil {
+			return err
 		}
 		// Hand the contributors the fresh model so they keep training —
 		// unless the run is over, in which case they wait for Final.
@@ -736,6 +1036,12 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		rs := RoundStats{Round: rel, ComputeSec: maxCompute, CohortSize: len(data)}
 		recordRound(res, rs, agg, evalModel, fed, cfg.Rounds, validateEvery, relStart, wbuf, progress)
+		// The after-dispatch window sits at the end of the iteration so the
+		// committed release's stats are recorded before the kill lands —
+		// recovery resumes at the next release, not by replaying this one.
+		if jw.shouldKill(KillAfterDispatch, rel) {
+			return errServerKilled
+		}
 	}
 	// Drain in-flight stragglers so their uploads don't block shutdown;
 	// under a deadline, clients that stay silent for a whole timeout are
@@ -749,7 +1055,7 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 				silent := st.Outstanding()
 				st.Forgive(silent)
 				for _, c := range silent {
-					mem.strike(c, cfg.Rounds)
+					mem.strikeInflight(c, cfg.Rounds)
 				}
 			}
 		} else if _, err := st.GatherAny(outstanding); err != nil {

@@ -22,7 +22,10 @@ func TestParseRoundTripsCanonicalSpecs(t *testing.T) {
 		"delay:4:10:5",
 		"reorder",
 		"reorder:0.5",
+		"killserver:@3",
+		"killserver:@3+2",
 		"crash:20%@3,drop:0:0.3,delay:1:10:5,rejoin:2@2+3,reorder",
+		"killserver:@2+1,killserver:@5",
 	}
 	for _, spec := range specs {
 		p, err := Parse(spec)
@@ -50,6 +53,9 @@ func TestParseRejectsAdversarialSpecs(t *testing.T) {
 		"drop:1", "drop:1:0", "drop:1:1.5", "drop:1:NaN",
 		"delay:1", "delay:1:-5", "delay:1:1:2:3", "delay:1:Inf",
 		"reorder:2", "reorder:0",
+		"killserver", "killserver:", "killserver:@", "killserver:@0",
+		"killserver:@-1", "killserver:@2+", "killserver:@2+0", "killserver:@x",
+		"killserver:3", "killserver:@2+1+1",
 		"unknown:1", ",", "crash:1@3,,drop:1:0.5", "crash:1@1e99",
 	}
 	for _, spec := range bad {
@@ -336,3 +342,29 @@ func (nopServer) Forgive([]int)        {}
 func (nopServer) Outstanding() []int   { return nil }
 func (nopServer) Stats() comm.Snapshot { return comm.Snapshot{} }
 func (nopServer) Close() error         { return nil }
+
+// TestServerKillsSortedAndDetachedFromClients pins the killserver verb's
+// injector surface: kills come back round-sorted regardless of spec
+// order, carry their downtime, and touch no client wrapper.
+func TestServerKillsSortedAndDetachedFromClients(t *testing.T) {
+	p, err := Parse("killserver:@7,killserver:@2+3,crash:1@4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := NewInjector(p, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kills := inj.ServerKills()
+	if len(kills) != 2 || kills[0].Round != 2 || kills[0].Gap != 3 || kills[1].Round != 7 || kills[1].Gap != 0 {
+		t.Fatalf("server kills %+v", kills)
+	}
+	// The returned slice is a copy: mutating it must not corrupt the plan.
+	kills[0].Round = 99
+	if again := inj.ServerKills(); again[0].Round != 2 {
+		t.Fatalf("ServerKills leaked internal state: %+v", again)
+	}
+	if crashes := inj.Crashes(); len(crashes) != 1 || crashes[1] != 4 {
+		t.Fatalf("client crash schedule disturbed: %+v", crashes)
+	}
+}

@@ -20,6 +20,9 @@ func FuzzPlanParse(f *testing.F) {
 		"delay:4:0.125",
 		"reorder",
 		"reorder:0.5",
+		"killserver:@3",
+		"killserver:@2+1,killserver:@5",
+		"killserver:@99999999999",
 		"crash:20%@3,drop:0:0.3,delay:1:10:5,rejoin:2@2+3,reorder",
 		"crash:1@9999999999999",
 		"drop:1:1e-300",

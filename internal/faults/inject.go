@@ -2,6 +2,7 @@ package faults
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,6 +27,16 @@ type Injector struct {
 	delay    []time.Duration
 	jit      []time.Duration
 	reorderP float64
+
+	serverKills []ServerKill
+}
+
+// ServerKill schedules one ungraceful server death: the process dies at
+// Round and is restarted from its journal after Gap rounds of downtime.
+// The runner derives its in-process kill schedule from these.
+type ServerKill struct {
+	Round int // 1-based round at which the server dies
+	Gap   int // rounds of downtime before the restart (0 = immediate)
 }
 
 // NewInjector resolves plan over numClients clients. Percentage selectors
@@ -56,6 +67,9 @@ func NewInjector(plan *Plan, numClients int, seed uint64) (*Injector, error) {
 			if inj.reorderP < ev.Prob {
 				inj.reorderP = ev.Prob
 			}
+			continue
+		case KindKillServer:
+			inj.serverKills = append(inj.serverKills, ServerKill{Round: ev.Round, Gap: ev.Gap})
 			continue
 		}
 		ids, err := ev.Who.expand(numClients, seed, i)
@@ -96,6 +110,14 @@ func MustInjector(plan *Plan, numClients int, seed uint64) *Injector {
 		panic(err)
 	}
 	return inj
+}
+
+// ServerKills returns the scripted server deaths in round order — the
+// runner turns them into its in-process kill-and-recover schedule.
+func (inj *Injector) ServerKills() []ServerKill {
+	out := append([]ServerKill(nil), inj.serverKills...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
 }
 
 // Crashes reports the clients scheduled to crash or disconnect, with their

@@ -29,6 +29,12 @@ const (
 	KindDrop    = "drop"    // lose each upload with probability P
 	KindDelay   = "delay"   // delay each upload by MS ms (± uniform jitter)
 	KindReorder = "reorder" // server-side: permute a gathered batch with probability P
+	// KindKillServer kills the *server* process at round R (kill -9: no
+	// flush, no goodbye) and restarts it K rounds of downtime later from
+	// its journal. Requires a journaled run; the runner cycles the precise
+	// kill window (between rounds, after dispatch, before commit) across
+	// successive kills so a soak exercises every recovery path.
+	KindKillServer = "killserver"
 )
 
 // Who selects the clients an event applies to: one explicit ID, or a
@@ -81,6 +87,11 @@ func (e Event) String() string {
 			return fmt.Sprintf("reorder:%s", trimFloat(e.Prob))
 		}
 		return "reorder"
+	case KindKillServer:
+		if e.Gap > 0 {
+			return fmt.Sprintf("killserver:@%d+%d", e.Round, e.Gap)
+		}
+		return fmt.Sprintf("killserver:@%d", e.Round)
 	}
 	return e.Kind
 }
@@ -124,6 +135,9 @@ func (p *Plan) String() string {
 //	                   plus uniform jitter in [0,J) ms
 //	reorder[:P]        the server permutes each arrival-ordered batch with
 //	                   probability P (default 1)
+//	killserver:@R[+K]  the server is killed without warning at round R and
+//	                   restarted from its journal after K rounds of downtime
+//	                   (default 0); requires a journaled run
 //
 // WHO is a 0-based client ID, or `F%` selecting ceil(F/100 · n) clients
 // pseudorandomly (deterministic in the injector seed). An empty string
@@ -219,8 +233,28 @@ func parseEvent(part string) (Event, error) {
 			}
 		}
 		return Event{Kind: KindReorder, Prob: prob}, nil
+	case KindKillServer:
+		atSpec, ok := strings.CutPrefix(rest, "@")
+		if !ok {
+			return Event{}, fmt.Errorf("%w: killserver needs @R[+K], got %q", ErrPlan, part)
+		}
+		ev := Event{Kind: KindKillServer}
+		if roundSpec, gapSpec, split := strings.Cut(atSpec, "+"); split {
+			gap, err := parsePositiveInt(kind, "downtime", gapSpec)
+			if err != nil {
+				return Event{}, err
+			}
+			ev.Gap = gap
+			atSpec = roundSpec
+		}
+		at, err := parsePositiveInt(kind, "round", atSpec)
+		if err != nil {
+			return Event{}, err
+		}
+		ev.Round = at
+		return ev, nil
 	default:
-		return Event{}, fmt.Errorf("%w: unknown event %q (want crash, rejoin, drop, delay, or reorder)", ErrPlan, kind)
+		return Event{}, fmt.Errorf("%w: unknown event %q (want crash, rejoin, drop, delay, reorder, or killserver)", ErrPlan, kind)
 	}
 }
 

@@ -1,7 +1,9 @@
 package nn
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -13,6 +15,18 @@ import (
 // between silos, or archived. The format validates parameter names and
 // shapes on load, refusing to resurrect a checkpoint into a different
 // architecture.
+
+// ErrCheckpoint tags every integrity failure of a model checkpoint:
+// truncation, an implausible declared length, undecodable bytes, or a
+// parameter mismatch against the target architecture. Callers distinguish
+// it from plain I/O errors because the remedy differs (fall back to fresh
+// weights vs retry the read).
+var ErrCheckpoint = errors.New("nn: corrupt checkpoint")
+
+// maxCheckpointBytes bounds a checkpoint body; a declared length beyond it
+// is treated as corruption rather than an allocation request, so a
+// garbage header cannot demand a multi-gigabyte buffer.
+const maxCheckpointBytes = 1 << 30
 
 // SaveParams writes all parameters of m to w.
 func SaveParams(w io.Writer, m Module) error {
@@ -35,70 +49,96 @@ func SaveParams(w io.Writer, m Module) error {
 }
 
 // LoadParams reads a checkpoint from r into m. The checkpoint must contain
-// exactly m's parameters, in order, with matching names and sizes.
+// exactly m's parameters, in order, with matching names and sizes. The
+// load is two-phase: every byte is decoded and validated before the first
+// weight is written, so a corrupt or truncated checkpoint fails with
+// ErrCheckpoint and leaves the model untouched — never half-restored.
 func LoadParams(r io.Reader, m Module) error {
 	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return fmt.Errorf("nn: checkpoint header: %w", err)
+		return fmt.Errorf("%w: reading header: %v", ErrCheckpoint, err)
 	}
 	n := binary.BigEndian.Uint64(hdr[:])
-	if n > 1<<32 {
-		return fmt.Errorf("nn: checkpoint implausibly large (%d bytes)", n)
+	if n > maxCheckpointBytes {
+		return fmt.Errorf("%w: declared body length %d exceeds %d", ErrCheckpoint, n, maxCheckpointBytes)
 	}
-	body := make([]byte, n)
-	if _, err := io.ReadFull(r, body); err != nil {
-		return fmt.Errorf("nn: checkpoint body: %w", err)
+	// The buffer grows with the bytes that actually arrive, not with the
+	// declared length, so a truncated file with a grandiose header fails
+	// cheaply instead of allocating the whole claim first.
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 1<<20)))
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		return fmt.Errorf("%w: reading %d-byte body: %v", ErrCheckpoint, n, err)
 	}
-	d := wire.NewDecoder(body)
+	d := wire.NewDecoder(buf.Bytes())
 	params := m.Params()
-	var count uint64
-	seen := 0
+	// staged collects the validated value vectors; named tracks the
+	// name/values record pairing so values can never land under the wrong
+	// (or a missing) parameter name.
+	staged := make([][]float64, 0, len(params))
+	counted := false
+	named := false
 	for d.More() {
 		field, wtype, err := d.Tag()
 		if err != nil {
-			return fmt.Errorf("nn: checkpoint decode: %w", err)
+			return fmt.Errorf("%w: decode: %v", ErrCheckpoint, err)
 		}
 		switch field {
 		case 1:
-			if count, err = d.Uint64(); err != nil {
-				return err
+			count, err := d.Uint64()
+			if err != nil {
+				return fmt.Errorf("%w: parameter count: %v", ErrCheckpoint, err)
 			}
-			if int(count) != len(params) {
-				return fmt.Errorf("nn: checkpoint has %d parameters, model has %d", count, len(params))
+			if count != uint64(len(params)) {
+				return fmt.Errorf("%w: checkpoint has %d parameters, model has %d", ErrCheckpoint, count, len(params))
 			}
+			counted = true
 		case 2:
 			name, err := d.String()
 			if err != nil {
-				return err
+				return fmt.Errorf("%w: parameter name: %v", ErrCheckpoint, err)
 			}
-			if seen >= len(params) {
-				return fmt.Errorf("nn: checkpoint has extra parameter %q", name)
+			if named {
+				return fmt.Errorf("%w: parameter %q carries no values", ErrCheckpoint, params[len(staged)].Name)
 			}
-			if name != params[seen].Name {
-				return fmt.Errorf("nn: checkpoint parameter %d is %q, model expects %q", seen, name, params[seen].Name)
+			if len(staged) >= len(params) {
+				return fmt.Errorf("%w: extra parameter %q", ErrCheckpoint, name)
 			}
+			if name != params[len(staged)].Name {
+				return fmt.Errorf("%w: parameter %d is %q, model expects %q", ErrCheckpoint, len(staged), name, params[len(staged)].Name)
+			}
+			named = true
 		case 3:
 			vals, err := d.Doubles()
 			if err != nil {
-				return err
+				return fmt.Errorf("%w: parameter values: %v", ErrCheckpoint, err)
 			}
-			if seen >= len(params) {
-				return fmt.Errorf("nn: checkpoint values without a parameter")
+			if !named {
+				return fmt.Errorf("%w: values without a parameter name", ErrCheckpoint)
 			}
-			p := params[seen]
+			p := params[len(staged)]
 			if len(vals) != p.Value.Size() {
-				return fmt.Errorf("nn: parameter %q has %d values, model expects %d", p.Name, len(vals), p.Value.Size())
+				return fmt.Errorf("%w: parameter %q has %d values, model expects %d", ErrCheckpoint, p.Name, len(vals), p.Value.Size())
 			}
-			copy(p.Value.Data(), vals)
-			seen++
+			staged = append(staged, vals)
+			named = false
 		default:
 			if err := d.Skip(wtype); err != nil {
-				return err
+				return fmt.Errorf("%w: decode: %v", ErrCheckpoint, err)
 			}
 		}
 	}
-	if seen != len(params) {
-		return fmt.Errorf("nn: checkpoint restored %d of %d parameters", seen, len(params))
+	if !counted {
+		return fmt.Errorf("%w: missing parameter count", ErrCheckpoint)
+	}
+	if named {
+		return fmt.Errorf("%w: parameter %q carries no values", ErrCheckpoint, params[len(staged)].Name)
+	}
+	if len(staged) != len(params) {
+		return fmt.Errorf("%w: holds %d of %d parameters", ErrCheckpoint, len(staged), len(params))
+	}
+	for i, vals := range staged {
+		copy(params[i].Value.Data(), vals)
 	}
 	return nil
 }

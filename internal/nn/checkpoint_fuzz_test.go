@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzLoadParams pins the robustness contract of the checkpoint loader:
+// arbitrary bytes must either load cleanly or fail with the typed
+// ErrCheckpoint — never panic, never allocate by a garbage header's claim,
+// and never leave the model half-restored.
+func FuzzLoadParams(f *testing.F) {
+	src := NewMLP(4, []int{3}, 2, rng.New(20))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:8])
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	torn := append([]byte{}, valid...)
+	torn[9] ^= 0x40
+	f.Add(torn)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst := NewMLP(4, []int{3}, 2, rng.New(21))
+		before := FlattenParams(dst, nil)
+		err := LoadParams(bytes.NewReader(data), dst)
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrCheckpoint) {
+			t.Fatalf("untyped load error: %v", err)
+		}
+		after := FlattenParams(dst, nil)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("failed load mutated weight %d", i)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"repro/internal/rng"
@@ -78,5 +79,55 @@ func TestCheckpointPreservesTraining(t *testing.T) {
 	got := dst.Forward(x)
 	if !got.EqualWithin(want, 0) {
 		t.Fatal("restored model diverges from source")
+	}
+}
+
+func TestCheckpointErrorsAreTyped(t *testing.T) {
+	src := NewMLP(4, []int{3}, 2, rng.New(10))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	corrupt := [][]byte{
+		nil,                // empty
+		full[:3],           // torn header
+		full[:len(full)-2], // torn body
+		append(append([]byte{}, full[:8]...), full[9:]...), // byte dropped
+		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},   // grandiose length claim
+	}
+	flip := append([]byte{}, full...)
+	flip[10] ^= 0xff
+	corrupt = append(corrupt, flip)
+	for i, data := range corrupt {
+		dst := NewMLP(4, []int{3}, 2, rng.New(11))
+		if err := LoadParams(bytes.NewReader(data), dst); !errors.Is(err, ErrCheckpoint) {
+			t.Errorf("corruption %d: err = %v, want ErrCheckpoint", i, err)
+		}
+	}
+}
+
+// TestCheckpointFailedLoadLeavesModelUntouched pins the two-phase load: a
+// checkpoint that fails validation at any truncation point must not have
+// written a single weight.
+func TestCheckpointFailedLoadLeavesModelUntouched(t *testing.T) {
+	src := NewMLP(4, []int{3}, 2, rng.New(12))
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		dst := NewMLP(4, []int{3}, 2, rng.New(13))
+		before := FlattenParams(dst, nil)
+		if err := LoadParams(bytes.NewReader(full[:cut]), dst); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		after := FlattenParams(dst, nil)
+		for i := range before {
+			if before[i] != after[i] {
+				t.Fatalf("truncation at %d mutated weight %d before failing", cut, i)
+			}
+		}
 	}
 }

@@ -63,6 +63,16 @@ func seedMessages() [][]byte {
 		Payload: &Payload{Enc: EncFloat16, Dim: 2, Codes: []byte{0x00, 0x3c, 0x00, 0xc0}},
 	})
 	add(&ChunkAck{ClientID: 3, Round: 2, Index: 1})
+	add(&JournalRecord{Seq: 5, Op: JournalRoundStart, Round: 2, Version: 1, Cohort: []uint32{0, 2, 5}})
+	add(&JournalRecord{Seq: 6, Op: JournalAdmit, Round: 2, ClientID: 2, NumSamples: 64, BaseVersion: 1, Primal: []float64{0.5, -1.5}})
+	add(&JournalRecord{Seq: 7, Op: JournalLedger, Round: 2, ClientID: 5, LedgerOp: LedgerStrike, Param: 2})
+	add(&JournalRecord{Seq: 8, Op: JournalCommit, Round: 2, Version: 2, Weights: []float64{1, 2, 3}})
+	add(&JournalCheckpoint{
+		Seq: 8, NextRound: 3, Version: 2, Weights: []float64{1, 2, 3},
+		DepartedUntil: []uint32{0, 0, 4}, BenchedUntil: []uint32{0, 3, 0},
+		Strikes: []uint32{0, 1, 0}, AwaitRejoin: []uint32{0, 0, 1},
+		Rejoined: 1, TimedOut: 2,
+	})
 	return out
 }
 
@@ -151,6 +161,33 @@ func FuzzDecodeLocalUpdate(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var u LocalUpdate
 		_ = u.Unmarshal(NewDecoder(data)) // must not panic
+	})
+}
+
+// FuzzDecodeJournalRecord: the recovery path decodes journal bytes that a
+// crash may have mangled arbitrarily — no input may panic, and any record
+// that survives decoding carries a valid op discriminator (the replay
+// switch dispatches on it unchecked).
+func FuzzDecodeJournalRecord(f *testing.F) {
+	for _, b := range seedMessages() {
+		f.Add(b)
+	}
+	f.Add([]byte{0x10, 0x09}) // op out of range
+	f.Add([]byte{0x58, 0x07}) // ledger op out of range
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var rec JournalRecord
+		if err := rec.Unmarshal(NewDecoder(data)); err == nil {
+			if rec.Op < JournalRoundStart || rec.Op > JournalCommit {
+				t.Fatalf("decoded record carries invalid op %d", rec.Op)
+			}
+		}
+		var cp JournalCheckpoint
+		if err := cp.Unmarshal(NewDecoder(data)); err == nil {
+			n := len(cp.DepartedUntil)
+			if len(cp.BenchedUntil) != n || len(cp.Strikes) != n || len(cp.AwaitRejoin) != n {
+				t.Fatal("decoded checkpoint with disagreeing membership arrays")
+			}
+		}
 	})
 }
 

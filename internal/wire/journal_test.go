@@ -1,0 +1,128 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTripRecord encodes rec and decodes it into a fresh struct.
+func roundTripRecord(t *testing.T, rec *JournalRecord) *JournalRecord {
+	t.Helper()
+	e := NewEncoder(nil)
+	rec.Marshal(e)
+	var got JournalRecord
+	if err := got.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return &got
+}
+
+func TestJournalRecordRoundTrip(t *testing.T) {
+	recs := []*JournalRecord{
+		{Seq: 1, Op: JournalRoundStart, Round: 1, Version: 0, Cohort: []uint32{0, 1, 2, 3}},
+		{Seq: 2, Op: JournalAdmit, Round: 1, ClientID: 3, NumSamples: 128, BaseVersion: 7,
+			Primal: []float64{0.25, -3.5, 1e-9}},
+		{Seq: 3, Op: JournalLedger, Round: 4, ClientID: 1, LedgerOp: LedgerDepart, Param: 9},
+		{Seq: 4, Op: JournalLedger, Round: 4, ClientID: 2, LedgerOp: LedgerReport},
+		{Seq: 5, Op: JournalCommit, Round: 4, Version: 4, Weights: []float64{1, 2, 3, 4}},
+	}
+	for i, rec := range recs {
+		got := roundTripRecord(t, rec)
+		// Normalize nil-vs-empty slices for the comparison: Reset leaves
+		// zero-length slices where the original had nil.
+		norm := func(r *JournalRecord) JournalRecord {
+			c := *r
+			if len(c.Cohort) == 0 {
+				c.Cohort = nil
+			}
+			if len(c.Primal) == 0 {
+				c.Primal = nil
+			}
+			if len(c.Weights) == 0 {
+				c.Weights = nil
+			}
+			return c
+		}
+		if !reflect.DeepEqual(norm(rec), norm(got)) {
+			t.Fatalf("record %d round-trip mismatch:\n  sent %+v\n  got  %+v", i, rec, got)
+		}
+	}
+}
+
+func TestJournalRecordRejectsBadOps(t *testing.T) {
+	e := NewEncoder(nil)
+	e.Uint64(2, 9) // op out of range
+	var rec JournalRecord
+	if err := rec.Unmarshal(NewDecoder(e.Bytes())); err == nil || !strings.Contains(err.Error(), "op") {
+		t.Fatalf("op 9 accepted: %v", err)
+	}
+	e.Reset()
+	e.Uint64(2, uint64(JournalLedger))
+	e.Uint64(11, 9) // ledger op out of range
+	if err := rec.Unmarshal(NewDecoder(e.Bytes())); err == nil || !strings.Contains(err.Error(), "ledger") {
+		t.Fatalf("ledger op 9 accepted: %v", err)
+	}
+	// A record with no op at all is also rejected: replay cannot dispatch it.
+	if err := rec.Unmarshal(NewDecoder(nil)); err == nil {
+		t.Fatal("empty record accepted")
+	}
+}
+
+func TestJournalRecordResetDropsStaleFields(t *testing.T) {
+	// A reused struct must not leak a previous record's vectors into a
+	// record that omits them (the same staleness contract as LocalUpdate).
+	full := &JournalRecord{Seq: 1, Op: JournalCommit, Round: 1, Version: 1, Weights: []float64{9, 9, 9}}
+	e := NewEncoder(nil)
+	full.Marshal(e)
+	var rec JournalRecord
+	if err := rec.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	e.Reset()
+	slim := &JournalRecord{Seq: 2, Op: JournalLedger, Round: 2, ClientID: 1, LedgerOp: LedgerReport}
+	slim.Marshal(e)
+	if err := rec.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Weights) != 0 {
+		t.Fatalf("stale weights survived reuse: %v", rec.Weights)
+	}
+}
+
+func TestJournalCheckpointRoundTrip(t *testing.T) {
+	cp := &JournalCheckpoint{
+		Seq: 42, NextRound: 7, Version: 6,
+		Weights:       []float64{0.5, -0.5, 3.25},
+		DepartedUntil: []uint32{0, ^uint32(0), 0},
+		BenchedUntil:  []uint32{0, 0, 9},
+		Strikes:       []uint32{0, 0, 2},
+		AwaitRejoin:   []uint32{0, 0, 0},
+		Rejoined:      3, TimedOut: 5, Inflight: 2,
+	}
+	e := NewEncoder(nil)
+	cp.Marshal(e)
+	var got JournalCheckpoint
+	if err := got.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(*cp, got) {
+		t.Fatalf("checkpoint round-trip mismatch:\n  sent %+v\n  got  %+v", cp, got)
+	}
+}
+
+func TestJournalCheckpointRejectsDisagreeingRosters(t *testing.T) {
+	cp := &JournalCheckpoint{
+		Seq: 1, NextRound: 2, Weights: []float64{1},
+		DepartedUntil: []uint32{0, 0},
+		BenchedUntil:  []uint32{0},
+		Strikes:       []uint32{0, 0},
+		AwaitRejoin:   []uint32{0, 0},
+	}
+	e := NewEncoder(nil)
+	cp.Marshal(e)
+	var got JournalCheckpoint
+	if err := got.Unmarshal(NewDecoder(e.Bytes())); err == nil {
+		t.Fatal("checkpoint with mismatched membership arrays accepted")
+	}
+}
