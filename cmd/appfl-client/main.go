@@ -36,10 +36,14 @@ func main() {
 	name := flag.String("name", "", "client display name")
 	chunk := flag.Int("chunk", 0, "stream the uplink as chunks of this many coordinates (must match the server)")
 	subset := flag.Float64("subset", 0, "upload only this coordinate fraction, LoRA-style (must match the server)")
+	tenantID := flag.Int("tenant", 0, "tenant id on a multi-tenant server (0 = default tenant; -id/-clients are then local to the tenant)")
 	flag.Parse()
 
 	if *id < 0 || *id >= *clients {
 		fatal(fmt.Errorf("id %d out of range [0,%d)", *id, *clients))
+	}
+	if *tenantID < 0 {
+		fatal(fmt.Errorf("tenant %d is negative", *tenantID))
 	}
 	cfg := appfl.Config{
 		Algorithm:  *algorithm,
@@ -83,7 +87,7 @@ func main() {
 	if display == "" {
 		display = fmt.Sprintf("client-%d", *id)
 	}
-	conn, err := rpc.Dial(*addr, uint32(*id), display)
+	conn, err := rpc.DialTenant(*addr, uint32(*tenantID), uint32(*id), display)
 	if err != nil {
 		fatal(err)
 	}

@@ -49,7 +49,21 @@ func main() {
 	journalDir := flag.String("journal", "", "write-ahead round journal directory: crash-recoverable rounds (fedavg only, no -chunk/-subset/-shards)")
 	checkpointEvery := flag.Int("checkpoint-every", 10, "compact the journal every k committed rounds (0 = never)")
 	savePath := flag.String("save", "", "write the final model checkpoint here (atomic tmp+fsync+rename)")
+	tenantsPath := flag.String("tenants", "", "multi-tenant host mode: JSON config listing the federations to serve (see docs/operations.md); incompatible with per-federation flags")
 	flag.Parse()
+
+	if *tenantsPath != "" {
+		// Tenant mode: every per-federation knob comes from the config file;
+		// only host-level flags apply. Reject silently-ignored flags loudly.
+		allowed := map[string]bool{"tenants": true, "addr": true, "accept-timeout": true, "journal": true, "checkpoint-every": true}
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				fatal(fmt.Errorf("-%s does not apply in -tenants mode; set per-tenant options in %s", f.Name, *tenantsPath))
+			}
+		})
+		runTenantHost(*tenantsPath, *addr, *timeout, *journalDir, *checkpointEvery)
+		return
+	}
 
 	cfg := appfl.Config{Algorithm: *algorithm, Rounds: *rounds, Rho: *rho, Zeta: *zeta, Seed: *seed, Pipeline: *pipe, AggWorkers: *aggWorkers, AggPrecision: *aggPrecision, AggShards: *aggShards, StreamChunk: *chunk, SubsetFrac: *subset}.WithDefaults()
 	if err := cfg.Validate(); err != nil {

@@ -1,0 +1,51 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzTenantRoute: the transport edge routes every arriving (tenant,
+// local) address through TenantTable.Route before any tenant state is
+// touched. No address — however far out of range — may panic; a bad
+// address must surface ErrUnknownTenant, and a good one must round-trip
+// through Owner to exactly the address that produced it.
+func FuzzTenantRoute(f *testing.F) {
+	f.Add(uint32(0), uint32(0), 3, 1, 5)
+	f.Add(uint32(2), uint32(4), 3, 1, 5)
+	f.Add(uint32(^uint32(0)), uint32(^uint32(0)), 1, 0, 0)
+	f.Fuzz(func(t *testing.T, tenant, local uint32, a, b, c int) {
+		sizes := []int{a % 64, b % 64, c % 64}
+		table, err := NewTenantTable(sizes)
+		if err != nil {
+			// Invalid shapes (non-positive tenant sizes) must be rejected at
+			// construction, never tolerated into a routable table.
+			for _, n := range sizes {
+				if n <= 0 {
+					return
+				}
+			}
+			t.Fatalf("valid shape %v rejected: %v", sizes, err)
+		}
+		g, err := table.Route(tenant, local)
+		if err != nil {
+			if int(tenant) >= table.Tenants() {
+				if !errors.Is(err, ErrUnknownTenant) {
+					t.Fatalf("unknown tenant %d rejected without ErrUnknownTenant: %v", tenant, err)
+				}
+				return
+			}
+			if int(local) < table.Clients(int(tenant)) {
+				t.Fatalf("in-range address (%d,%d) rejected: %v", tenant, local, err)
+			}
+			return // known tenant, out-of-range local id: any error, no panic
+		}
+		if g < 0 || g >= table.Total() {
+			t.Fatalf("route (%d,%d) -> global %d outside [0,%d)", tenant, local, g, table.Total())
+		}
+		ot, ol := table.Owner(g)
+		if uint32(ot) != tenant || uint32(ol) != local {
+			t.Fatalf("owner(%d) = (%d,%d), want (%d,%d)", g, ot, ol, tenant, local)
+		}
+	})
+}

@@ -161,13 +161,32 @@ func (b *Broker) Close() {
 // per-client topics (TopicGlobal/<id>) so a scheduler can address a cohort
 // rather than the whole federation; updates flow back over one shared
 // topic whose arrival order the buffered scheduler consumes directly.
+//
+// On a multi-tenant broker each tenant's topics are namespaced under a
+// "t<id>/" prefix; tenant 0 keeps the unprefixed names, so a pre-tenancy
+// client publishing to the legacy topics lands in the default tenant.
 const (
 	TopicGlobal = "fl/global"
 	TopicUpdate = "fl/update"
 )
 
+// TenantPrefix returns the topic namespace of a tenant: empty for the
+// default tenant 0, "t<id>/" otherwise.
+func TenantPrefix(tenant int) string {
+	if tenant == 0 {
+		return ""
+	}
+	return fmt.Sprintf("t%d/", tenant)
+}
+
 // GlobalTopic returns the per-client topic carrying client id's models.
 func GlobalTopic(id int) string { return fmt.Sprintf("%s/%d", TopicGlobal, id) }
+
+// TenantGlobalTopic returns tenant's per-client global-model topic.
+func TenantGlobalTopic(tenant, id int) string { return TenantPrefix(tenant) + GlobalTopic(id) }
+
+// TenantUpdateTopic returns tenant's shared local-update topic.
+func TenantUpdateTopic(tenant int) string { return TenantPrefix(tenant) + TopicUpdate }
 
 // ServerTransport adapts a broker to comm.ServerTransport.
 //
@@ -179,6 +198,8 @@ func GlobalTopic(id int) string { return fmt.Sprintf("%s/%d", TopicGlobal, id) }
 // forgiven, and a forgiven round's late publish is discarded.
 type ServerTransport struct {
 	broker     *Broker
+	tenant     int // tenant this view serves (0 = default)
+	shared     bool
 	numClients int
 	updates    *Subscription
 	chunks     []*Subscription // per-client streamed chunk topics
@@ -189,6 +210,7 @@ type ServerTransport struct {
 // ClientTransport adapts a broker to comm.ClientTransport.
 type ClientTransport struct {
 	broker *Broker
+	tenant int
 	id     int
 	global *Subscription
 	acks   *Subscription // per-client chunk-ack topic
@@ -199,12 +221,52 @@ type ClientTransport struct {
 // returns the transports.
 func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	b := NewBroker()
-	upd, err := b.Subscribe(TopicUpdate, numClients)
+	st, clients, err := newTenantTransports(b, 0, numClients, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return st, clients, nil
+}
+
+// NewTenantFLBroker wires one shared broker hosting len(clientsPerTenant)
+// independent federations. Tenant t's transports publish and subscribe
+// under the TenantPrefix(t) namespace, with their own obligation ledger —
+// one tenant's gathers, forgiveness, and timeouts never observe another's
+// traffic. The per-tenant server transports' Close is a no-op; Close the
+// broker itself to tear everything down.
+func NewTenantFLBroker(clientsPerTenant []int) (*Broker, []*ServerTransport, [][]*ClientTransport, error) {
+	if len(clientsPerTenant) == 0 {
+		return nil, nil, nil, errors.New("pubsub: need at least one tenant")
+	}
+	b := NewBroker()
+	servers := make([]*ServerTransport, len(clientsPerTenant))
+	clients := make([][]*ClientTransport, len(clientsPerTenant))
+	for t, n := range clientsPerTenant {
+		if n <= 0 {
+			return nil, nil, nil, fmt.Errorf("pubsub: tenant %d has %d clients, need at least 1", t, n)
+		}
+		st, cts, err := newTenantTransports(b, t, n, true)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		servers[t], clients[t] = st, cts
+	}
+	return b, servers, clients, nil
+}
+
+// newTenantTransports wires one tenant's transports on a (possibly shared)
+// broker. shared marks the server transport as a tenant view whose Close
+// must not tear down the broker under its neighbors.
+func newTenantTransports(b *Broker, tenant, numClients int, shared bool) (*ServerTransport, []*ClientTransport, error) {
+	prefix := TenantPrefix(tenant)
+	upd, err := b.Subscribe(prefix+TopicUpdate, numClients)
 	if err != nil {
 		return nil, nil, err
 	}
 	st := &ServerTransport{
 		broker:     b,
+		tenant:     tenant,
+		shared:     shared,
 		numClients: numClients,
 		updates:    upd,
 		chunks:     make([]*Subscription, numClients),
@@ -212,22 +274,22 @@ func NewFLBroker(numClients int) (*ServerTransport, []*ClientTransport, error) {
 	}
 	clients := make([]*ClientTransport, numClients)
 	for i := range clients {
-		g, err := b.Subscribe(GlobalTopic(i), 1)
+		g, err := b.Subscribe(prefix+GlobalTopic(i), 1)
 		if err != nil {
 			return nil, nil, err
 		}
 		// Chunk queues hold the window-1 steady state plus a retransmit
 		// racing its late ack, matching comm.ChunkPipe.
-		mc, err := b.Subscribe(ChunkTopic(i), 4)
+		mc, err := b.Subscribe(prefix+ChunkTopic(i), 4)
 		if err != nil {
 			return nil, nil, err
 		}
 		st.chunks[i] = mc
-		ack, err := b.Subscribe(ChunkAckTopic(i), 4)
+		ack, err := b.Subscribe(prefix+ChunkAckTopic(i), 4)
 		if err != nil {
 			return nil, nil, err
 		}
-		clients[i] = &ClientTransport{broker: b, id: i, global: g, acks: ack}
+		clients[i] = &ClientTransport{broker: b, tenant: tenant, id: i, global: g, acks: ack}
 	}
 	return st, clients, nil
 }
@@ -250,7 +312,7 @@ func (s *ServerTransport) SendTo(clients []int, m *wire.GlobalModel) error {
 				return fmt.Errorf("pubsub: %w", err)
 			}
 		}
-		if err := s.broker.Publish(GlobalTopic(c), e.Bytes()); err != nil {
+		if err := s.broker.Publish(TenantGlobalTopic(s.tenant, c), e.Bytes()); err != nil {
 			if !m.Final {
 				s.ledger.Rollback(c)
 			}
@@ -281,6 +343,10 @@ func (s *ServerTransport) collect(n int, timer <-chan time.Time) ([]*wire.LocalU
 		}
 		if id := int(u.ClientID); id < 0 || id >= s.numClients {
 			return nil, fmt.Errorf("pubsub: update from unknown client %d", id)
+		}
+		if int(u.TenantID) != s.tenant {
+			return nil, fmt.Errorf("pubsub: update from client %d carries tenant %d, topic belongs to tenant %d",
+				u.ClientID, u.TenantID, s.tenant)
 		}
 		if !s.ledger.Admit(int(u.ClientID), u.Round) {
 			continue // late publish for a forgiven round: discard
@@ -332,8 +398,13 @@ func (s *ServerTransport) Outstanding() []int { return s.ledger.Outstanding() }
 // Stats returns the traffic snapshot.
 func (s *ServerTransport) Stats() comm.Snapshot { return s.stats.Snapshot() }
 
-// Close shuts the whole broker.
+// Close shuts the whole broker — unless this transport is one tenant's
+// view of a shared broker, in which case it is a no-op (one tenant
+// finishing must not tear down its neighbors; Close the Broker itself).
 func (s *ServerTransport) Close() error {
+	if s.shared {
+		return nil
+	}
 	s.broker.Close()
 	return nil
 }
@@ -352,11 +423,13 @@ func (c *ClientTransport) RecvGlobal() (*wire.GlobalModel, error) {
 	return &m, nil
 }
 
-// SendUpdate publishes the client's update.
+// SendUpdate publishes the client's update to its tenant's update topic,
+// stamped with the tenant id.
 func (c *ClientTransport) SendUpdate(m *wire.LocalUpdate) error {
+	m.TenantID = uint32(c.tenant)
 	e := wire.NewEncoder(nil)
 	m.Marshal(e)
-	if err := c.broker.Publish(TopicUpdate, e.Bytes()); err != nil {
+	if err := c.broker.Publish(TenantUpdateTopic(c.tenant), e.Bytes()); err != nil {
 		return err
 	}
 	c.stats.AddSent(e.Len())

@@ -51,7 +51,7 @@ func (s *ServerTransport) SendChunkAck(client int, a *wire.ChunkAck) error {
 	}
 	e := wire.NewEncoder(nil)
 	a.Marshal(e)
-	if err := s.broker.Publish(ChunkAckTopic(client), e.Bytes()); err != nil {
+	if err := s.broker.Publish(TenantPrefix(s.tenant)+ChunkAckTopic(client), e.Bytes()); err != nil {
 		return err
 	}
 	s.stats.AddSent(e.Len())
@@ -62,7 +62,7 @@ func (s *ServerTransport) SendChunkAck(client int, a *wire.ChunkAck) error {
 func (c *ClientTransport) SendChunk(mc *wire.ModelChunk) error {
 	e := wire.NewEncoder(nil)
 	mc.Marshal(e)
-	if err := c.broker.Publish(ChunkTopic(c.id), e.Bytes()); err != nil {
+	if err := c.broker.Publish(TenantPrefix(c.tenant)+ChunkTopic(c.id), e.Bytes()); err != nil {
 		return err
 	}
 	c.stats.AddSent(e.Len())

@@ -14,6 +14,13 @@
 // into the same session (same client ID, same obligation ledger) — the
 // reconnect path a cross-device deployment needs when devices drop off
 // the network mid-run.
+//
+// One listening server can host many tenants (ServerConfig.Tenants): each
+// Join carries a wire.TenantID validated against the tenant table, every
+// incoming frame demuxes to its tenant's arrival channel and obligation
+// ledger, and Tenant(t) returns a per-tenant comm.ServerTransport view.
+// Tenant isolation is structural — a tenant's gathers, deadlines, and
+// forgiveness never observe another tenant's traffic.
 package rpc
 
 import (
@@ -68,11 +75,26 @@ func readFrame(r io.Reader) (wire.Kind, []byte, error) {
 	return wire.Kind(hdr[0]), payload, nil
 }
 
+// TenantSpec is one tenant's slice of a multi-tenant server: its roster
+// size and the run configuration its JoinAck advertises.
+type TenantSpec struct {
+	NumClients int
+	Rounds     int
+	ModelSize  int
+}
+
 // ServerConfig parameterizes a listening FL server.
 type ServerConfig struct {
 	NumClients int
 	Rounds     int
 	ModelSize  int
+	// Tenants, when non-empty, makes the server multi-tenant: tenant t
+	// serves Tenants[t].NumClients clients whose Joins must carry
+	// TenantID t (zero routes to tenant 0, so pre-tenancy clients land in
+	// the default tenant). The top-level NumClients/Rounds/ModelSize are
+	// ignored in favor of the per-tenant specs. Empty means one default
+	// tenant described by the top-level fields.
+	Tenants []TenantSpec
 	// AcceptTimeout bounds the wait for all clients to join (0 = 30 s).
 	AcceptTimeout time.Duration
 	// ResumeWait bounds how long a dispatch that hit a dying connection
@@ -81,37 +103,63 @@ type ServerConfig struct {
 	ResumeWait time.Duration
 }
 
-// Server is the comm.ServerTransport over TCP. It accepts exactly
-// NumClients connections, each beginning with a Join handshake, then keeps
-// the listener open for Resume joins that splice a reconnecting client
-// back into its session.
+// tenants returns the effective tenant list (the legacy single-tenant
+// fields synthesized into a one-entry list when Tenants is empty).
+func (c ServerConfig) tenants() []TenantSpec {
+	if len(c.Tenants) > 0 {
+		return c.Tenants
+	}
+	return []TenantSpec{{NumClients: c.NumClients, Rounds: c.Rounds, ModelSize: c.ModelSize}}
+}
+
+// Server is the comm.ServerTransport over TCP. It accepts one connection
+// per client slot, each beginning with a Join handshake, then keeps the
+// listener open for Resume joins that splice a reconnecting client back
+// into its session.
 //
-// One reader goroutine per connection pumps every incoming frame into a
-// shared arrival channel that Gather/GatherFrom/GatherAny/GatherUntil
-// drain; the obligation ledger decides which arrivals settle obligations
-// and which are stale replays of forgiven rounds.
+// One reader goroutine per connection pumps every incoming frame into its
+// tenant's arrival channel, which that tenant's Gather/GatherFrom/
+// GatherAny/GatherUntil drain; per-tenant obligation ledgers decide which
+// arrivals settle obligations and which are stale replays of forgiven
+// rounds. A single-tenant server is the degenerate one-view case, and the
+// Server's own transport methods delegate to that default view.
 type Server struct {
 	cfg   ServerConfig
+	specs []TenantSpec
+	table *comm.TenantTable
+	total int // global client slots across all tenants
 	ln    net.Listener
 	stats comm.Stats
 
-	arrivals chan arrival
-	chunks   []chan []byte // per-client streamed ModelChunk frames
-	ledger   *comm.Ledger
-	done     chan struct{}
+	views  []*TenantView
+	chunks []chan []byte // per-global-slot streamed ModelChunk frames
+	done   chan struct{}
 
 	mu       sync.Mutex
-	conns    []net.Conn    // indexed by client ID, swapped on resume
-	gens     []int         // connection generation per client
+	conns    []net.Conn    // indexed by global slot, swapped on resume
+	gens     []int         // connection generation per slot
 	deadGen  []int         // generation whose connection died (-1 = alive)
 	resumeCh chan struct{} // closed (and replaced) on every resume splice
 	closed   bool
 }
 
+// TenantView is one tenant's comm.ServerTransport over a shared Server:
+// its client ids are tenant-local, its obligation ledger and arrival
+// stream carry only this tenant's traffic, and Close is a no-op (the
+// shared Server owns the listener and sockets — close it instead).
+type TenantView struct {
+	s        *Server
+	tenant   int
+	off      int // global slot of local client 0
+	n        int // roster size
+	arrivals chan arrival
+	ledger   *comm.Ledger
+}
+
 // arrival is one incoming update frame, or a connection event, tagged by
-// client and connection generation.
+// global client slot and connection generation.
 type arrival struct {
-	client  int
+	client  int // global slot
 	gen     int
 	payload []byte
 	err     error // connection-level failure (read error, bad frame kind)
@@ -121,8 +169,19 @@ type arrival struct {
 // without accepting yet; call Accept next. Addr() reports the bound
 // address.
 func Listen(addr string, cfg ServerConfig) (*Server, error) {
-	if cfg.NumClients <= 0 {
-		return nil, errors.New("rpc: NumClients must be positive")
+	specs := cfg.tenants()
+	sizes := make([]int, len(specs))
+	total := 0
+	for i, t := range specs {
+		if t.NumClients <= 0 {
+			return nil, fmt.Errorf("rpc: tenant %d NumClients must be positive", i)
+		}
+		sizes[i] = t.NumClients
+		total += t.NumClients
+	}
+	table, err := comm.NewTenantTable(sizes)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: %w", err)
 	}
 	if cfg.AcceptTimeout == 0 {
 		cfg.AcceptTimeout = 30 * time.Second
@@ -134,41 +193,61 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	deadGen := make([]int, cfg.NumClients)
+	deadGen := make([]int, total)
 	for i := range deadGen {
 		deadGen[i] = -1
 	}
-	chunks := make([]chan []byte, cfg.NumClients)
+	chunks := make([]chan []byte, total)
 	for i := range chunks {
 		// Capacity 4 holds the window-1 steady state plus a retransmit
 		// racing its late ack, matching comm.ChunkPipe.
 		chunks[i] = make(chan []byte, 4)
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
+		specs:    specs,
+		table:    table,
+		total:    total,
 		ln:       ln,
-		conns:    make([]net.Conn, cfg.NumClients),
-		gens:     make([]int, cfg.NumClients),
+		conns:    make([]net.Conn, total),
+		gens:     make([]int, total),
 		deadGen:  deadGen,
 		resumeCh: make(chan struct{}),
-		arrivals: make(chan arrival, cfg.NumClients),
 		chunks:   chunks,
-		ledger:   comm.NewLedger(cfg.NumClients),
 		done:     make(chan struct{}),
-	}, nil
+	}
+	s.views = make([]*TenantView, len(specs))
+	for t := range specs {
+		s.views[t] = &TenantView{
+			s:        s,
+			tenant:   t,
+			off:      table.Global(t, 0),
+			n:        sizes[t],
+			arrivals: make(chan arrival, sizes[t]),
+			ledger:   comm.NewLedger(sizes[t]),
+		}
+	}
+	return s, nil
 }
 
 // Addr returns the listening address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Accept blocks until every client has connected and completed the Join
-// handshake, then starts one reader per connection and a background
-// acceptor for Resume joins. Client IDs must be unique and in
-// [0, NumClients).
+// Tenant returns tenant t's comm.ServerTransport view. Tenant 0 is the
+// default tenant a single-tenant server serves.
+func (s *Server) Tenant(t int) *TenantView { return s.views[t] }
+
+// Tenants returns the number of tenants this server hosts.
+func (s *Server) Tenants() int { return len(s.views) }
+
+// Accept blocks until every client of every tenant has connected and
+// completed the Join handshake, then starts one reader per connection and
+// a background acceptor for Resume joins. Each tenant's client IDs must be
+// unique within the tenant and in [0, its NumClients).
 func (s *Server) Accept() error {
 	deadline := time.Now().Add(s.cfg.AcceptTimeout)
 	joined := 0
-	for joined < s.cfg.NumClients {
+	for joined < s.total {
 		if tl, ok := s.ln.(*net.TCPListener); ok {
 			if err := tl.SetDeadline(deadline); err != nil {
 				return err
@@ -176,27 +255,26 @@ func (s *Server) Accept() error {
 		}
 		conn, err := s.ln.Accept()
 		if err != nil {
-			return fmt.Errorf("rpc: accept after %d/%d joins: %w", joined, s.cfg.NumClients, err)
+			return fmt.Errorf("rpc: accept after %d/%d joins: %w", joined, s.total, err)
 		}
-		join, err := s.readJoin(conn)
+		_, slot, err := s.readJoin(conn)
 		if err != nil {
 			conn.Close()
 			return err
 		}
-		id := int(join.ClientID)
 		s.mu.Lock()
-		dup := s.conns[id] != nil
+		dup := s.conns[slot] != nil
 		s.mu.Unlock()
 		if dup {
 			conn.Close()
-			return fmt.Errorf("rpc: invalid or duplicate client id %d", id)
+			return fmt.Errorf("rpc: invalid or duplicate client id %d", slot)
 		}
-		if err := s.ackJoin(conn); err != nil {
+		if err := s.ackJoin(conn, slot); err != nil {
 			conn.Close()
 			return err
 		}
 		s.mu.Lock()
-		s.conns[id] = conn
+		s.conns[slot] = conn
 		s.mu.Unlock()
 		joined++
 	}
@@ -206,40 +284,46 @@ func (s *Server) Accept() error {
 		}
 	}
 	s.mu.Lock()
-	for id, conn := range s.conns {
-		go s.readLoop(id, s.gens[id], conn)
+	for slot, conn := range s.conns {
+		go s.readLoop(slot, s.gens[slot], conn)
 	}
 	s.mu.Unlock()
 	go s.acceptResumes()
 	return nil
 }
 
-// readJoin reads and decodes a Join frame, validating the client ID.
-func (s *Server) readJoin(conn net.Conn) (*wire.Join, error) {
+// readJoin reads and decodes a Join frame, validating the tenant and
+// client ID against the tenant table and returning the global slot. An
+// unknown tenant or out-of-range client id is an error, never a panic.
+func (s *Server) readJoin(conn net.Conn) (*wire.Join, int, error) {
 	kind, payload, err := readFrame(conn)
 	if err != nil {
-		return nil, fmt.Errorf("rpc: join read: %w", err)
+		return nil, 0, fmt.Errorf("rpc: join read: %w", err)
 	}
 	s.stats.AddRecv(len(payload))
 	if kind != wire.KindJoin {
-		return nil, fmt.Errorf("rpc: expected Join, got %v", kind)
+		return nil, 0, fmt.Errorf("rpc: expected Join, got %v", kind)
 	}
 	var join wire.Join
 	if err := join.Unmarshal(wire.NewDecoder(payload)); err != nil {
-		return nil, fmt.Errorf("rpc: join decode: %w", err)
+		return nil, 0, fmt.Errorf("rpc: join decode: %w", err)
 	}
-	if id := int(join.ClientID); id < 0 || id >= s.cfg.NumClients {
-		return nil, fmt.Errorf("rpc: invalid or duplicate client id %d", id)
+	slot, err := s.table.Route(join.TenantID, join.ClientID)
+	if err != nil {
+		return nil, 0, fmt.Errorf("rpc: join rejected: %w", err)
 	}
-	return &join, nil
+	return &join, slot, nil
 }
 
-// ackJoin accepts a join by answering with the run configuration.
-func (s *Server) ackJoin(conn net.Conn) error {
+// ackJoin accepts a join by answering with the owning tenant's run
+// configuration.
+func (s *Server) ackJoin(conn net.Conn, slot int) error {
+	t, _ := s.table.Owner(slot)
+	spec := s.specs[t]
 	ack := wire.JoinAck{
-		NumClients: uint32(s.cfg.NumClients),
-		Rounds:     uint32(s.cfg.Rounds),
-		ModelSize:  uint64(s.cfg.ModelSize),
+		NumClients: uint32(spec.NumClients),
+		Rounds:     uint32(spec.Rounds),
+		ModelSize:  uint64(spec.ModelSize),
 	}
 	e := wire.NewEncoder(nil)
 	ack.Marshal(e)
@@ -262,16 +346,15 @@ func (s *Server) acceptResumes() {
 		if err != nil {
 			return // listener closed
 		}
-		join, err := s.readJoin(conn)
+		join, slot, err := s.readJoin(conn)
 		if err != nil || !join.Resume {
 			conn.Close()
 			continue
 		}
-		if err := s.ackJoin(conn); err != nil {
+		if err := s.ackJoin(conn, slot); err != nil {
 			conn.Close()
 			continue
 		}
-		id := int(join.ClientID)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -282,30 +365,33 @@ func (s *Server) acceptResumes() {
 		// side, and its reader must be allowed to drain any frames still
 		// buffered (a goodbye sent just before the disconnect) before it
 		// sees EOF and exits. Closing server-side would discard them.
-		s.conns[id] = conn
-		s.gens[id]++
-		s.deadGen[id] = -1
-		gen := s.gens[id]
+		s.conns[slot] = conn
+		s.gens[slot]++
+		s.deadGen[slot] = -1
+		gen := s.gens[slot]
 		// Wake any dispatch waiting out a dying connection.
 		close(s.resumeCh)
 		s.resumeCh = make(chan struct{})
 		s.mu.Unlock()
-		go s.readLoop(id, gen, conn)
+		go s.readLoop(slot, gen, conn)
 	}
 }
 
-// readLoop pumps every frame from one client connection into the arrival
-// channel. On a connection error it posts one tagged failure event and
-// exits; collect decides whether that event matters (an open obligation on
-// the current connection) or is ordinary teardown noise.
-func (s *Server) readLoop(c, gen int, conn net.Conn) {
+// readLoop pumps every frame from one client connection into the owning
+// tenant's arrival channel. On a connection error it posts one tagged
+// failure event and exits; collect decides whether that event matters (an
+// open obligation on the current connection) or is ordinary teardown
+// noise.
+func (s *Server) readLoop(slot, gen int, conn net.Conn) {
+	t, _ := s.table.Owner(slot)
+	view := s.views[t]
 	for {
 		kind, payload, err := readFrame(conn)
 		if err == nil && kind == wire.KindModelChunk {
 			// Streamed chunks bypass the arrival channel (and the
 			// obligation ledger): StreamGather drains them per client.
 			select {
-			case s.chunks[c] <- payload:
+			case s.chunks[slot] <- payload:
 			case <-s.done:
 				return
 			}
@@ -314,14 +400,14 @@ func (s *Server) readLoop(c, gen int, conn net.Conn) {
 		var a arrival
 		switch {
 		case err != nil:
-			a = arrival{client: c, gen: gen, err: fmt.Errorf("rpc: gather from client %d: %w", c, err)}
+			a = arrival{client: slot, gen: gen, err: fmt.Errorf("rpc: gather from client %d: %w", slot, err)}
 		case kind != wire.KindLocalUpdate:
-			a = arrival{client: c, gen: gen, err: fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", c, kind)}
+			a = arrival{client: slot, gen: gen, err: fmt.Errorf("rpc: client %d sent %v, want LocalUpdate", slot, kind)}
 		default:
-			a = arrival{client: c, gen: gen, payload: payload}
+			a = arrival{client: slot, gen: gen, payload: payload}
 		}
 		select {
-		case s.arrivals <- a:
+		case view.arrivals <- a:
 		case <-s.done:
 			return
 		}
@@ -331,14 +417,14 @@ func (s *Server) readLoop(c, gen int, conn net.Conn) {
 	}
 }
 
-// conn returns the current connection of client c.
+// conn returns the current connection of global slot c.
 func (s *Server) conn(c int) net.Conn {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.conns[c]
 }
 
-// awaitFresh waits up to ResumeWait for client c's connection to be
+// awaitFresh waits up to ResumeWait for slot c's connection to be
 // spliced away from old, returning the fresh connection or nil if no
 // resume landed in time. Waiters are woken by the splice signal rather
 // than polling.
@@ -362,41 +448,48 @@ func (s *Server) awaitFresh(c int, old net.Conn) net.Conn {
 	}
 }
 
-// Unreachable returns the clients whose current connection is known dead
-// and not (yet) resumed — a deadline-driven caller excludes them from
-// dispatch instead of opening obligations nothing can settle.
-func (s *Server) Unreachable() []int {
+// Unreachable returns this tenant's clients (tenant-local ids) whose
+// current connection is known dead and not (yet) resumed — a
+// deadline-driven caller excludes them from dispatch instead of opening
+// obligations nothing can settle.
+func (v *TenantView) Unreachable() []int {
+	s := v.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var out []int
-	for c := range s.deadGen {
-		if s.deadGen[c] == s.gens[c] {
+	for c := 0; c < v.n; c++ {
+		g := v.off + c
+		if s.deadGen[g] == s.gens[g] {
 			out = append(out, c)
 		}
 	}
 	return out
 }
 
-// Broadcast sends the global model to all clients concurrently. Per-client
-// serialization happens independently, as gRPC marshals per call.
-func (s *Server) Broadcast(m *wire.GlobalModel) error {
-	return s.SendTo(comm.AllClients(s.cfg.NumClients), m)
+// Broadcast sends the global model to every client of this tenant
+// concurrently. Per-client serialization happens independently, as gRPC
+// marshals per call.
+func (v *TenantView) Broadcast(m *wire.GlobalModel) error {
+	return v.SendTo(comm.AllClients(v.n), m)
 }
 
-// SendTo sends the global model to the listed clients concurrently. Each
-// non-final model opens an obligation for the client's reply.
-func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
+// SendTo sends the global model to the listed clients (tenant-local ids)
+// concurrently. Each non-final model opens an obligation for the client's
+// reply.
+func (v *TenantView) SendTo(clients []int, m *wire.GlobalModel) error {
 	const kind = wire.KindGlobalModel
+	s := v.s
 	for _, c := range clients {
-		if c < 0 || c >= s.cfg.NumClients {
+		if c < 0 || c >= v.n {
 			return fmt.Errorf("rpc: send to unknown client %d", c)
 		}
 		// A client whose connection died while idle has no reader left: a
 		// write could still land in the socket buffer, opening an
 		// obligation nothing can ever settle. Fail loudly instead (a
 		// resume clears this by advancing the generation).
+		g := v.off + c
 		s.mu.Lock()
-		dead := s.deadGen[c] == s.gens[c]
+		dead := s.deadGen[g] == s.gens[g]
 		s.mu.Unlock()
 		if dead {
 			return fmt.Errorf("rpc: send to client %d whose connection is down", c)
@@ -405,7 +498,7 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 	if !m.Final {
 		// All-or-nothing so a duplicate-dispatch error leaves the ledger
 		// untouched.
-		if err := s.ledger.OpenAll(clients, m.Round); err != nil {
+		if err := v.ledger.OpenAll(clients, m.Round); err != nil {
 			return fmt.Errorf("rpc: %w", err)
 		}
 	}
@@ -417,7 +510,8 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 			defer wg.Done()
 			e := wire.NewEncoder(nil)
 			m.Marshal(e)
-			conn := s.conn(c)
+			g := v.off + c
+			conn := s.conn(g)
 			err := writeFrame(conn, kind, e.Bytes())
 			if err != nil {
 				// The write may have raced a session resume (the client
@@ -425,7 +519,7 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 				// Wait on the splice signal up to ResumeWait and retry
 				// once on the fresh connection; a client that never
 				// resumes keeps the original error.
-				if fresh := s.awaitFresh(c, conn); fresh != nil {
+				if fresh := s.awaitFresh(g, conn); fresh != nil {
 					err = writeFrame(fresh, kind, e.Bytes())
 				}
 			}
@@ -435,7 +529,7 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 					// No reply can come from a model that never left:
 					// roll the obligation back so the ledger stays
 					// consistent for callers that recover from the error.
-					s.ledger.Rollback(c)
+					v.ledger.Rollback(c)
 				}
 				return
 			}
@@ -446,18 +540,20 @@ func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
 	return errors.Join(errs...)
 }
 
-// collect drains n update arrivals in arrival order. A nil timer waits
-// forever; otherwise the gather gives up when the timer fires and returns
-// the partial batch with ErrRoundTimeout.
-func (s *Server) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
+// collect drains n update arrivals of this tenant in arrival order. A nil
+// timer waits forever; otherwise the gather gives up when the timer fires
+// and returns the partial batch with ErrRoundTimeout.
+func (v *TenantView) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
+	s := v.s
 	out := make([]*wire.LocalUpdate, 0, n)
 	for len(out) < n {
 		var a arrival
 		select {
-		case a = <-s.arrivals:
+		case a = <-v.arrivals:
 		case <-timer:
 			return out, fmt.Errorf("rpc: %d of %d updates after deadline: %w", len(out), n, comm.ErrRoundTimeout)
 		}
+		local := a.client - v.off
 		if a.err != nil {
 			// A connection event for the current generation marks the
 			// client unreachable (a stale generation means it already
@@ -474,7 +570,7 @@ func (s *Server) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, er
 				s.deadGen[a.client] = a.gen
 			}
 			s.mu.Unlock()
-			if current && timer == nil && s.ledger.Pending(a.client) {
+			if current && timer == nil && v.ledger.Pending(local) {
 				return nil, a.err
 			}
 			continue
@@ -482,9 +578,13 @@ func (s *Server) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, er
 		s.stats.AddRecv(len(a.payload))
 		var u wire.LocalUpdate
 		if err := u.Unmarshal(wire.NewDecoder(a.payload)); err != nil {
-			return nil, fmt.Errorf("rpc: update decode from client %d: %w", a.client, err)
+			return nil, fmt.Errorf("rpc: update decode from client %d: %w", local, err)
 		}
-		if !s.ledger.Admit(a.client, u.Round) {
+		if int(u.TenantID) != v.tenant {
+			return nil, fmt.Errorf("rpc: update from client %d carries tenant %d, connection belongs to tenant %d",
+				local, u.TenantID, v.tenant)
+		}
+		if !v.ledger.Admit(local, u.Round) {
 			continue // late update for a forgiven round: discard
 		}
 		out = append(out, &u)
@@ -492,16 +592,16 @@ func (s *Server) collect(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, er
 	return out, nil
 }
 
-// Gather reads one LocalUpdate from every client and returns them indexed
-// by client ID.
-func (s *Server) Gather() ([]*wire.LocalUpdate, error) {
-	return s.GatherFrom(comm.AllClients(s.cfg.NumClients))
+// Gather reads one LocalUpdate from every client of this tenant and
+// returns them indexed by client ID.
+func (v *TenantView) Gather() ([]*wire.LocalUpdate, error) {
+	return v.GatherFrom(comm.AllClients(v.n))
 }
 
 // GatherFrom reads one LocalUpdate from each listed client, ordered as
 // listed.
-func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
-	got, err := s.gatherN(len(clients), nil)
+func (v *TenantView) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
+	got, err := v.gatherN(len(clients), nil)
 	if err != nil {
 		return nil, err
 	}
@@ -509,35 +609,79 @@ func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
 }
 
 // GatherAny reads the next n outstanding updates in arrival order.
-func (s *Server) GatherAny(n int) ([]*wire.LocalUpdate, error) {
-	return s.gatherN(n, nil)
+func (v *TenantView) GatherAny(n int) ([]*wire.LocalUpdate, error) {
+	return v.gatherN(n, nil)
 }
 
 // gatherN enforces the overdraw check shared by the blocking gathers.
-func (s *Server) gatherN(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
-	if owed := s.ledger.Owed(); n > owed {
+func (v *TenantView) gatherN(n int, timer <-chan time.Time) ([]*wire.LocalUpdate, error) {
+	if owed := v.ledger.Owed(); n > owed {
 		return nil, fmt.Errorf("rpc: gathering %d updates with only %d outstanding", n, owed)
 	}
-	return s.collect(n, timer)
+	return v.collect(n, timer)
 }
 
 // GatherUntil reads up to n outstanding updates, giving up at the
 // deadline; see comm.ServerTransport.
-func (s *Server) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
-	return comm.GatherWithDeadline(s.ledger, "rpc", n, timeout, s.collect)
+func (v *TenantView) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
+	return comm.GatherWithDeadline(v.ledger, "rpc", n, timeout, v.collect)
 }
 
 // Forgive closes the open obligations of the listed clients; their late
 // updates, if any ever arrive, are discarded.
-func (s *Server) Forgive(clients []int) { s.ledger.Forgive(clients) }
+func (v *TenantView) Forgive(clients []int) { v.ledger.Forgive(clients) }
 
 // Outstanding returns the sorted clients with open update obligations.
-func (s *Server) Outstanding() []int { return s.ledger.Outstanding() }
+func (v *TenantView) Outstanding() []int { return v.ledger.Outstanding() }
+
+// Stats returns the shared server's traffic snapshot (traffic accounting
+// is per process, not per tenant).
+func (v *TenantView) Stats() comm.Snapshot { return v.s.stats.Snapshot() }
+
+// Close is a no-op: the shared Server owns the listener and sockets, and
+// one tenant finishing its run must not tear down its neighbors. Close
+// the Server itself to release resources.
+func (v *TenantView) Close() error { return nil }
+
+// Broadcast sends the global model to all clients of the default tenant.
+func (s *Server) Broadcast(m *wire.GlobalModel) error { return s.views[0].Broadcast(m) }
+
+// SendTo sends the global model to the listed default-tenant clients.
+func (s *Server) SendTo(clients []int, m *wire.GlobalModel) error {
+	return s.views[0].SendTo(clients, m)
+}
+
+// Gather reads one LocalUpdate from every default-tenant client.
+func (s *Server) Gather() ([]*wire.LocalUpdate, error) { return s.views[0].Gather() }
+
+// GatherFrom reads one LocalUpdate from each listed default-tenant client.
+func (s *Server) GatherFrom(clients []int) ([]*wire.LocalUpdate, error) {
+	return s.views[0].GatherFrom(clients)
+}
+
+// GatherAny reads the next n outstanding default-tenant updates.
+func (s *Server) GatherAny(n int) ([]*wire.LocalUpdate, error) { return s.views[0].GatherAny(n) }
+
+// GatherUntil reads up to n outstanding default-tenant updates with a
+// deadline; see comm.ServerTransport.
+func (s *Server) GatherUntil(n int, timeout time.Duration) ([]*wire.LocalUpdate, error) {
+	return s.views[0].GatherUntil(n, timeout)
+}
+
+// Forgive closes the open obligations of the listed default-tenant
+// clients.
+func (s *Server) Forgive(clients []int) { s.views[0].Forgive(clients) }
+
+// Outstanding returns the default tenant's clients with open obligations.
+func (s *Server) Outstanding() []int { return s.views[0].Outstanding() }
+
+// Unreachable returns the default tenant's known-dead clients.
+func (s *Server) Unreachable() []int { return s.views[0].Unreachable() }
 
 // Stats returns the traffic snapshot.
 func (s *Server) Stats() comm.Snapshot { return s.stats.Snapshot() }
 
-// Close shuts the listener and all client connections.
+// Close shuts the listener and all client connections of every tenant.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -559,20 +703,29 @@ func (s *Server) Close() error {
 
 // Client is the comm.ClientTransport over TCP.
 type Client struct {
-	id    uint32
-	name  string
-	addr  string
-	ack   wire.JoinAck
-	stats comm.Stats
+	id     uint32
+	tenant uint32
+	name   string
+	addr   string
+	ack    wire.JoinAck
+	stats  comm.Stats
 
 	mu   sync.Mutex
 	conn net.Conn
 }
 
 // Dial connects to the server, performs the Join handshake, and returns
-// the client transport.
+// the client transport joined to the default tenant.
 func Dial(addr string, id uint32, name string) (*Client, error) {
-	c := &Client{id: id, name: name, addr: addr}
+	return DialTenant(addr, 0, id, name)
+}
+
+// DialTenant connects to a multi-tenant server, joining tenant `tenant`
+// with the tenant-local client id. Tenant 0 is the default tenant (the
+// single-tenant Dial). Every update sent through the returned transport
+// is stamped with the tenant id so the server's demux can validate it.
+func DialTenant(addr string, tenant, id uint32, name string) (*Client, error) {
+	c := &Client{id: id, tenant: tenant, name: name, addr: addr}
 	if err := c.dial(false); err != nil {
 		return nil, err
 	}
@@ -586,7 +739,7 @@ func (c *Client) dial(resume bool) error {
 	if err != nil {
 		return err
 	}
-	join := wire.Join{ClientID: c.id, Name: c.name, Resume: resume}
+	join := wire.Join{ClientID: c.id, Name: c.name, Resume: resume, TenantID: c.tenant}
 	e := wire.NewEncoder(nil)
 	join.Marshal(e)
 	if err := writeFrame(conn, wire.KindJoin, e.Bytes()); err != nil {
@@ -672,8 +825,9 @@ func (c *Client) RecvGlobal() (*wire.GlobalModel, error) {
 	return &m, nil
 }
 
-// SendUpdate uploads the local update.
+// SendUpdate uploads the local update, stamped with this client's tenant.
 func (c *Client) SendUpdate(m *wire.LocalUpdate) error {
+	m.TenantID = c.tenant
 	e := wire.NewEncoder(nil)
 	m.Marshal(e)
 	if err := writeFrame(c.current(), wire.KindLocalUpdate, e.Bytes()); err != nil {
@@ -692,6 +846,9 @@ func (c *Client) Close() error { return c.current().Close() }
 // Interface conformance checks.
 var (
 	_ comm.ServerTransport = (*Server)(nil)
+	_ comm.ServerTransport = (*TenantView)(nil)
+	_ comm.Unreachables    = (*Server)(nil)
+	_ comm.Unreachables    = (*TenantView)(nil)
 	_ comm.ClientTransport = (*Client)(nil)
 	_ comm.SessionResumer  = (*Client)(nil)
 )

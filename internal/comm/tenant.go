@@ -1,0 +1,84 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnknownTenant reports a message carrying a TenantID the receiving
+// host does not serve. Routing validates the header instead of indexing
+// with it, so a corrupt or hostile tenant id is an error, never a panic.
+var ErrUnknownTenant = errors.New("comm: unknown tenant")
+
+// TenantTable maps the two-level client address of a multi-tenant host —
+// (TenantID, tenant-local client id) — onto the flat global slot space a
+// shared transport indexes its connections by. Tenant t's local client i
+// occupies global slot offset(t)+i; tenant ids are the dense range
+// [0, Tenants()) with 0 the default tenant, so a pre-tenancy message
+// (zero TenantID) routes to tenant 0 unchanged.
+//
+// The table is immutable after construction and safe for concurrent use.
+type TenantTable struct {
+	sizes []int // clients per tenant
+	offs  []int // global slot of each tenant's local client 0
+	total int
+}
+
+// NewTenantTable builds the routing table for the given per-tenant client
+// counts. An empty or nil slice means one default tenant is expected to be
+// sized by the caller; every listed tenant must have at least one client.
+func NewTenantTable(clientsPerTenant []int) (*TenantTable, error) {
+	if len(clientsPerTenant) == 0 {
+		return nil, errors.New("comm: tenant table needs at least one tenant")
+	}
+	t := &TenantTable{
+		sizes: append([]int(nil), clientsPerTenant...),
+		offs:  make([]int, len(clientsPerTenant)),
+	}
+	for i, n := range clientsPerTenant {
+		if n <= 0 {
+			return nil, fmt.Errorf("comm: tenant %d has %d clients, need at least 1", i, n)
+		}
+		t.offs[i] = t.total
+		t.total += n
+	}
+	return t, nil
+}
+
+// Tenants returns the number of tenants.
+func (t *TenantTable) Tenants() int { return len(t.sizes) }
+
+// Clients returns tenant id's client count.
+func (t *TenantTable) Clients(tenant int) int { return t.sizes[tenant] }
+
+// Total returns the size of the flat global slot space.
+func (t *TenantTable) Total() int { return t.total }
+
+// Route validates a (TenantID, local client id) address and returns its
+// global slot. Unknown tenants and out-of-range local ids are errors —
+// never panics — so hostile join/update headers fail loudly at the edge.
+func (t *TenantTable) Route(tenant, local uint32) (int, error) {
+	if int(tenant) >= len(t.sizes) {
+		return 0, fmt.Errorf("%w: tenant %d of %d", ErrUnknownTenant, tenant, len(t.sizes))
+	}
+	ti := int(tenant)
+	if int(local) >= t.sizes[ti] {
+		return 0, fmt.Errorf("comm: tenant %d has no client %d (roster size %d)", tenant, local, t.sizes[ti])
+	}
+	return t.offs[ti] + int(local), nil
+}
+
+// Owner returns the tenant owning a global slot and the slot's
+// tenant-local client id.
+func (t *TenantTable) Owner(global int) (tenant, local int) {
+	for ti := len(t.offs) - 1; ti >= 0; ti-- {
+		if global >= t.offs[ti] {
+			return ti, global - t.offs[ti]
+		}
+	}
+	return 0, global
+}
+
+// Global returns the global slot of tenant's local client id without
+// validation; callers validating external input use Route instead.
+func (t *TenantTable) Global(tenant, local int) int { return t.offs[tenant] + local }

@@ -1,0 +1,71 @@
+package comm
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTenantTableRouting(t *testing.T) {
+	tab, err := NewTenantTable([]int{3, 1, 5})
+	if err != nil {
+		t.Fatalf("NewTenantTable: %v", err)
+	}
+	if got := tab.Tenants(); got != 3 {
+		t.Fatalf("Tenants() = %d, want 3", got)
+	}
+	if got := tab.Total(); got != 9 {
+		t.Fatalf("Total() = %d, want 9", got)
+	}
+	// Every (tenant, local) pair round-trips through Route and Owner.
+	next := 0
+	for tenant := 0; tenant < tab.Tenants(); tenant++ {
+		for local := 0; local < tab.Clients(tenant); local++ {
+			g, err := tab.Route(uint32(tenant), uint32(local))
+			if err != nil {
+				t.Fatalf("Route(%d,%d): %v", tenant, local, err)
+			}
+			if g != next {
+				t.Fatalf("Route(%d,%d) = %d, want %d", tenant, local, g, next)
+			}
+			if got := tab.Global(tenant, local); got != g {
+				t.Fatalf("Global(%d,%d) = %d, want %d", tenant, local, got, g)
+			}
+			ot, ol := tab.Owner(g)
+			if ot != tenant || ol != local {
+				t.Fatalf("Owner(%d) = (%d,%d), want (%d,%d)", g, ot, ol, tenant, local)
+			}
+			next++
+		}
+	}
+}
+
+func TestTenantTableRejectsBadAddresses(t *testing.T) {
+	tab, err := NewTenantTable([]int{2, 4})
+	if err != nil {
+		t.Fatalf("NewTenantTable: %v", err)
+	}
+	if _, err := tab.Route(2, 0); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: err = %v, want ErrUnknownTenant", err)
+	}
+	if _, err := tab.Route(0, 2); err == nil {
+		t.Fatal("out-of-range local id accepted")
+	}
+	if _, err := tab.Route(1, 4); err == nil {
+		t.Fatal("out-of-range local id accepted for tenant 1")
+	}
+	if _, err := tab.Route(1<<31, 1<<31); err == nil {
+		t.Fatal("huge tenant/local ids accepted")
+	}
+}
+
+func TestTenantTableRejectsBadShapes(t *testing.T) {
+	if _, err := NewTenantTable(nil); err == nil {
+		t.Fatal("empty tenant list accepted")
+	}
+	if _, err := NewTenantTable([]int{3, 0}); err == nil {
+		t.Fatal("zero-client tenant accepted")
+	}
+	if _, err := NewTenantTable([]int{-1}); err == nil {
+		t.Fatal("negative-client tenant accepted")
+	}
+}

@@ -1,0 +1,26 @@
+package core
+
+// AdmissionGate throttles when a run's server-side aggregation work — the
+// decode+fold of one admitted batch — may start. A multi-tenant host
+// installs one gate per tenant, all draining a shared arbiter, so tenants
+// share the process-wide aggregation worker pool fairly: a large tenant's
+// huge batches cannot starve a small tenant's rounds.
+//
+// The gate is timing-only. It decides WHEN a batch's fold begins, never
+// how the batch is ordered or split, so a gated run's trajectory is
+// bit-identical to the same run ungated — the fairness layer cannot
+// perturb the math.
+type AdmissionGate interface {
+	// Acquire blocks until the caller may fold a batch of the given cost
+	// (update count), returning the release to call when the fold ends.
+	Acquire(cost int) (release func())
+}
+
+// gateAcquire acquires g for cost, tolerating a nil gate (ungated runs
+// pay only a nil check).
+func gateAcquire(g AdmissionGate, cost int) func() {
+	if g == nil {
+		return func() {}
+	}
+	return g.Acquire(cost)
+}

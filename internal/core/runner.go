@@ -105,6 +105,11 @@ type RunOptions struct {
 	// killserver events from Faults are appended to this schedule with the
 	// kill window cycled per event. Requires Journal.
 	Kills []ServerKill
+	// Gate, when non-nil, throttles when each admitted batch's server-side
+	// decode+fold may start — the hook a multi-tenant host uses to share
+	// the process-wide aggregation workers fairly across tenants. Timing
+	// only: a gated run's trajectory is bit-identical to the ungated run.
+	Gate AdmissionGate
 }
 
 // newServerTransport builds the server and client transports for a run.
@@ -185,6 +190,34 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	if P == 0 {
 		return nil, fmt.Errorf("core: no clients in federated dataset")
 	}
+	refModel := factory()
+	dim := len(nn.FlattenParams(refModel, nil))
+	st, cts, err := newServerTransport(opts.Transport, P, dim, cfg.Rounds)
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+	return RunWithTransport(cfg, fed, factory, opts, st, cts)
+}
+
+// RunWithTransport is Run over caller-supplied transports: st serves the
+// run's server side and cts[i] client i. The caller keeps ownership of st
+// (it is NOT closed here — a multi-tenant host passes per-tenant views of
+// one shared server and closes that server itself); client transports are
+// closed as their goroutines exit, as in Run. opts.Transport is ignored.
+func RunWithTransport(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions,
+	st comm.ServerTransport, cts []comm.ClientTransport) (*Result, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	P := fed.NumClients()
+	if P == 0 {
+		return nil, fmt.Errorf("core: no clients in federated dataset")
+	}
+	if len(cts) != P {
+		return nil, fmt.Errorf("core: %d client transports for %d clients", len(cts), P)
+	}
 
 	// Shared initial model: one replica defines w0 for everyone.
 	refModel := factory()
@@ -203,12 +236,6 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	// The closure closes whatever aggregator is current at exit — recovery
 	// replaces agg, and the discarded one is closed at the kill site.
 	defer func() { closeAggregator(agg) }()
-
-	st, cts, err := newServerTransport(opts.Transport, P, dim, cfg.Rounds)
-	if err != nil {
-		return nil, err
-	}
-	defer st.Close()
 
 	// The fault layer wraps both ends of every link; the wrappers execute
 	// the injector's deterministic script and the unwrapped path is
@@ -374,7 +401,7 @@ func Run(cfg Config, fed *dataset.Federated, factory nn.Factory, opts RunOptions
 	}
 	var runErr error
 	for {
-		runErr = loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, mem, validateEvery, opts.Progress, jw, resume)
+		runErr = loop(cfg, sched, agg, serverPipe, st, refModel, fed, res, mem, validateEvery, opts.Progress, jw, resume, opts.Gate)
 		if !errors.Is(runErr, errServerKilled) {
 			break
 		}
@@ -463,7 +490,7 @@ func recordRound(res *Result, rs RoundStats, agg Aggregator, evalModel nn.Module
 // lease expires.
 func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer,
-	jw *journalWriter, resume *RecoveredServer) error {
+	jw *journalWriter, resume *RecoveredServer, gate AdmissionGate) error {
 	rhoReporter, _ := agg.(interface{ CurrentRho() float64 })
 	// Fast paths of the kernel layer: fold still-encoded payloads when the
 	// stack's inverse fuses, and feed the f16 downlink straight from the
@@ -606,6 +633,10 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 			return fmt.Errorf("core: round %d completed with %d of %d clients, quorum is %d: %w",
 				t, len(data), len(cohort), minCohort, ErrQuorum)
 		}
+		// The admission gate spans decode through fold: the expensive part
+		// of a round's server-side work, and the part that contends for the
+		// shared aggregation workers on a multi-tenant host.
+		releaseGate := gateAcquire(gate, len(data))
 		if stream == nil {
 			if fused {
 				err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
@@ -613,6 +644,7 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 				err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
 			}
 			if err != nil {
+				releaseGate()
 				return fmt.Errorf("core: decode round %d: %w", t, err)
 			}
 		}
@@ -627,15 +659,18 @@ func runBarrierRounds(cfg Config, sched Scheduler, agg Aggregator, serverPipe *p
 		}
 		jw.admitBatch(t, data, nil)
 		if jw.shouldKill(KillBeforeCommit, t) {
+			releaseGate()
 			return errServerKilled
 		}
 		if stream == nil {
 			// In streaming mode the session already folded the chunks and
 			// advanced the version; the slim updates have nothing to fold.
 			if err := agg.Aggregate(data); err != nil {
+				releaseGate()
 				return fmt.Errorf("core: aggregate round %d: %w", t, err)
 			}
 		}
+		releaseGate()
 		if err := jw.commit(t, agg, mem, 0); err != nil {
 			return err
 		}
@@ -791,7 +826,7 @@ func splitControl(updates []*wire.LocalUpdate, mem *membership) []*wire.LocalUpd
 // down-weighted or dropped by the BufferedAggregator.
 func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe *pipeline.Pipeline, st comm.ServerTransport,
 	evalModel nn.Module, fed *dataset.Federated, res *Result, mem *membership, validateEvery int, progress io.Writer,
-	jw *journalWriter, resume *RecoveredServer) error {
+	jw *journalWriter, resume *RecoveredServer, gate AdmissionGate) error {
 	quorum := sched.Quorum()
 	// Journaled runs skip the fused fold: an admit record needs the dense
 	// decoded primal before anything folds.
@@ -969,16 +1004,21 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		outstanding -= len(batch)
 		data := splitControl(batch, mem)
+		// The admission gate spans decode through fold, the contended
+		// server-side work on a multi-tenant host.
+		releaseGate := gateAcquire(gate, len(data))
 		if fused {
 			err = DecodeUpdatesFused(data, fusedStage, agg.Dim())
 		} else {
 			err = DecodeUpdates(data, serverPipe, agg.Dim(), cfg.AggWorkers)
 		}
 		if err != nil {
+			releaseGate()
 			return fmt.Errorf("core: decode release %d: %w", rel, err)
 		}
 		jw.admitBatch(rel, data, nil)
 		if jw.shouldKill(KillBeforeCommit, rel) {
+			releaseGate()
 			return errServerKilled
 		}
 		maxCompute := 0.0
@@ -995,9 +1035,11 @@ func runBufferedReleases(cfg Config, sched Scheduler, agg Aggregator, serverPipe
 		}
 		if len(data) > 0 {
 			if err := agg.Aggregate(data); err != nil {
+				releaseGate()
 				return fmt.Errorf("core: aggregate release %d: %w", rel, err)
 			}
 		}
+		releaseGate()
 		if buffered != nil {
 			res.Stale += buffered.StaleApplied - prevStale
 			res.Dropped += buffered.Dropped - prevDropped

@@ -1,0 +1,44 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// RecoverHost replays every tenant journal under a multi-tenant host's
+// journal root. Tenant t journals in the subdirectory "tenant-<t>"; each
+// is opened, replayed, and closed independently, so one tenant's torn or
+// empty journal never blocks its neighbors' recovery. The returned map is
+// keyed by tenant id and holds only tenants with a journal directory
+// present.
+func RecoverHost(root string) (map[int]*Recovered, error) {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return nil, fmt.Errorf("journal: host root %s: %w", root, err)
+	}
+	var ids []int
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		var id int
+		if n, err := fmt.Sscanf(e.Name(), "tenant-%d", &id); n == 1 && err == nil && id >= 0 {
+			ids = append(ids, id)
+		}
+	}
+	sort.Ints(ids)
+	out := make(map[int]*Recovered, len(ids))
+	for _, id := range ids {
+		j, err := Open(fmt.Sprintf("%s/tenant-%d", root, id))
+		if err != nil {
+			return nil, fmt.Errorf("journal: host tenant %d: %w", id, err)
+		}
+		rec := j.Recovered()
+		if cerr := j.Close(); cerr != nil {
+			return nil, fmt.Errorf("journal: host tenant %d: %w", id, cerr)
+		}
+		out[id] = rec
+	}
+	return out, nil
+}

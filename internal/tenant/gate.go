@@ -1,0 +1,125 @@
+package tenant
+
+import (
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Arbiter shares the process-wide aggregation capacity of a multi-tenant
+// host across its tenants by weighted fair queueing. Each tenant's round
+// loop acquires its gate before an admitted batch's decode+fold starts,
+// with the batch size as the cost; when demand exceeds the configured
+// fold slots, waiting tenants are served in order of weighted virtual
+// time — a start-time-fair-queueing discipline — so a tenant folding
+// 10k-update batches cannot starve a tenant folding 10-update batches:
+// the small tenant waits out at most the fold in flight, never the big
+// tenant's backlog.
+//
+// The arbiter is timing-only (see core.AdmissionGate): it decides when a
+// tenant's fold begins, never how the batch folds, so every tenant's
+// trajectory stays bit-identical to its dedicated-server run.
+type Arbiter struct {
+	mu      sync.Mutex
+	slots   int
+	inUse   int
+	weights []float64
+	vt      []float64 // virtual finish time per tenant
+	floor   float64   // start tag of the most recently admitted fold
+	waiting []*waiter
+}
+
+// waiter is one tenant's queued fold request. A tenant's round loop is
+// sequential, so at most one waiter per tenant is queued at a time.
+type waiter struct {
+	tenant int
+	cost   float64
+	ready  chan struct{}
+}
+
+// NewArbiter builds an arbiter with the given number of concurrent fold
+// slots (values < 1 mean 1: strict one-fold-at-a-time fairness) and one
+// weight per tenant (values < 1 mean 1). A tenant's long-run share of
+// contended fold capacity is proportional to its weight.
+func NewArbiter(slots int, weights []int) *Arbiter {
+	if slots < 1 {
+		slots = 1
+	}
+	a := &Arbiter{
+		slots:   slots,
+		weights: make([]float64, len(weights)),
+		vt:      make([]float64, len(weights)),
+	}
+	for i, w := range weights {
+		if w < 1 {
+			w = 1
+		}
+		a.weights[i] = float64(w)
+	}
+	return a
+}
+
+// Gate returns tenant t's admission gate, to be installed as that
+// tenant's core.RunOptions.Gate.
+func (a *Arbiter) Gate(t int) core.AdmissionGate { return gate{a: a, tenant: t} }
+
+type gate struct {
+	a      *Arbiter
+	tenant int
+}
+
+// Acquire implements core.AdmissionGate.
+func (g gate) Acquire(cost int) func() { return g.a.acquire(g.tenant, cost) }
+
+func (a *Arbiter) acquire(tenant, cost int) func() {
+	c := float64(cost)
+	if c < 1 {
+		c = 1
+	}
+	w := &waiter{tenant: tenant, cost: c, ready: make(chan struct{})}
+	a.mu.Lock()
+	a.waiting = append(a.waiting, w)
+	a.admitLocked()
+	a.mu.Unlock()
+	<-w.ready
+	var once sync.Once
+	return func() { once.Do(a.release) }
+}
+
+func (a *Arbiter) release() {
+	a.mu.Lock()
+	a.inUse--
+	a.admitLocked()
+	a.mu.Unlock()
+}
+
+// admitLocked fills free slots with the waiting folds whose effective
+// start tags are smallest — the weighted-fair order.
+func (a *Arbiter) admitLocked() {
+	for a.inUse < a.slots && len(a.waiting) > 0 {
+		best := 0
+		bestTag := a.startTag(a.waiting[0].tenant)
+		for i := 1; i < len(a.waiting); i++ {
+			if tag := a.startTag(a.waiting[i].tenant); tag < bestTag {
+				best, bestTag = i, tag
+			}
+		}
+		w := a.waiting[best]
+		a.waiting = append(a.waiting[:best], a.waiting[best+1:]...)
+		// A tenant returning from idle starts at the current floor rather
+		// than its stale virtual time: idleness earns no banked credit it
+		// could later burn in an unfair burst.
+		a.vt[w.tenant] = bestTag + w.cost/a.weights[w.tenant]
+		a.floor = bestTag
+		a.inUse++
+		close(w.ready)
+	}
+}
+
+// startTag returns the tenant's effective virtual start time.
+func (a *Arbiter) startTag(tenant int) float64 {
+	if a.vt[tenant] < a.floor {
+		return a.floor
+	}
+	return a.vt[tenant]
+}

@@ -23,12 +23,17 @@ func seedMessages() [][]byte {
 		out = append(out, append([]byte(nil), e.Bytes()...))
 	}
 	add(&Join{ClientID: 7, Name: "client-7"})
+	add(&Join{ClientID: 0, TenantID: 3, Name: "t3-client-0"})
 	add(&JoinAck{NumClients: 203, Rounds: 50, ModelSize: 123456})
 	add(&GlobalModel{Round: 3, Weights: []float64{1, -2, math.Pi}, Rho: 2.5, Version: 9, CohortSize: 4})
 	add(&LocalUpdate{
 		ClientID: 1, Round: 2, NumSamples: 64,
 		Primal: []float64{0.5, -0.5}, Dual: []float64{1, 1},
 		Epsilon: math.Inf(1), ComputeSec: 0.25, BaseVersion: 8, InCohort: true,
+	})
+	add(&LocalUpdate{
+		ClientID: 2, Round: 1, NumSamples: 16, TenantID: 9,
+		Primal: []float64{1}, Epsilon: math.Inf(1), InCohort: true,
 	})
 	// Compressed payloads: one of each encoding, plus messages carrying
 	// them, so the fuzzers mutate structurally valid compressed frames.
@@ -201,15 +206,70 @@ func FuzzDecodeGlobalModel(f *testing.F) {
 	})
 }
 
+// FuzzDecodeJoinAndAck additionally pins the tenancy contract: whatever
+// TenantID a decoded Join carries must survive a re-encode bit for bit
+// (the rpc server routes on it before acking), and a zero TenantID must
+// encode to the exact pre-tenancy bytes — that omission is what makes
+// every pre-tenancy client a tenant-0 client byte for byte.
 func FuzzDecodeJoinAndAck(f *testing.F) {
 	for _, b := range seedMessages() {
 		f.Add(b)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var j Join
-		_ = j.Unmarshal(NewDecoder(data))
+		if err := j.Unmarshal(NewDecoder(data)); err == nil {
+			e := NewEncoder(nil)
+			j.Marshal(e)
+			var j2 Join
+			if err := j2.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+				t.Fatalf("re-decode of re-encoded join: %v", err)
+			}
+			if j2.TenantID != j.TenantID || j2.ClientID != j.ClientID {
+				t.Fatalf("join address drifted across re-encode: (%d,%d) -> (%d,%d)",
+					j.TenantID, j.ClientID, j2.TenantID, j2.ClientID)
+			}
+		}
 		var a JoinAck
 		_ = a.Unmarshal(NewDecoder(data))
+	})
+}
+
+// FuzzTenantIDRoundTrip: every (tenant, client) address round-trips
+// through Join and LocalUpdate, and tenant 0 encodes to the identical
+// bytes as a message that never heard of tenancy.
+func FuzzTenantIDRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0))
+	f.Add(uint32(1), uint32(7))
+	f.Add(uint32(math.MaxUint32), uint32(math.MaxUint32))
+	f.Fuzz(func(t *testing.T, tenant, client uint32) {
+		j := Join{ClientID: client, TenantID: tenant, Name: "c"}
+		e := NewEncoder(nil)
+		j.Marshal(e)
+		var gotJ Join
+		if err := gotJ.Unmarshal(NewDecoder(e.Bytes())); err != nil {
+			t.Fatalf("join round-trip: %v", err)
+		}
+		if gotJ.TenantID != tenant || gotJ.ClientID != client {
+			t.Fatalf("join round-trip (%d,%d) -> (%d,%d)", tenant, client, gotJ.TenantID, gotJ.ClientID)
+		}
+		u := LocalUpdate{ClientID: client, Round: 1, NumSamples: 8, TenantID: tenant, InCohort: true}
+		e2 := NewEncoder(nil)
+		u.Marshal(e2)
+		var gotU LocalUpdate
+		if err := gotU.Unmarshal(NewDecoder(e2.Bytes())); err != nil {
+			t.Fatalf("update round-trip: %v", err)
+		}
+		if gotU.TenantID != tenant {
+			t.Fatalf("update tenant %d -> %d", tenant, gotU.TenantID)
+		}
+		if tenant == 0 {
+			legacy := Join{ClientID: client, Name: "c"}
+			e3 := NewEncoder(nil)
+			legacy.Marshal(e3)
+			if !bytes.Equal(e.Bytes(), e3.Bytes()) {
+				t.Fatal("tenant 0 join does not match the pre-tenancy encoding byte for byte")
+			}
+		}
 	})
 }
 

@@ -58,6 +58,12 @@ type Join struct {
 	ClientID uint32
 	Name     string
 	Resume   bool
+	// TenantID names the federation this client belongs to on a
+	// multi-tenant server (the FL-as-a-service host). The zero value is
+	// the default tenant, so a pre-tenancy client joins tenant 0 and a
+	// pre-tenancy server never sees the field at all — the header is
+	// backward-compatible in both directions. ClientID is tenant-local.
+	TenantID uint32
 }
 
 // Marshal encodes m.
@@ -66,6 +72,9 @@ func (m *Join) Marshal(e *Encoder) {
 	e.String(2, m.Name)
 	if m.Resume {
 		e.Bool(3, m.Resume)
+	}
+	if m.TenantID > 0 {
+		e.Uint64(4, uint64(m.TenantID))
 	}
 }
 
@@ -95,6 +104,12 @@ func (m *Join) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.Resume = v
+		case 4:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.TenantID = uint32(v)
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
@@ -303,6 +318,12 @@ type LocalUpdate struct {
 	// to be reachable again from that round on (0 = gone for good). The
 	// scheduler excludes the client until the lease expires.
 	RejoinRound uint32
+	// TenantID names the federation this update belongs to on a
+	// multi-tenant server; ClientID is tenant-local. Zero is the default
+	// tenant (backward-compatible: pre-tenancy messages omit the field).
+	// A tenant-demuxing transport validates it against the tenant that
+	// owns the carrying connection/topic and rejects mismatches.
+	TenantID uint32
 }
 
 // Control values carried by LocalUpdate.Control.
@@ -361,6 +382,9 @@ func (m *LocalUpdate) Marshal(e *Encoder) {
 	}
 	if m.RejoinRound > 0 {
 		e.Uint64(12, uint64(m.RejoinRound))
+	}
+	if m.TenantID > 0 {
+		e.Uint64(13, uint64(m.TenantID))
 	}
 }
 
@@ -453,6 +477,12 @@ func (m *LocalUpdate) Unmarshal(d *Decoder) error {
 				return err
 			}
 			m.RejoinRound = uint32(v)
+		case 13:
+			v, err := d.Uint64()
+			if err != nil {
+				return err
+			}
+			m.TenantID = uint32(v)
 		default:
 			if err := d.Skip(w); err != nil {
 				return err
